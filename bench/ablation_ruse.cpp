@@ -1,0 +1,44 @@
+// Ablation A2 (§5.4): overlap-reuse variants vs their base kernels across
+// every (n, r). The paper's rule: ruse wins iff (r−1)/α ≥ 0.4375 — i.e. for
+// Γ8(4,5), Γ8(3,6), Γ8(2,7), Γ16(9,8), Γ16(8,9).
+#include <cstdio>
+
+#include "core/conv_api.hpp"
+
+int main() {
+  using namespace iwg;
+  using core::GammaConfig;
+  using core::Variant;
+  std::printf("Ablation (§5.4): input-tile overlap reuse.\n");
+  std::printf("%-14s %9s %10s %10s %9s %9s %8s\n", "kernel", "(r-1)/a",
+              "base GF", "ruse GF", "gain", "X-bytes", "rule");
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+
+  for (auto [alpha, n, r] : {std::tuple<int, int, int>{8, 4, 5},
+                             {8, 3, 6},
+                             {8, 2, 7},
+                             {8, 5, 4},
+                             {16, 9, 8},
+                             {16, 8, 9},
+                             {16, 10, 7}}) {
+    // OW divisible by 2n: both variants cover the full width without a
+    // boundary tail, so the comparison isolates the kernels themselves.
+    const iwg::ConvShape s =
+        iwg::ConvShape::from_ofms(16, 32, 4 * n, 64, r);
+    const auto base = core::profile_conv2d(
+        s, dev, core::plan_single(s, GammaConfig::make(alpha, n, r)), 4);
+    const auto ruse = core::profile_conv2d(
+        s, dev,
+        core::plan_single(s, GammaConfig::make(alpha, n, r, Variant::kRuse)),
+        4);
+    const double frac = static_cast<double>(r - 1) / alpha;
+    const bool rule = GammaConfig::ruse_profitable(alpha, r);
+    std::printf("Gamma%d(%d,%d)%s %8.4f %10.0f %10.0f %8.3fx %9s %8s\n",
+                alpha, n, r, alpha < 10 ? " " : "", frac, base.gflops,
+                ruse.gflops, ruse.gflops / base.gflops, "",
+                rule ? "ruse" : "base");
+  }
+  std::printf("\n(paper: the ruse variants of the rows marked 'ruse' are the "
+              "shipped defaults)\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "bench_common.hpp"
+
+namespace iwg::bench {
+
+using iwg::ConvShape;
+using core::GammaConfig;
+using core::Variant;
+
+std::vector<Panel> figure8_panels() {
+  // Shapes transcribed from the paper's Figure 8 (RTX 3060 Ti).
+  std::vector<Panel> panels = {
+      {"Gamma8(4,5) r=5", 8, 5,
+       {{32, 128, 128, 64}, {32, 66, 66, 128}, {32, 64, 64, 128},
+        {128, 48, 48, 128}, {128, 34, 34, 128}, {128, 32, 32, 128},
+        {128, 18, 18, 256}, {128, 16, 16, 256}, {128, 10, 10, 512},
+        {128, 8, 8, 512}},
+       true, false},
+      {"Gamma8(6,3) r=3", 8, 3,
+       {{64, 128, 128, 64}, {128, 96, 96, 64}, {256, 64, 64, 64},
+        {128, 48, 48, 128}, {256, 32, 32, 128}, {128, 24, 24, 256},
+        {256, 16, 16, 256}, {128, 12, 12, 512}, {256, 8, 8, 512},
+        {128, 6, 6, 1024}},
+       false, false},
+      {"Gamma8(2,7) r=7", 8, 7,
+       {{16, 128, 128, 64}, {64, 66, 66, 64}, {64, 64, 64, 64},
+        {64, 40, 40, 128}, {64, 34, 34, 128}, {64, 32, 32, 128},
+        {64, 18, 18, 256}, {64, 16, 16, 256}, {64, 10, 10, 512},
+        {64, 8, 8, 512}},
+       true, false},
+      {"Gamma8(5,4) r=4", 8, 4,
+       {{32, 160, 160, 64}, {32, 128, 128, 64}, {128, 80, 80, 64},
+        {128, 64, 64, 64}, {128, 40, 40, 128}, {128, 32, 32, 128},
+        {128, 20, 20, 256}, {128, 16, 16, 256}, {128, 10, 10, 512},
+        {128, 8, 8, 512}},
+       false, false},
+      {"Gamma8(3,6) r=6", 8, 6,
+       {{32, 128, 128, 64}, {32, 96, 96, 64}, {128, 64, 64, 64},
+        {128, 48, 48, 64}, {128, 32, 32, 128}, {128, 24, 24, 128},
+        {128, 16, 16, 256}, {128, 12, 12, 256}, {128, 8, 8, 512},
+        {128, 6, 6, 512}},
+       true, false},
+      {"Gamma8(7,2) r=2", 8, 2,
+       {{32, 128, 128, 128}, {128, 112, 112, 64}, {128, 64, 64, 128},
+        {128, 56, 56, 128}, {128, 32, 32, 256}, {128, 28, 28, 256},
+        {128, 16, 16, 512}, {128, 14, 14, 512}, {128, 8, 8, 1024},
+        {128, 7, 7, 1024}},
+       false, false},
+      {"Gamma16(10,7) r=7", 16, 7,
+       {{32, 128, 128, 64}, {32, 120, 120, 64}, {64, 112, 112, 64},
+        {64, 80, 80, 64}, {128, 64, 64, 64}, {64, 40, 40, 128},
+        {128, 32, 32, 128}, {64, 20, 20, 256}, {128, 16, 16, 256},
+        {64, 10, 10, 512}},
+       false, true},
+      {"Gamma16(9,8) r=8", 16, 8,
+       {{32, 128, 128, 64}, {32, 112, 112, 64}, {64, 72, 72, 64},
+        {128, 64, 64, 64}, {128, 56, 56, 64}, {128, 36, 36, 64},
+        {128, 32, 32, 128}, {128, 28, 28, 128}, {64, 18, 18, 256},
+        {64, 9, 9, 512}},
+       true, true},
+      {"Gamma16(8,9) r=9", 16, 9,
+       {{32, 128, 128, 64}, {32, 124, 124, 64}, {32, 96, 96, 64},
+        {128, 64, 64, 64}, {128, 60, 60, 64}, {128, 48, 48, 64},
+        {128, 32, 32, 128}, {128, 28, 28, 128}, {128, 16, 16, 256},
+        {128, 8, 8, 512}},
+       true, true},
+  };
+  if (fast_mode()) {
+    for (auto& p : panels) p.shapes.resize(3);
+  }
+  return panels;
+}
+
+std::vector<Panel> figure9_panels() {
+  // Shapes transcribed from the paper's Figure 9 (RTX 4090).
+  std::vector<Panel> panels = {
+      {"Gamma8(4,5) r=5", 8, 5,
+       {{128, 128, 128, 64}, {128, 66, 66, 128}, {128, 64, 64, 128},
+        {128, 48, 48, 128}, {128, 34, 34, 256}, {128, 32, 32, 256},
+        {128, 18, 18, 512}, {128, 16, 16, 512}, {128, 10, 10, 1024},
+        {128, 8, 8, 1024}},
+       true, false},
+      {"Gamma8(6,3) r=3", 8, 3,
+       {{128, 128, 128, 64}, {128, 96, 96, 64}, {128, 64, 64, 128},
+        {128, 48, 48, 128}, {128, 32, 32, 256}, {128, 24, 24, 256},
+        {128, 16, 16, 512}, {128, 12, 12, 512}, {128, 8, 8, 1024},
+        {128, 6, 6, 1024}},
+       false, false},
+      {"Gamma8(2,7) r=7", 8, 7,
+       {{64, 128, 128, 64}, {64, 66, 66, 128}, {64, 64, 64, 128},
+        {128, 40, 40, 128}, {128, 34, 34, 128}, {128, 32, 32, 128},
+        {128, 18, 18, 256}, {128, 16, 16, 256}, {128, 10, 10, 512},
+        {128, 8, 8, 512}},
+       true, false},
+      {"Gamma8(5,4) r=4", 8, 4,
+       {{64, 160, 160, 64}, {64, 128, 128, 64}, {64, 80, 80, 128},
+        {128, 64, 64, 128}, {128, 40, 40, 256}, {128, 32, 32, 256},
+        {128, 20, 20, 512}, {128, 16, 16, 512}, {128, 10, 10, 1024},
+        {128, 8, 8, 1024}},
+       false, false},
+      {"Gamma8(3,6) r=6", 8, 6,
+       {{128, 128, 128, 64}, {128, 96, 96, 64}, {128, 64, 64, 128},
+        {256, 48, 48, 128}, {256, 32, 32, 128}, {256, 24, 24, 256},
+        {256, 16, 16, 256}, {256, 12, 12, 256}, {256, 8, 8, 512},
+        {256, 6, 6, 512}},
+       true, false},
+      {"Gamma8(7,2) r=2", 8, 2,
+       {{256, 128, 128, 64}, {256, 112, 112, 64}, {256, 64, 64, 128},
+        {256, 56, 56, 128}, {256, 32, 32, 256}, {256, 28, 28, 256},
+        {256, 16, 16, 512}, {256, 14, 14, 512}, {256, 8, 8, 1024},
+        {256, 7, 7, 1024}},
+       false, false},
+      {"Gamma16(10,7) r=7", 16, 7,
+       {{64, 128, 128, 64}, {64, 120, 120, 64}, {64, 112, 112, 64},
+        {64, 80, 80, 128}, {64, 64, 64, 128}, {128, 40, 40, 128},
+        {128, 32, 32, 256}, {128, 20, 20, 256}, {128, 16, 16, 512},
+        {128, 10, 10, 512}},
+       false, true},
+      {"Gamma16(9,8) r=8", 16, 8,
+       {{64, 128, 128, 64}, {64, 112, 112, 64}, {64, 72, 72, 128},
+        {64, 64, 64, 128}, {64, 56, 56, 128}, {128, 36, 36, 128},
+        {128, 32, 32, 128}, {128, 28, 28, 256}, {256, 18, 18, 256},
+        {256, 9, 9, 512}},
+       true, true},
+      {"Gamma16(8,9) r=9", 16, 9,
+       {{64, 128, 128, 64}, {64, 124, 124, 64}, {128, 96, 96, 64},
+        {128, 64, 64, 128}, {128, 60, 60, 128}, {128, 48, 48, 128},
+        {128, 32, 32, 256}, {128, 28, 28, 256}, {128, 16, 16, 512},
+        {256, 8, 8, 512}},
+       true, true},
+  };
+  if (fast_mode()) {
+    for (auto& p : panels) p.shapes.resize(3);
+  }
+  return panels;
+}
+
+namespace {
+
+/// Γ profile with a specific variant priority (falls back through the
+/// default chain for the remainder, like the shipped kernels).
+core::ConvPerfReport profile_variant(const ConvShape& s, int alpha, int n,
+                                     int r, Variant v,
+                                     const sim::DeviceProfile& dev,
+                                     int samples) {
+  const GammaConfig cfg = GammaConfig::make(alpha, n, r, v);
+  return core::profile_conv2d(s, dev, core::plan_single(s, cfg), samples);
+}
+
+}  // namespace
+
+SweepRow profile_cell(const Ofms& o, const Panel& p,
+                      const sim::DeviceProfile& dev, int samples) {
+  SweepRow row;
+  row.ofms = o;
+  const ConvShape s = ConvShape::from_ofms(o.n, o.oh, o.ow, o.oc, p.r);
+  const double flops = s.flops();
+
+  // Primary Γ kernel of the panel.
+  const int alpha = p.alpha;
+  const int n = alpha + 1 - p.r;
+
+  const auto base = profile_variant(s, alpha, n, p.r, Variant::kBase, dev,
+                                    samples);
+  row.gamma_star = base.gflops;
+  row.gamma = base.gflops_with_transpose(flops);
+
+  if (p.has_ruse) {
+    const auto ruse = profile_variant(s, alpha, n, p.r, Variant::kRuse, dev,
+                                      samples);
+    row.ruse_star = ruse.gflops;
+    row.ruse = ruse.gflops_with_transpose(flops);
+  }
+  if (p.has_c64 && s.ic % 64 == 0 && s.oc % 64 == 0) {
+    const auto c64 = profile_variant(s, 16, 17 - p.r, p.r, Variant::kC64, dev,
+                                     samples);
+    row.c64_star = c64.gflops;
+    row.c64 = c64.gflops_with_transpose(flops);
+  }
+
+  row.gemm_nhwc =
+      core::profile_gemm_conv2d(s, dev, core::GemmLayout::kNHWC, samples)
+          .gflops;
+  row.gemm_nchw =
+      core::profile_gemm_conv2d(s, dev, core::GemmLayout::kNCHW, samples)
+          .gflops;
+
+  if (p.r == 3) {
+    sim::GmemBuf xb(static_cast<float*>(nullptr), s.n * s.ih * s.iw * s.ic,
+                    true);
+    sim::GmemBuf wb(static_cast<float*>(nullptr), s.oc * 9 * s.ic);
+    sim::GmemBuf yb(static_cast<float*>(nullptr),
+                    s.n * s.oh() * s.ow() * s.oc);
+    core::Winograd2dKernel k(s, xb, wb, yb);
+    row.fused_wino =
+        core::profile_wino2d(k, dev, flops,
+                             4.0 * (s.n * s.ih * s.iw * s.ic +
+                                    s.oc * 9 * s.ic +
+                                    s.n * s.oh() * s.ow() * s.oc),
+                             samples)
+            .gflops;
+  }
+  return row;
+}
+
+std::vector<SweepRow> run_panel(const Panel& p, const sim::DeviceProfile& dev,
+                                int samples) {
+  std::printf("\n=== %s on %s (model-estimated Gflop/s) ===\n", p.title,
+              dev.name.c_str());
+  std::printf("%-18s %9s %9s", "ofms", "gamma", "gamma*");
+  if (p.has_ruse) std::printf(" %9s %9s", "ruse", "ruse*");
+  if (p.has_c64) std::printf(" %9s %9s", "c64", "c64*");
+  std::printf(" %9s %9s", "gemmNCHW", "gemmNHWC");
+  if (p.r == 3) std::printf(" %9s", "fusedWino");
+  std::printf("\n");
+
+  std::vector<SweepRow> rows;
+  for (const Ofms& o : p.shapes) {
+    const SweepRow row = profile_cell(o, p, dev, samples);
+    std::printf("%-18s %9.0f %9.0f", ofms_str(o).c_str(), row.gamma,
+                row.gamma_star);
+    if (p.has_ruse) std::printf(" %9.0f %9.0f", row.ruse, row.ruse_star);
+    if (p.has_c64) std::printf(" %9.0f %9.0f", row.c64, row.c64_star);
+    std::printf(" %9.0f %9.0f", row.gemm_nchw, row.gemm_nhwc);
+    if (p.r == 3) std::printf(" %9.0f", row.fused_wino);
+    std::printf("\n");
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace iwg::bench

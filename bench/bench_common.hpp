@@ -1,0 +1,75 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every Figure-8/9 panel sweeps the paper's exact ofms shapes
+// (N × OH × OW × OC) through the sampled-counter profiler on a device
+// profile. Absolute Gflop/s are model estimates (no GPU in this
+// environment — see DESIGN.md §2); the reproduced quantity is the *shape*:
+// who wins where, variant orderings, and crossovers.
+//
+// Set IWG_BENCH_FAST=1 to trim sweeps while iterating.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/conv_api.hpp"
+#include "core/gamma_config.hpp"
+#include "core/wino2d_kernel.hpp"
+
+namespace iwg::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("IWG_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+struct Ofms {
+  std::int64_t n, oh, ow, oc;
+};
+
+/// One Figure-8/9 panel: a filter width and ten ofms shapes.
+struct Panel {
+  const char* title;
+  int alpha;
+  int r;
+  std::vector<Ofms> shapes;
+  bool has_ruse;  ///< the paper plots a ruse curve for this panel
+  bool has_c64;   ///< … a c64 curve (α = 16 panels)
+};
+
+std::vector<Panel> figure8_panels();  ///< RTX 3060 Ti sweep (paper Fig. 8)
+std::vector<Panel> figure9_panels();  ///< RTX 4090 sweep (paper Fig. 9)
+
+/// All modeled numbers for one (shape, filter) cell.
+struct SweepRow {
+  Ofms ofms;
+  double gamma = 0.0;        ///< Γ base, with filter-transpose cost
+  double gamma_star = 0.0;   ///< Γ base, '*' (kernel time only)
+  double ruse = 0.0;         ///< 0 when not applicable
+  double ruse_star = 0.0;
+  double c64 = 0.0;
+  double c64_star = 0.0;
+  double gemm_nchw = 0.0;    ///< cuDNN Implicit_Precomp_GEMM stand-ins
+  double gemm_nhwc = 0.0;
+  double fused_wino = 0.0;   ///< cuDNN Fused_Winograd stand-in (r = 3 only)
+};
+
+/// Profile every algorithm of a panel cell on `dev`.
+SweepRow profile_cell(const Ofms& o, const Panel& p,
+                      const sim::DeviceProfile& dev, int samples);
+
+/// Run a whole panel, printing the paper-style series.
+std::vector<SweepRow> run_panel(const Panel& p, const sim::DeviceProfile& dev,
+                                int samples = 3);
+
+inline std::string ofms_str(const Ofms& o) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lldx%lldx%lldx%lld",
+                static_cast<long long>(o.n), static_cast<long long>(o.oh),
+                static_cast<long long>(o.ow), static_cast<long long>(o.oc));
+  return buf;
+}
+
+}  // namespace iwg::bench

@@ -1,0 +1,18 @@
+// Figure 8 reproduction: Im2col-Winograd vs cuDNN-stand-in baselines on the
+// RTX 3060 Ti device model — nine panels (filter widths 2-9), ten ofms
+// shapes each, with the paper's variant curves (base / '*' / ruse / c64).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace iwg;
+  std::printf("Figure 8: performance on the RTX 3060 Ti model.\n");
+  std::printf(
+      "Gflop/s are analytic-model estimates driven by measured kernel\n"
+      "counters (no GPU in this environment); see DESIGN.md. '*' ignores\n"
+      "the filter-transposition cost, as in the paper.\n");
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  for (const auto& panel : bench::figure8_panels()) {
+    bench::run_panel(panel, dev);
+  }
+  return 0;
+}

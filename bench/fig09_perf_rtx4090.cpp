@@ -1,0 +1,16 @@
+// Figure 9 reproduction: the same sweep on the RTX 4090 device model.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace iwg;
+  std::printf("Figure 9: performance on the RTX 4090 model.\n");
+  std::printf(
+      "Gflop/s are analytic-model estimates driven by measured kernel\n"
+      "counters (no GPU in this environment); see DESIGN.md. '*' ignores\n"
+      "the filter-transposition cost, as in the paper.\n");
+  const auto dev = sim::DeviceProfile::rtx4090();
+  for (const auto& panel : bench::figure9_panels()) {
+    bench::run_panel(panel, dev);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 10 reproduction: distribution of per-element relative error for
+// Γ16(8,9) and Γ16(10,7) against the implicit-GEMM convolution, both
+// measured against the FP64 reference. The paper's observation: the Γ16
+// distribution sits closer to zero with a smaller mean, despite a longer
+// (negligible-mass) tail.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/conv_api.hpp"
+#include "core/gamma_host.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/im2col_gemm.hpp"
+#include "tensor/metrics.hpp"
+
+namespace {
+
+using namespace iwg;
+
+void run_case(const char* name, int alpha, int nn, int r) {
+  const core::GammaConfig cfg = core::GammaConfig::make(alpha, nn, r);
+  const std::int64_t ow = (24 / nn) * nn;
+  ConvShape s = ConvShape::from_ofms(2, 24, ow, 96, r);
+
+  Rng rng(777 + static_cast<unsigned>(r));
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  x.fill_uniform(rng, 1.0f, 2.0f);
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  w.fill_uniform(rng, 1.0f, 2.0f);
+
+  const TensorD truth = ref::conv2d_direct_fp64(x, w, s);
+  TensorF ywino({s.n, s.oh(), s.ow(), s.oc});
+  core::conv2d_gamma_host_segment(x, w, s, cfg, 0, s.ow(), ywino);
+  const auto errs_wino = relative_errors(ywino, truth);
+  // CuGEMM curve: TF32-rounded GEMM (the paper's cuDNN numerics — see
+  // table3_accuracy header note).
+  const auto errs_gemm =
+      relative_errors(ref::conv2d_im2col_gemm_tf32(x, w, s), truth);
+
+  // Bucket edges in units of 1e-6 relative error.
+  std::vector<double> edges;
+  for (int i = 0; i <= 16; ++i) edges.push_back(i * 1e-5);
+  const auto h_wino = histogram(errs_wino, edges);
+  const auto h_gemm = histogram(errs_gemm, edges);
+  const double total = static_cast<double>(errs_wino.size());
+
+  double mean_w = 0.0, mean_g = 0.0, max_w = 0.0, max_g = 0.0;
+  for (double e : errs_wino) {
+    mean_w += e;
+    max_w = std::max(max_w, e);
+  }
+  for (double e : errs_gemm) {
+    mean_g += e;
+    max_g = std::max(max_g, e);
+  }
+  mean_w /= total;
+  mean_g /= total;
+
+  std::printf("\n%s on %s — relative-error distribution (%% of elements)\n",
+              name, s.to_string().c_str());
+  std::printf("%-16s %10s %10s\n", "bucket", name, "CuGEMM");
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    std::printf("[%5.1f,%5.1f)e-6 %9.2f%% %9.2f%%\n", edges[i] * 1e6,
+                edges[i + 1] * 1e6,
+                100.0 * static_cast<double>(h_wino[i]) / total,
+                100.0 * static_cast<double>(h_gemm[i]) / total);
+  }
+  std::printf("mean: %.3e vs %.3e   max: %.3e vs %.3e\n", mean_w, mean_g,
+              max_w, max_g);
+  std::printf("(paper: Gamma16 distribution closer to 0, smaller mean, "
+              "larger but negligible max)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10: relative-error distributions.\n");
+  run_case("Gamma16(8,9)", 16, 8, 9);
+  run_case("Gamma16(10,7)", 16, 10, 7);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the host execution engines (§6.1
+// methodology note: these measure THIS machine's CPU, not the GPU model —
+// useful for tracking regressions in the host fast path that the training
+// experiments depend on).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/conv_api.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/im2col_gemm.hpp"
+#include "core/gamma_host.hpp"
+#include "reference/winograd2d.hpp"
+
+namespace {
+
+using namespace iwg;
+
+ConvShape shape_for(int r) {
+  return ConvShape::from_ofms(2, 24, 24, 32, r);
+}
+
+struct Inputs {
+  TensorF x, w;
+};
+
+Inputs make_inputs(const ConvShape& s) {
+  Rng rng(9);
+  Inputs in;
+  in.x.reset({s.n, s.ih, s.iw, s.ic});
+  in.x.fill_uniform(rng, -1.0f, 1.0f);
+  in.w.reset({s.oc, s.fh, s.fw, s.ic});
+  in.w.fill_uniform(rng, -1.0f, 1.0f);
+  return in;
+}
+
+void BM_HostGammaConv(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  const Inputs in = make_inputs(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::conv2d(in.x, in.w, s));
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      s.flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostGammaConv)->Arg(2)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_HostGemmConv(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  const Inputs in = make_inputs(s);
+  core::ConvOptions opts;
+  opts.use_winograd = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::conv2d(in.x, in.w, s, opts));
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      s.flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostGemmConv)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+void BM_HostDirectConv(benchmark::State& state) {
+  const ConvShape s = shape_for(static_cast<int>(state.range(0)));
+  const Inputs in = make_inputs(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::conv2d_direct(in.x, in.w, s));
+  }
+}
+BENCHMARK(BM_HostDirectConv)->Arg(3)->Arg(5);
+
+void BM_HostWinograd2d(benchmark::State& state) {
+  const ConvShape s = shape_for(3);
+  const Inputs in = make_inputs(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::conv2d_winograd2d_f2x2_3x3(in.x, in.w, s));
+  }
+}
+BENCHMARK(BM_HostWinograd2d);
+
+void BM_HostDeconv(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  Rng rng(11);
+  TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+  dy.fill_uniform(rng, -1.0f, 1.0f);
+  const Inputs in = make_inputs(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::deconv2d(dy, in.w, s));
+  }
+}
+BENCHMARK(BM_HostDeconv)->Arg(3)->Arg(5);
+
+void BM_FilterGradWinograd(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  const Inputs in = make_inputs(s);
+  Rng rng(13);
+  TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+  dy.fill_uniform(rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::conv2d_filter_grad_winograd(in.x, dy, s));
+  }
+}
+BENCHMARK(BM_FilterGradWinograd)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_FilterGradGemm(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  const Inputs in = make_inputs(s);
+  Rng rng(13);
+  TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+  dy.fill_uniform(rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref::conv2d_filter_grad_gemm(in.x, dy, s));
+  }
+}
+BENCHMARK(BM_FilterGradGemm)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_TransformPaired(benchmark::State& state) {
+  const WinogradPlan& plan = get_plan(6, 3);
+  const TransformEval eval(8, 8, plan.bt_f, state.range(0) == 1);
+  float x[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  float y[8];
+  for (auto _ : state) {
+    eval.apply(x, 1, y, 1);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_TransformPaired)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

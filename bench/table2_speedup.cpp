@@ -1,0 +1,87 @@
+// Table 2 reproduction: min–max speedup of each Γ algorithm over (a) the
+// fastest cuDNN-stand-in baseline and (b) the NHWC implicit GEMM, on both
+// device models. Paper ranges: 0.788–2.05× (fastest), 0.788–2.233× (NHWC).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace iwg;
+
+struct Range {
+  double lo = 1e30;
+  double hi = 0.0;
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+};
+
+void run_device(const sim::DeviceProfile& dev,
+                const std::vector<bench::Panel>& panels) {
+  std::printf("\n--- %s ---\n", dev.name.c_str());
+  std::printf("%-20s %-23s %-23s\n", "Algorithm", "vs fastest baseline",
+              "vs NHWC GEMM");
+  double global_lo_fast = 1e30, global_hi_fast = 0.0;
+  for (const auto& p : panels) {
+    Range fastest, nhwc;
+    Range fastest_r, nhwc_r;  // ruse/c64 curve where the paper reports one
+    const bool extra = p.has_ruse || p.has_c64;
+    for (const auto& o : p.shapes) {
+      const bench::SweepRow row = bench::profile_cell(o, p, dev, 3);
+      double base = std::max(row.gemm_nchw, row.gemm_nhwc);
+      if (row.fused_wino > 0.0) base = std::max(base, row.fused_wino);
+      fastest.add(row.gamma_star / base);
+      nhwc.add(row.gamma_star / row.gemm_nhwc);
+      const double best_variant =
+          std::max({row.ruse_star, row.c64_star, row.gamma_star});
+      if (extra) {
+        fastest_r.add(best_variant / base);
+        nhwc_r.add(best_variant / row.gemm_nhwc);
+      }
+    }
+    std::printf("%-20s %.3f-%.3fx %10s %.3f-%.3fx\n", p.title, fastest.lo,
+                fastest.hi, "", nhwc.lo, nhwc.hi);
+    if (extra) {
+      std::printf("%-20s %.3f-%.3fx %10s %.3f-%.3fx\n",
+                  (std::string(p.title) + " best").c_str(), fastest_r.lo,
+                  fastest_r.hi, "", nhwc_r.lo, nhwc_r.hi);
+      global_lo_fast = std::min(global_lo_fast, fastest_r.lo);
+      global_hi_fast = std::max(global_hi_fast, fastest_r.hi);
+    }
+    global_lo_fast = std::min(global_lo_fast, fastest.lo);
+    global_hi_fast = std::max(global_hi_fast, fastest.hi);
+    std::fflush(stdout);
+  }
+  std::printf("overall speedup over fastest baseline: %.3f-%.3fx "
+              "(paper: 0.788-2.05x)\n",
+              global_lo_fast, global_hi_fast);
+}
+
+}  // namespace
+
+int main() {
+  using namespace iwg;
+  std::printf("Table 2: speedup of Im2col-Winograd over the cuDNN "
+              "stand-ins (model estimates, '*' timing).\n");
+  // The sweep keeps every third Figure-8/9 shape to bound the bench cost; the
+  // extremes of each panel are retained.
+  auto panels8 = bench::figure8_panels();
+  auto panels9 = bench::figure9_panels();
+  if (!bench::fast_mode()) {
+    for (auto* ps : {&panels8, &panels9}) {
+      for (auto& p : *ps) {
+        std::vector<bench::Ofms> kept;
+        for (std::size_t i = 0; i < p.shapes.size(); i += 3) {
+          kept.push_back(p.shapes[i]);
+        }
+        kept.push_back(p.shapes.back());
+        p.shapes = kept;
+      }
+    }
+  }
+  run_device(sim::DeviceProfile::rtx3060ti(), panels8);
+  run_device(sim::DeviceProfile::rtx4090(), panels9);
+  return 0;
+}

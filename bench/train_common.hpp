@@ -1,0 +1,86 @@
+// Shared harness for the Experiment-3 training benches (Tables 4/5,
+// Figures 11/12): trains the same network twice — conv engine Winograd
+// ("Alpha") vs implicit GEMM (the PyTorch stand-in) — on identical data and
+// seeds, then prints the paper-style comparison row plus both loss curves.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "data/synthetic.hpp"
+#include "nn/serialize.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace iwg::bench {
+
+struct TrainCase {
+  std::string network;
+  std::string optimizer;  // "Adam" or "SGDM"
+  std::function<nn::Model(nn::ConvEngine)> build;
+};
+
+inline std::unique_ptr<nn::Optimizer> make_optimizer(const std::string& name) {
+  if (name == "SGDM") return std::make_unique<nn::Sgdm>(1e-3f, 0.9f);
+  return std::make_unique<nn::Adam>(1e-3f);
+}
+
+/// Run one Alpha-vs-baseline comparison and print the Table-4/5 row and the
+/// Figure-11/12 loss curves.
+inline void run_train_case(const TrainCase& tc,
+                           const data::Dataset& train_set,
+                           const data::Dataset* test_set,
+                           const nn::TrainConfig& cfg) {
+  struct Result {
+    nn::TrainStats stats;
+    std::int64_t weight_file_bytes = 0;
+  } res[2];
+  const char* engine_names[2] = {"Alpha(winograd)", "Baseline(gemm)"};
+  const nn::ConvEngine engines[2] = {nn::ConvEngine::kWinograd,
+                                     nn::ConvEngine::kGemm};
+  for (int e = 0; e < 2; ++e) {
+    nn::Model model = tc.build(engines[e]);
+    auto opt = make_optimizer(tc.optimizer);
+    res[e].stats = nn::train_model(model, *opt, train_set, test_set, cfg);
+    const std::string path = "/tmp/iwg_bench_weights.bin";
+    res[e].weight_file_bytes = nn::save_weights(model, path);
+    std::remove(path.c_str());
+  }
+
+  const auto& a = res[0].stats;
+  const auto& b = res[1].stats;
+  std::printf("\n%s + %s, %d epochs\n", tc.network.c_str(),
+              tc.optimizer.c_str(), cfg.epochs);
+  std::printf(
+      "%-16s %14s %12s %12s %12s %12s %12s\n", "engine", "s/epoch",
+      "accel", "train acc", "test acc", "memory MB", "weights MB");
+  for (int e = 0; e < 2; ++e) {
+    const auto& s = res[e].stats;
+    char test_acc[16];
+    if (test_set != nullptr) {
+      std::snprintf(test_acc, sizeof(test_acc), "%.2f%%",
+                    100.0 * s.test_accuracy);
+    } else {
+      std::snprintf(test_acc, sizeof(test_acc), "n/a");
+    }
+    std::printf("%-16s %14.3f %11.3fx %11.2f%% %12s %12.2f %12.2f\n",
+                engine_names[e], s.seconds_per_epoch,
+                b.seconds_per_epoch / s.seconds_per_epoch,
+                100.0 * s.train_accuracy, test_acc,
+                static_cast<double>(s.memory_bytes) / 1e6,
+                static_cast<double>(res[e].weight_file_bytes) / 1e6);
+  }
+  std::printf("loss curves (step: alpha / baseline):\n");
+  const std::size_t points = std::min(a.loss_curve.size(),
+                                      b.loss_curve.size());
+  const std::size_t stride = points > 16 ? points / 16 : 1;
+  for (std::size_t i = 0; i < points; i += stride) {
+    std::printf("  step %4zu: %7.4f / %7.4f\n", i * cfg.record_every,
+                static_cast<double>(a.loss_curve[i]),
+                static_cast<double>(b.loss_curve[i]));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace iwg::bench

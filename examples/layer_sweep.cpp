@@ -1,0 +1,68 @@
+// Per-layer algorithm report for a VGG16-style network: for every conv
+// layer shape, print the §5.5 kernel chain and the modeled speedup over the
+// NHWC implicit-GEMM baseline on the RTX 3060 Ti model — the view a
+// framework integrator (§5.7) would use to decide where Im2col-Winograd
+// pays off.
+//
+//   build/examples/layer_sweep
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/conv_api.hpp"
+#include "core/selector.hpp"
+
+int main() {
+  using namespace iwg;
+  struct LayerShape {
+    const char* name;
+    std::int64_t hw, ic, oc;
+    int r;
+  };
+  // VGG16 on 64×64 inputs (channel plan 64-128-256-512).
+  const std::vector<LayerShape> layers = {
+      {"conv1_1", 64, 3, 64, 3},    {"conv1_2", 64, 64, 64, 3},
+      {"conv2_1", 32, 64, 128, 3},  {"conv2_2", 32, 128, 128, 3},
+      {"conv3_1", 16, 128, 256, 3}, {"conv3_2", 16, 256, 256, 3},
+      {"conv4_1", 8, 256, 512, 3},  {"conv4_2", 8, 512, 512, 3},
+      {"conv5_x5", 8, 512, 512, 5}, {"conv5_x7", 8, 512, 512, 7},
+  };
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+
+  std::printf("%-10s %-18s %-28s %9s %9s %8s  %s\n", "layer", "shape",
+              "chain", "wino GF", "gemm GF", "speedup", "selector pick");
+  for (const auto& l : layers) {
+    ConvShape s;
+    s.n = 16;
+    s.ih = l.hw;
+    s.iw = l.hw;
+    s.ic = l.ic;
+    s.oc = l.oc;
+    s.fh = l.r;
+    s.fw = l.r;
+    s.ph = l.r / 2;
+    s.pw = l.r / 2;
+    s.validate();
+
+    core::ConvOptions opts;
+    opts.allow_c64 = true;
+    const auto plan = core::plan_for(s, opts);
+    std::string chain;
+    for (const auto& seg : plan) {
+      chain += seg.is_gemm ? "gemm" : seg.cfg.name();
+      chain += " ";
+    }
+    const auto wino = core::profile_conv2d(s, dev, plan, 4);
+    const auto gemm =
+        core::profile_gemm_conv2d(s, dev, core::GemmLayout::kNHWC, 4);
+    const auto& choice = core::select_algorithm_cached(s, dev, 4);
+    char shape_buf[32];
+    std::snprintf(shape_buf, sizeof(shape_buf), "%lldx%lld %lld->%lld",
+                  static_cast<long long>(l.hw), static_cast<long long>(l.hw),
+                  static_cast<long long>(l.ic), static_cast<long long>(l.oc));
+    std::printf("%-10s %-18s %-28s %9.0f %9.0f %7.2fx  %s\n", l.name,
+                shape_buf, chain.c_str(), wino.gflops, gemm.gflops,
+                wino.gflops / gemm.gflops, choice.description.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: run an Im2col-Winograd convolution through the public API and
+// check it against direct convolution.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/conv_api.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+
+int main() {
+  using namespace iwg;
+
+  // A 3×3 convolution on a 32×32 NHWC feature map, IC = OC = 32.
+  ConvShape shape;
+  shape.n = 16;
+  shape.ih = 32;
+  shape.iw = 32;
+  shape.ic = 64;
+  shape.oc = 64;
+  shape.fh = 3;
+  shape.fw = 3;
+  shape.ph = 1;
+  shape.pw = 1;
+  shape.validate();
+
+  Rng rng(42);
+  TensorF x({shape.n, shape.ih, shape.iw, shape.ic});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  TensorF w({shape.oc, shape.fh, shape.fw, shape.ic});
+  w.fill_uniform(rng, -0.2f, 0.2f);
+
+  // 1. The boundary plan the library chose (§5.5).
+  const auto plan = core::plan_for(shape);
+  std::printf("boundary plan for OW = %lld:\n",
+              static_cast<long long>(shape.ow()));
+  for (const auto& seg : plan) {
+    std::printf("  [%2lld, %2lld) -> %s\n",
+                static_cast<long long>(seg.ow_start),
+                static_cast<long long>(seg.ow_start + seg.ow_len),
+                seg.is_gemm ? "implicit GEMM" : seg.cfg.name().c_str());
+  }
+
+  // 2. Forward convolution (host engine).
+  const TensorF y = core::conv2d(x, w, shape);
+  const TensorF want = ref::conv2d_direct(x, w, shape);
+  std::printf("forward max relative deviation vs direct: %.3e\n",
+              max_rel_diff(y, want));
+
+  // 3. Backward data ("deconvolution") through the same kernels.
+  const TensorF dx = core::deconv2d(y, w, shape);
+  std::printf("backward-data output: %lld x %lld x %lld x %lld\n",
+              static_cast<long long>(dx.dim(0)),
+              static_cast<long long>(dx.dim(1)),
+              static_cast<long long>(dx.dim(2)),
+              static_cast<long long>(dx.dim(3)));
+
+  // 4. Modeled GPU performance of the same convolution (RTX 3060 Ti model).
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  const auto rep = core::profile_conv2d(shape, dev, plan);
+  const auto gemm = core::profile_gemm_conv2d(shape, dev,
+                                              core::GemmLayout::kNHWC);
+  std::printf(
+      "model estimate on %s: %.0f Gflop/s (implicit GEMM: %.0f, "
+      "speedup %.2fx)\n",
+      dev.name.c_str(), rep.gflops, gemm.gflops, rep.gflops / gemm.gflops);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Error handling primitives shared across the library.
+//
+// Hot kernel paths avoid exceptions; API boundaries validate with IWG_CHECK
+// which throws iwg::Error so callers (tests, examples) get a useful message.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace iwg {
+
+/// Exception type thrown on precondition violations at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::string full = std::string("IWG_CHECK failed: ") + cond + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace iwg
+
+/// Validate a precondition; throws iwg::Error with location info on failure.
+#define IWG_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::iwg::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Same as IWG_CHECK with an extra message (std::string or literal).
+#define IWG_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) ::iwg::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

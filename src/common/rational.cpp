@@ -1,0 +1,125 @@
+#include "common/rational.hpp"
+
+#include <cstdlib>
+
+namespace iwg {
+
+namespace {
+// abs for __int128 (std::abs has no overload).
+Rational::Int iabs(Rational::Int v) { return v < 0 ? -v : v; }
+}  // namespace
+
+Rational::Int Rational::gcd(Int a, Int b) {
+  a = iabs(a);
+  b = iabs(b);
+  while (b != 0) {
+    const Int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational::Int Rational::checked_mul(Int a, Int b) {
+  if (a == 0 || b == 0) return 0;
+  const Int r = a * b;
+  IWG_CHECK_MSG(r / a == b, "rational multiplication overflow");
+  return r;
+}
+
+Rational::Rational(Int n, Int d, bool /*normalized*/) : num_(n), den_(d) {}
+
+Rational::Rational(long long n, long long d) {
+  *this = from_int128(static_cast<Int>(n), static_cast<Int>(d));
+}
+
+Rational Rational::from_int128(Int n, Int d) {
+  IWG_CHECK_MSG(d != 0, "rational with zero denominator");
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  const Int g = gcd(n, d);
+  if (g > 1) {
+    n /= g;
+    d /= g;
+  }
+  return Rational(n, d, true);
+}
+
+Rational Rational::operator-() const { return Rational(-num_, den_, true); }
+
+Rational Rational::operator+(const Rational& o) const {
+  // num/den + o.num/o.den with a gcd pre-reduction to keep intermediates small.
+  const Int g = gcd(den_, o.den_);
+  const Int lhs = checked_mul(num_, o.den_ / g);
+  const Int rhs = checked_mul(o.num_, den_ / g);
+  return from_int128(lhs + rhs, checked_mul(den_, o.den_ / g));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce before multiplying to minimize overflow risk.
+  const Int g1 = gcd(num_, o.den_);
+  const Int g2 = gcd(o.num_, den_);
+  return Rational(checked_mul(num_ / g1, o.num_ / g2),
+                  checked_mul(den_ / g2, o.den_ / g1), true);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  return *this * o.reciprocal();
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const Int lhs = checked_mul(num_, o.den_);
+  const Int rhs = checked_mul(o.num_, den_);
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::abs() const { return Rational(iabs(num_), den_, true); }
+
+Rational Rational::reciprocal() const {
+  IWG_CHECK_MSG(num_ != 0, "reciprocal of zero");
+  return num_ > 0 ? Rational(den_, num_, true) : Rational(-den_, -num_, true);
+}
+
+Rational Rational::pow(int e) const {
+  if (e < 0) return reciprocal().pow(-e);
+  Rational result(1);
+  Rational base = *this;
+  while (e > 0) {
+    if (e & 1) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+namespace {
+std::string int128_to_string(Rational::Int v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 u = neg ? static_cast<unsigned __int128>(-v)
+                            : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (u > 0) {
+    s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  return neg ? "-" + s : s;
+}
+}  // namespace
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return int128_to_string(num_);
+  return int128_to_string(num_) + "/" + int128_to_string(den_);
+}
+
+}  // namespace iwg

@@ -1,0 +1,70 @@
+// Exact rational arithmetic over 128-bit integers.
+//
+// Used by the Winograd transform-matrix generator (Cook–Toom construction)
+// where floating point would destroy the exactness guarantees the tests rely
+// on. Values stay small enough (F(2,15) matrices have entries like
+// 268435456/160810650) that a normalized int128 fraction never overflows; we
+// still check every multiplication defensively.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace iwg {
+
+/// An exact fraction num/den with den > 0 and gcd(num, den) == 1.
+class Rational {
+ public:
+  using Int = __int128;
+
+  constexpr Rational() : num_(0), den_(1) {}
+  Rational(long long n) : num_(n), den_(1) {}  // NOLINT: implicit by design
+  Rational(long long n, long long d);
+
+  static Rational from_int128(Int n, Int d);
+
+  Int num() const { return num_; }
+  Int den() const { return den_; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+  bool is_zero() const { return num_ == 0; }
+  Rational abs() const;
+  Rational reciprocal() const;
+
+  /// Integer power; exponent may be negative if the value is nonzero.
+  Rational pow(int e) const;
+
+  double to_double() const;
+  float to_float() const { return static_cast<float>(to_double()); }
+
+  /// "p/q" or "p" when q == 1 (for error messages and golden-data dumps).
+  std::string to_string() const;
+
+ private:
+  Rational(Int n, Int d, bool normalized);
+  static Int gcd(Int a, Int b);
+  static Int checked_mul(Int a, Int b);
+
+  Int num_;
+  Int den_;  // > 0 always
+};
+
+}  // namespace iwg

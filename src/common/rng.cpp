@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace iwg {
+
+float Rng::normal() {
+  // Box–Muller; draws until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform_double(0.0, 1.0);
+  } while (u1 <= 0.0);
+  const double u2 = uniform_double(0.0, 1.0);
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(mag *
+                            std::cos(2.0 * std::numbers::pi * u2));
+}
+
+}  // namespace iwg

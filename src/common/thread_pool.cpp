@@ -1,0 +1,111 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace iwg {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc > 1 ? hc - 1 : 0;  // leave the calling thread as a worker
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t count,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (count <= 0) return;
+  const unsigned parties = size() + 1;  // workers + calling thread
+  if (parties == 1 || count == 1) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking: each claim takes one index; fn bodies here are coarse
+  // (a whole simulator block or row tile), so per-index overhead is fine.
+  auto next = std::make_shared<std::atomic<std::int64_t>>(0);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [=]() {
+    for (;;) {
+      const std::int64_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error->exchange(true)) {
+          std::lock_guard lock(*error_mu);
+          *error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<std::int64_t>(parties - 1, count));
+  pending->store(static_cast<int>(helpers));
+  {
+    std::lock_guard lock(mu_);
+    for (unsigned i = 0; i < helpers; ++i) {
+      tasks_.push(Task{[=, &done_mu, &done_cv] {
+        run_chunk();
+        if (pending->fetch_sub(1) == 1) {
+          std::lock_guard done_lock(done_mu);
+          done_cv.notify_all();
+        }
+      }});
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk();  // calling thread participates
+  {
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return pending->load() == 0; });
+  }
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(count, fn);
+}
+
+}  // namespace iwg

@@ -1,0 +1,58 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The library parallelizes across convolution "blocks" (the simulator's
+// thread blocks are independent between barriers, and host-engine row tiles
+// are independent). On a 1-core machine the pool degrades gracefully to
+// inline execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iwg {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency(); the calling thread also
+  /// participates in parallel_for, so a pool of size 1 still overlaps work.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for i in [0, count), distributing chunks across the pool and
+  /// the calling thread. Blocks until all iterations complete. Exceptions
+  /// from fn propagate to the caller (first one wins).
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t)>& fn);
+
+}  // namespace iwg

@@ -1,0 +1,226 @@
+#include "core/conv3d.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg::core {
+
+void Conv3dShape::validate() const {
+  IWG_CHECK(n > 0 && id > 0 && ih > 0 && iw > 0 && ic > 0 && oc > 0);
+  IWG_CHECK(fd > 0 && fh > 0 && fw > 0 && pd >= 0 && ph >= 0 && pw >= 0);
+  IWG_CHECK_MSG(od() > 0 && oh() > 0 && ow() > 0, "empty 3-D output volume");
+}
+
+TensorF conv3d_direct(const TensorF& x, const TensorF& w,
+                      const Conv3dShape& s) {
+  s.validate();
+  IWG_CHECK(x.rank() == 5 && x.dim(0) == s.n && x.dim(1) == s.id &&
+            x.dim(2) == s.ih && x.dim(3) == s.iw && x.dim(4) == s.ic);
+  IWG_CHECK(w.rank() == 5 && w.dim(0) == s.oc && w.dim(1) == s.fd &&
+            w.dim(2) == s.fh && w.dim(3) == s.fw && w.dim(4) == s.ic);
+  const std::int64_t od = s.od(), oh = s.oh(), ow = s.ow();
+  TensorF y({s.n, od, oh, ow, s.oc});
+  parallel_for(s.n * od, [&](std::int64_t job) {
+    const std::int64_t ni = job / od;
+    const std::int64_t d = job % od;
+    for (std::int64_t h = 0; h < oh; ++h) {
+      for (std::int64_t wo = 0; wo < ow; ++wo) {
+        for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+          float acc = 0.0f;
+          for (std::int64_t fd = 0; fd < s.fd; ++fd) {
+            const std::int64_t idp = d + fd - s.pd;
+            if (idp < 0 || idp >= s.id) continue;
+            for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+              const std::int64_t ihp = h + fh - s.ph;
+              if (ihp < 0 || ihp >= s.ih) continue;
+              for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+                const std::int64_t iwp = wo + fw - s.pw;
+                if (iwp < 0 || iwp >= s.iw) continue;
+                const float* xp = &x.at5(ni, idp, ihp, iwp, 0);
+                const float* wp = &w.at5(oc, fd, fh, fw, 0);
+                for (std::int64_t ic = 0; ic < s.ic; ++ic)
+                  acc += xp[ic] * wp[ic];
+              }
+            }
+          }
+          y.at5(ni, d, h, wo, oc) = acc;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+namespace {
+
+/// Winograd segment of the OW axis: 1-D tiles along W, state-domain
+/// accumulation over (fd, fh, ic) — Stage 2 of the 2-D engine untouched.
+void conv3d_gamma_segment(const TensorF& x, const TensorF& w,
+                          const Conv3dShape& s, const GammaConfig& cfg,
+                          std::int64_t ow_start, std::int64_t ow_len,
+                          TensorF& y) {
+  const int alpha = cfg.alpha;
+  const int n_out = cfg.n;
+  const int r = cfg.r;
+  IWG_CHECK(r == s.fw);
+  IWG_CHECK(ow_len % n_out == 0);
+  const WinogradPlan& plan = get_plan(n_out, r);
+  const TransformEval g_eval(alpha, r, plan.g_f, true);
+  const TransformEval d_eval(alpha, alpha, plan.bt_f, true);
+
+  const std::int64_t od = s.od(), oh = s.oh();
+  const std::int64_t tiles_w = ow_len / n_out;
+
+  // ĝ[fd][fh][t][ic][oc] — N-D Stage 1 only adds the depth coordinate.
+  std::vector<float> ghat(static_cast<std::size_t>(s.fd * s.fh) * alpha *
+                          s.ic * s.oc);
+  parallel_for(s.fd * s.fh * s.ic, [&](std::int64_t job) {
+    const std::int64_t fd = job / (s.fh * s.ic);
+    const std::int64_t fh = (job / s.ic) % s.fh;
+    const std::int64_t ic = job % s.ic;
+    float taps[16];
+    float gh[16];
+    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+      for (int j = 0; j < r; ++j) taps[j] = w.at5(oc, fd, fh, j, ic);
+      g_eval.apply(taps, 1, gh, 1);
+      for (int t = 0; t < alpha; ++t) {
+        ghat[(((fd * s.fh + fh) * alpha + t) * s.ic + ic) *
+                 static_cast<std::size_t>(s.oc) +
+             static_cast<std::size_t>(oc)] = gh[t];
+      }
+    }
+  });
+
+  parallel_for(s.n * od * oh, [&](std::int64_t job) {
+    const std::int64_t ni = job / (od * oh);
+    const std::int64_t d = (job / oh) % od;
+    const std::int64_t hi = job % oh;
+    std::vector<float> dhat(static_cast<std::size_t>(alpha) * s.ic);
+    std::vector<float> macc(static_cast<std::size_t>(alpha) * s.oc);
+    float dt[16];
+    float dh[16];
+    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+      const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
+      std::fill(macc.begin(), macc.end(), 0.0f);
+      for (std::int64_t fd = 0; fd < s.fd; ++fd) {
+        const std::int64_t idp = d + fd - s.pd;
+        if (idp < 0 || idp >= s.id) continue;
+        for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+          const std::int64_t ihp = hi + fh - s.ph;
+          if (ihp < 0 || ihp >= s.ih) continue;
+          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+            for (int e = 0; e < alpha; ++e) {
+              const std::int64_t iw = iw0 + e;
+              dt[e] = (iw >= 0 && iw < s.iw) ? x.at5(ni, idp, ihp, iw, ic)
+                                             : 0.0f;
+            }
+            d_eval.apply(dt, 1, dh, 1);
+            for (int t = 0; t < alpha; ++t)
+              dhat[static_cast<std::size_t>(t) * s.ic + ic] = dh[t];
+          }
+          for (int t = 0; t < alpha; ++t) {
+            const float* drow = &dhat[static_cast<std::size_t>(t) * s.ic];
+            float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
+            const float* gbase =
+                &ghat[((fd * s.fh + fh) * alpha + t) * s.ic *
+                      static_cast<std::size_t>(s.oc)];
+            for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+              const float dv = drow[ic];
+              if (dv == 0.0f) continue;
+              const float* grow = gbase + ic * s.oc;
+              for (std::int64_t oc = 0; oc < s.oc; ++oc)
+                mrow[oc] += dv * grow[oc];
+            }
+          }
+        }
+      }
+      for (int i = 0; i < n_out; ++i) {
+        float* yrow = &y.at5(ni, d, hi, ow_start + tw * n_out + i, 0);
+        const float* at_row = &plan.at_f[static_cast<std::size_t>(i) * alpha];
+        for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] = 0.0f;
+        for (int t = 0; t < alpha; ++t) {
+          const float a = at_row[t];
+          if (a == 0.0f) continue;
+          const float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
+          for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] += a * mrow[oc];
+        }
+      }
+    }
+  });
+}
+
+/// Implicit-GEMM tail for the leftover OW columns.
+void conv3d_gemm_segment(const TensorF& x, const TensorF& w,
+                         const Conv3dShape& s, std::int64_t ow_start,
+                         std::int64_t ow_len, TensorF& y) {
+  const std::int64_t od = s.od(), oh = s.oh();
+  parallel_for(s.n * od * oh, [&](std::int64_t job) {
+    const std::int64_t ni = job / (od * oh);
+    const std::int64_t d = (job / oh) % od;
+    const std::int64_t hi = job % oh;
+    for (std::int64_t wo = ow_start; wo < ow_start + ow_len; ++wo) {
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        float acc = 0.0f;
+        for (std::int64_t fd = 0; fd < s.fd; ++fd) {
+          const std::int64_t idp = d + fd - s.pd;
+          if (idp < 0 || idp >= s.id) continue;
+          for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+            const std::int64_t ihp = hi + fh - s.ph;
+            if (ihp < 0 || ihp >= s.ih) continue;
+            for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+              const std::int64_t iwp = wo + fw - s.pw;
+              if (iwp < 0 || iwp >= s.iw) continue;
+              const float* xp = &x.at5(ni, idp, ihp, iwp, 0);
+              const float* wp = &w.at5(oc, fd, fh, fw, 0);
+              for (std::int64_t ic = 0; ic < s.ic; ++ic)
+                acc += xp[ic] * wp[ic];
+            }
+          }
+        }
+        y.at5(ni, d, hi, wo, oc) = acc;
+      }
+    }
+  });
+}
+
+}  // namespace
+
+TensorF conv3d_gamma_host(const TensorF& x, const TensorF& w,
+                          const Conv3dShape& s,
+                          const std::vector<Segment>& plan) {
+  s.validate();
+  IWG_CHECK(x.rank() == 5 && x.dim(0) == s.n && x.dim(1) == s.id &&
+            x.dim(2) == s.ih && x.dim(3) == s.iw && x.dim(4) == s.ic);
+  IWG_CHECK(w.rank() == 5 && w.dim(0) == s.oc && w.dim(1) == s.fd &&
+            w.dim(2) == s.fh && w.dim(3) == s.fw && w.dim(4) == s.ic);
+  TensorF y({s.n, s.od(), s.oh(), s.ow(), s.oc});
+  std::int64_t covered = 0;
+  for (const Segment& seg : plan) {
+    IWG_CHECK_MSG(seg.ow_start == covered, "3-D boundary plan has gaps");
+    if (seg.is_gemm) {
+      conv3d_gemm_segment(x, w, s, seg.ow_start, seg.ow_len, y);
+    } else {
+      conv3d_gamma_segment(x, w, s, seg.cfg, seg.ow_start, seg.ow_len, y);
+    }
+    covered += seg.ow_len;
+  }
+  IWG_CHECK_MSG(covered == s.ow(), "3-D boundary plan does not cover OW");
+  return y;
+}
+
+TensorF conv3d(const TensorF& x, const TensorF& w, const Conv3dShape& s) {
+  s.validate();
+  if (s.fw < 2 || s.fw > 9) {
+    Segment seg;
+    seg.is_gemm = true;
+    seg.ow_start = 0;
+    seg.ow_len = s.ow();
+    return conv3d_gamma_host(x, w, s, {seg});
+  }
+  return conv3d_gamma_host(x, w, s,
+                           plan_boundary(s.ow(), static_cast<int>(s.fw)));
+}
+
+}  // namespace iwg::core

@@ -1,0 +1,45 @@
+// The §4.2 N-D extension: 3-D Im2col-Winograd convolution.
+//
+// "Im2col-Winograd can be applied to ND convolution, by expanding Stage1
+// Im2col to ND, while remaining Stage2 unchanged." Stage 2 here is exactly
+// the 2-D engine's 1-D Winograd along the W axis; Stage 1's index mapping
+// simply gains a depth coordinate, so the state-domain accumulation runs
+// over (FD, FH, IC) instead of (FH, IC). Volumes are NDHWC; filters are
+// OC,FD,FH,FW,IC.
+#pragma once
+
+#include <vector>
+
+#include "core/gamma_config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::core {
+
+/// Geometry of a unit-stride 3-D convolution with zero padding.
+struct Conv3dShape {
+  std::int64_t n = 1;
+  std::int64_t id = 1, ih = 1, iw = 1;  ///< input depth/height/width
+  std::int64_t ic = 1, oc = 1;
+  std::int64_t fd = 1, fh = 1, fw = 1;
+  std::int64_t pd = 0, ph = 0, pw = 0;
+
+  std::int64_t od() const { return id + 2 * pd - fd + 1; }
+  std::int64_t oh() const { return ih + 2 * ph - fh + 1; }
+  std::int64_t ow() const { return iw + 2 * pw - fw + 1; }
+  void validate() const;
+};
+
+/// Direct 3-D convolution reference (FP32).
+TensorF conv3d_direct(const TensorF& x, const TensorF& w,
+                      const Conv3dShape& s);
+
+/// 3-D Im2col-Winograd, host engine, with the same §5.5 boundary treatment
+/// along OW (Γ kernels over the divisible part, GEMM-style tail).
+TensorF conv3d_gamma_host(const TensorF& x, const TensorF& w,
+                          const Conv3dShape& s,
+                          const std::vector<Segment>& plan);
+
+/// Convenience: plan the OW axis with the default priorities and run.
+TensorF conv3d(const TensorF& x, const TensorF& w, const Conv3dShape& s);
+
+}  // namespace iwg::core

@@ -1,0 +1,79 @@
+// Public convolution API of the library.
+//
+// Three execution paths share one boundary plan (§5.5):
+//   * conv2d / deconv2d        — host engine (training, accuracy studies)
+//   * conv2d_sim / deconv2d_sim— functional SIMT execution (validation)
+//   * profile_conv2d           — sampled counters + analytic time estimate
+//                                 on a device profile (performance studies)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/gamma_config.hpp"
+#include "core/gamma_kernel.hpp"
+#include "core/gemm_kernel.hpp"
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::core {
+
+struct ConvOptions {
+  bool use_winograd = true;  ///< false: pure implicit-GEMM convolution
+  bool allow_ruse = true;    ///< §5.4 overlap-reuse variants where profitable
+  bool allow_c64 = false;    ///< §5.6 Γ^c64 (channels must be ≥ 64-friendly)
+};
+
+/// Boundary plan for a shape under the default priority lists.
+std::vector<Segment> plan_for(const ConvShape& s, const ConvOptions& opts = {});
+
+/// Boundary plan that uses exactly `primary` for the divisible prefix and
+/// GEMM for the remainder (benchmarking a specific kernel variant).
+std::vector<Segment> plan_single(const ConvShape& s, const GammaConfig& primary);
+
+/// Unit-stride 2-D convolution, NHWC, host engine.
+TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
+               const ConvOptions& opts = {});
+
+/// Backward-data / transposed convolution, NHWC, host engine.
+TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,
+                 const ConvOptions& opts = {});
+
+/// NCHW entry point (§7: "our implementations can be ported to NCHW and
+/// CHWN formats"): accepts/returns NCHW tensors; the Winograd engine itself
+/// is layout-agnostic at this level, so the port is a view change.
+TensorF conv2d_nchw(const TensorF& x_nchw, const TensorF& w,
+                    const ConvShape& s, const ConvOptions& opts = {});
+
+/// Functional execution on the SIMT model (Γ kernels + GEMM-tail kernel).
+TensorF conv2d_sim(const TensorF& x, const TensorF& w, const ConvShape& s,
+                   const std::vector<Segment>& plan);
+TensorF deconv2d_sim(const TensorF& dy, const TensorF& w, const ConvShape& s,
+                     const std::vector<Segment>& plan);
+
+/// Performance report for one convolution on a device profile.
+struct ConvPerfReport {
+  double time_s = 0.0;       ///< kernel time (excl. filter transposition)
+  double gflops = 0.0;       ///< the paper's metric (kernel time only, '*')
+  double transpose_s = 0.0;  ///< filter transposition cost (§5.1)
+  sim::LaunchStats stats;    ///< merged counters of all segments
+  std::vector<sim::PerfEstimate> segments;
+
+  double time_with_transpose() const { return time_s + transpose_s; }
+  double gflops_with_transpose(double flops) const {
+    return flops / time_with_transpose() / 1e9;
+  }
+};
+
+/// Profile the Im2col-Winograd plan (address-only buffers, sampled blocks).
+ConvPerfReport profile_conv2d(const ConvShape& s,
+                              const sim::DeviceProfile& dev,
+                              const std::vector<Segment>& plan,
+                              int max_samples = 6);
+
+/// Profile the implicit-GEMM baseline in the given layout.
+ConvPerfReport profile_gemm_conv2d(const ConvShape& s,
+                                   const sim::DeviceProfile& dev,
+                                   GemmLayout layout, int max_samples = 6);
+
+}  // namespace iwg::core

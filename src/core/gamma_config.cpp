@@ -1,0 +1,204 @@
+#include "core/gamma_config.hpp"
+
+namespace iwg::core {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kBase:
+      return "base";
+    case Variant::kRuse:
+      return "ruse";
+    case Variant::kC64:
+      return "c64";
+  }
+  return "?";
+}
+
+double GammaConfig::arithmetic_intensity() const {
+  // §5.6: 256/(α+r) for the base kernels, 512/(α+2r) for c64, and
+  // 512/(α+2r+n) for the overlap-reuse variants.
+  switch (variant) {
+    case Variant::kBase:
+      return 256.0 / (alpha + r);
+    case Variant::kC64:
+      return 512.0 / (alpha + 2 * r);
+    case Variant::kRuse:
+      return 512.0 / (alpha + 2 * r + n);
+  }
+  return 0.0;
+}
+
+std::int64_t GammaConfig::smem_bytes() const {
+  const int bufs = double_buffer ? 2 : 1;
+  const std::int64_t gs = static_cast<std::int64_t>(bufs) * bk * alpha * bn;
+  const int ds_last = bm + ((pad_smem && !swizzle_ds) ? 4 : 0);
+  const std::int64_t ds = static_cast<std::int64_t>(bufs) * bk * alpha * ds_last;
+  return 4 * (gs + ds);
+}
+
+int GammaConfig::regs_per_thread() const {
+  // Accumulators + staged tiles + transform temporaries + index bookkeeping.
+  return accumulators_per_thread() + alpha * input_tiles_per_thread +
+         r * filter_tiles_per_thread + 26;
+}
+
+std::string GammaConfig::name() const {
+  std::string s = "gamma" + std::to_string(alpha);
+  if (variant != Variant::kBase) s += std::string("_") + variant_name(variant);
+  s += "(" + std::to_string(n) + "," + std::to_string(r) + ")";
+  return s;
+}
+
+GammaConfig GammaConfig::make(int alpha, int n, int r, Variant variant) {
+  IWG_CHECK_MSG(alpha == 4 || alpha == 8 || alpha == 16,
+                "gamma kernels exist for alpha in {4, 8, 16}");
+  IWG_CHECK_MSG(n >= 2 && r >= 2 && n + r - 1 == alpha,
+                "need n >= 2, r >= 2, n + r - 1 == alpha");
+  GammaConfig c;
+  c.alpha = alpha;
+  c.n = n;
+  c.r = r;
+  c.variant = variant;
+
+  switch (variant) {
+    case Variant::kBase:
+      // §5.1: BN×BM is 64×64 (α=4), 64×32 (α=8), 32×32 (α=16); BK = 8;
+      // 16×16 threads; 64 accumulators per thread.
+      c.bn = alpha == 16 ? 32 : 64;
+      c.bm = alpha == 4 ? 64 : 32;
+      c.threads_y = 16;
+      c.a_len = 8;
+      c.b_len = 8;
+      c.double_buffer = alpha != 16;
+      // §5.2: Γ8's Ds cannot be padded (SMEM already at the maximum), so its
+      // stores are swizzled instead; Γ4 and Γ16 have room to pad.
+      c.swizzle_ds = alpha == 8;
+      break;
+    case Variant::kRuse:
+      IWG_CHECK_MSG(alpha == 8 || alpha == 16,
+                    "ruse variants exist for alpha in {8, 16}");
+      // §5.4: the tasks of two threads merge into one: 16×8 threads, twice
+      // the accumulators, outer products 8×(16×8).
+      c.bn = alpha == 16 ? 32 : 64;
+      c.bm = 32;
+      c.threads_y = 8;
+      c.a_len = 8;
+      c.b_len = 16;
+      c.double_buffer = alpha != 16;
+      c.swizzle_ds = alpha == 8;
+      break;
+    case Variant::kC64:
+      IWG_CHECK_MSG(alpha == 16, "c64 exists for alpha = 16 only");
+      // §5.6: BN 32 → 64; Gs+Ds then occupy the full 48 KiB, so Ds is
+      // swizzled rather than padded, like Γ8.
+      c.bn = 64;
+      c.bm = 32;
+      c.threads_y = 16;
+      c.a_len = 16;
+      c.b_len = 8;
+      c.double_buffer = false;
+      c.swizzle_ds = true;
+      break;
+  }
+  c.filter_tiles_per_thread = c.bn * c.bk / c.threads();
+  c.input_tiles_per_thread = c.bm * c.bk / c.threads();
+  IWG_CHECK(c.filter_tiles_per_thread >= 1 && c.input_tiles_per_thread >= 1);
+  IWG_CHECK(c.a_len * c.b_len * c.threads() == c.alpha * c.bn * c.bm);
+  IWG_CHECK_MSG(c.smem_bytes() <= 49152, "gamma config exceeds SMEM limit");
+  return c;
+}
+
+std::vector<GammaConfig> kernel_priority(int r, bool allow_ruse,
+                                         bool allow_c64) {
+  IWG_CHECK_MSG(r >= 2 && r <= 9, "gamma kernels support filter widths 2-9");
+  std::vector<GammaConfig> list;
+  auto add = [&list](int alpha, int n, int rr, Variant v) {
+    list.push_back(GammaConfig::make(alpha, n, rr, v));
+  };
+
+  // Fastest first (§5.5 / Figure 7): bigger n covers more OW per tile; the
+  // ruse/c64 variants outrank their base versions where §5.4/§5.6 apply.
+  switch (r) {
+    case 2:
+      add(8, 7, 2, Variant::kBase);
+      add(4, 3, 2, Variant::kBase);
+      break;
+    case 3:
+      add(8, 6, 3, Variant::kBase);
+      add(4, 2, 3, Variant::kBase);
+      break;
+    case 4:
+      add(8, 5, 4, Variant::kBase);
+      break;
+    case 5:
+      if (allow_ruse && GammaConfig::ruse_profitable(8, 5))
+        add(8, 4, 5, Variant::kRuse);
+      add(8, 4, 5, Variant::kBase);
+      break;
+    case 6:
+      if (allow_ruse && GammaConfig::ruse_profitable(8, 6))
+        add(8, 3, 6, Variant::kRuse);
+      add(8, 3, 6, Variant::kBase);
+      break;
+    case 7:
+      if (allow_c64) add(16, 10, 7, Variant::kC64);
+      add(16, 10, 7, Variant::kBase);
+      if (allow_ruse && GammaConfig::ruse_profitable(8, 7))
+        add(8, 2, 7, Variant::kRuse);
+      add(8, 2, 7, Variant::kBase);
+      break;
+    case 8:
+      if (allow_c64) add(16, 9, 8, Variant::kC64);
+      if (allow_ruse && GammaConfig::ruse_profitable(16, 8))
+        add(16, 9, 8, Variant::kRuse);
+      add(16, 9, 8, Variant::kBase);
+      break;
+    case 9:
+      if (allow_c64) add(16, 8, 9, Variant::kC64);
+      if (allow_ruse && GammaConfig::ruse_profitable(16, 9))
+        add(16, 8, 9, Variant::kRuse);
+      add(16, 8, 9, Variant::kBase);
+      break;
+    default:
+      break;
+  }
+  return list;
+}
+
+std::vector<Segment> plan_boundary(std::int64_t ow, int r, bool allow_ruse,
+                                   bool allow_c64) {
+  IWG_CHECK(ow > 0);
+  std::vector<Segment> segments;
+  std::int64_t start = 0;
+  std::int64_t remaining = ow;
+
+  for (const GammaConfig& cfg : kernel_priority(r, allow_ruse, allow_c64)) {
+    // Ruse kernels process adjacent tile pairs as a unit, so their segment
+    // granularity is 2n; everything else covers multiples of n.
+    const std::int64_t gran =
+        static_cast<std::int64_t>(cfg.n) *
+        (cfg.variant == Variant::kRuse ? 2 : 1);
+    const std::int64_t len = remaining - remaining % gran;
+    if (len > 0) {
+      Segment seg;
+      seg.is_gemm = false;
+      seg.cfg = cfg;
+      seg.ow_start = start;
+      seg.ow_len = len;
+      segments.push_back(seg);
+      start += len;
+      remaining -= len;
+    }
+    if (remaining == 0) break;
+  }
+  if (remaining > 0) {
+    Segment seg;
+    seg.is_gemm = true;
+    seg.ow_start = start;
+    seg.ow_len = remaining;
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+}  // namespace iwg::core

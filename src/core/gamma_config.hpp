@@ -1,0 +1,102 @@
+// Γα(n, r) kernel configurations and the §5.5 boundary planner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace iwg::core {
+
+/// Kernel variants from the paper.
+enum class Variant {
+  kBase,  ///< Γα(n,r) — Algorithm 1/2 block workflow
+  kRuse,  ///< Γ^ruse — §5.4 input-tile-overlap reuse (two threads merged)
+  kC64,   ///< Γ^c64 — §5.6 BN 32→64 for α = 16
+};
+
+const char* variant_name(Variant v);
+
+/// Static geometry of one Γ kernel (Table in §5.1 plus §5.4/§5.6 variants).
+struct GammaConfig {
+  int alpha = 8;  ///< state count (4, 8, or 16)
+  int n = 6;      ///< outputs per 1-D tile
+  int r = 3;      ///< filter width
+  Variant variant = Variant::kBase;
+
+  int bn = 64;  ///< output channels per block
+  int bm = 32;  ///< input/output tiles per block
+  int bk = 8;   ///< input channels per iteration
+
+  int threads_x = 16;
+  int threads_y = 16;
+
+  int filter_tiles_per_thread = 2;  ///< BN·BK / threads
+  int input_tiles_per_thread = 1;   ///< BM·BK / threads (adjacent when > 1)
+
+  int a_len = 8;  ///< per-thread accumulator extent along OC
+  int b_len = 8;  ///< per-thread accumulator extent along tiles
+
+  bool double_buffer = true;  ///< α ∈ {4, 8}: §5.1 double-buffered SMEM
+
+  /// §5.2 mitigations (disable for the bank-conflict ablation).
+  bool pad_smem = true;       ///< pad Ds/Ys last dims where SMEM allows
+  bool swizzle_ds = false;    ///< Xi ← (Xi + 4·Xk) % BM swizzle (α=8 / c64)
+  bool zshape_lanes = true;   ///< Figure-4 Z-shaped laneIdx arrangement
+
+  int threads() const { return threads_x * threads_y; }
+  int accumulators_per_thread() const { return a_len * b_len; }
+
+  /// §5.6 arithmetic intensity in op/byte: 256/(α+r) base, 512/(α+2r+n) for
+  /// ruse, 512/(α+2r) for c64.
+  double arithmetic_intensity() const;
+
+  /// Shared-memory bytes of the Gs/Ds staging (perf-model + validity input).
+  std::int64_t smem_bytes() const;
+
+  /// Register estimate per thread (occupancy model input): accumulators plus
+  /// tiles in flight plus index bookkeeping.
+  int regs_per_thread() const;
+
+  std::string name() const;
+
+  /// §5.4: overlap reuse is profitable when (r−1)/α ≥ 0.4375.
+  static bool ruse_profitable(int alpha, int r) {
+    return static_cast<double>(r - 1) / alpha >= 0.4375;
+  }
+
+  /// Build the paper's configuration for Γα(n,r) with the given variant.
+  /// Requires n ≥ 2, r ≥ 2, n + r − 1 == α ∈ {4, 8, 16}; kC64 needs α = 16;
+  /// kRuse needs α ∈ {8, 16}.
+  static GammaConfig make(int alpha, int n, int r,
+                          Variant variant = Variant::kBase);
+};
+
+// ---------------------------------------------------------------------------
+// Boundary treatment (§5.5).
+
+/// One OW segment assigned to a kernel (or the GEMM tail).
+struct Segment {
+  bool is_gemm = false;
+  GammaConfig cfg;            ///< valid when !is_gemm
+  std::int64_t ow_start = 0;  ///< first output column of the segment
+  std::int64_t ow_len = 0;    ///< columns covered (multiple of cfg.n)
+};
+
+/// Split [0, OW) across the priority list of kernels for filter width r:
+/// the fastest kernel takes the largest n-divisible prefix, the next kernel
+/// the remainder's prefix, and implicit GEMM covers what is left (§5.5 /
+/// Figure 7). Segments never overlap and exactly cover [0, OW).
+///
+/// `allow_ruse` substitutes the ruse variant where §5.4 says it wins;
+/// `allow_c64` substitutes Γ^c64 for Γ16 when IC and OC are multiples of 64.
+std::vector<Segment> plan_boundary(std::int64_t ow, int r,
+                                   bool allow_ruse = true,
+                                   bool allow_c64 = false);
+
+/// The paper's kernel priority list for a filter width (fastest first).
+std::vector<GammaConfig> kernel_priority(int r, bool allow_ruse,
+                                         bool allow_c64);
+
+}  // namespace iwg::core

@@ -1,0 +1,275 @@
+#include "core/gamma_host.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+#include "tensor/layout.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg::core {
+
+void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
+                               const ConvShape& s, const GammaConfig& cfg,
+                               std::int64_t ow_start, std::int64_t ow_len,
+                               TensorF& y) {
+  s.validate();
+  IWG_CHECK(cfg.r == s.fw);
+  IWG_CHECK(ow_len % cfg.n == 0);
+  IWG_CHECK(ow_start >= 0 && ow_start + ow_len <= s.ow());
+  const int alpha = cfg.alpha;
+  const int n_out = cfg.n;
+  const int r = cfg.r;
+  const WinogradPlan& plan = get_plan(n_out, r);
+  const TransformEval g_eval(alpha, r, plan.g_f, /*paired=*/true);
+  const TransformEval d_eval(alpha, alpha, plan.bt_f, /*paired=*/true);
+
+  const std::int64_t oh = s.oh();
+  const std::int64_t tiles_w = ow_len / n_out;
+
+  // Transformed filters ĝ[fh][t][ic][oc] — oc contiguous for the inner axpy.
+  std::vector<float> ghat(static_cast<std::size_t>(s.fh) * alpha * s.ic * s.oc);
+  parallel_for(s.fh * s.ic, [&](std::int64_t job) {
+    const std::int64_t fh = job / s.ic;
+    const std::int64_t ic = job % s.ic;
+    float taps[16];
+    float gh[16];
+    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+      for (int j = 0; j < r; ++j) taps[j] = w.at(oc, fh, j, ic);
+      g_eval.apply(taps, 1, gh, 1);
+      for (int t = 0; t < alpha; ++t) {
+        ghat[((fh * alpha + t) * s.ic + ic) * static_cast<std::size_t>(s.oc) +
+             static_cast<std::size_t>(oc)] = gh[t];
+      }
+    }
+  });
+
+  parallel_for(s.n * oh, [&](std::int64_t row) {
+    const std::int64_t ni = row / oh;
+    const std::int64_t hi = row % oh;
+    std::vector<float> dhat(static_cast<std::size_t>(alpha) * s.ic);
+    std::vector<float> macc(static_cast<std::size_t>(alpha) * s.oc);
+    float dt[16];
+    float dh[16];
+    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+      const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
+      std::fill(macc.begin(), macc.end(), 0.0f);
+      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+        const std::int64_t ihp = hi + fh - s.ph;
+        if (ihp < 0 || ihp >= s.ih) continue;  // whole row is zero padding
+        // Input transform for every channel of this 1-D tile.
+        for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+          for (int e = 0; e < alpha; ++e) {
+            const std::int64_t iw = iw0 + e;
+            dt[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, ihp, iw, ic) : 0.0f;
+          }
+          d_eval.apply(dt, 1, dh, 1);
+          for (int t = 0; t < alpha; ++t) {
+            dhat[static_cast<std::size_t>(t) * s.ic + ic] = dh[t];
+          }
+        }
+        // State-domain accumulation: α rank-1 updates (1×IC)·(IC×OC).
+        for (int t = 0; t < alpha; ++t) {
+          const float* drow = &dhat[static_cast<std::size_t>(t) * s.ic];
+          float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
+          const float* gbase =
+              &ghat[(fh * alpha + t) * s.ic * static_cast<std::size_t>(s.oc)];
+          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+            const float dv = drow[ic];
+            if (dv == 0.0f) continue;
+            const float* grow = gbase + ic * s.oc;
+            for (std::int64_t oc = 0; oc < s.oc; ++oc) mrow[oc] += dv * grow[oc];
+          }
+        }
+      }
+      // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc].
+      for (int i = 0; i < n_out; ++i) {
+        float* yrow = &y.at(ni, hi, ow_start + tw * n_out + i, 0);
+        const float* at_row = &plan.at_f[static_cast<std::size_t>(i) * alpha];
+        for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] = 0.0f;
+        for (int t = 0; t < alpha; ++t) {
+          const float a = at_row[t];
+          if (a == 0.0f) continue;
+          const float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
+          for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] += a * mrow[oc];
+        }
+      }
+    }
+  });
+}
+
+void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
+                              const ConvShape& s, std::int64_t ow_start,
+                              std::int64_t ow_len, TensorF& y) {
+  s.validate();
+  const std::int64_t oh = s.oh();
+  const std::int64_t gk = s.fh * s.fw * s.ic;
+  parallel_for(s.n * oh, [&](std::int64_t row) {
+    const std::int64_t ni = row / oh;
+    const std::int64_t hi = row % oh;
+    std::vector<float> patch(static_cast<std::size_t>(gk));
+    for (std::int64_t wo = ow_start; wo < ow_start + ow_len; ++wo) {
+      float* dst = patch.data();
+      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+        const std::int64_t ihp = hi + fh - s.ph;
+        for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+          const std::int64_t iwp = wo + fw - s.pw;
+          const bool in = ihp >= 0 && ihp < s.ih && iwp >= 0 && iwp < s.iw;
+          const float* src = in ? &x.at(ni, ihp, iwp, 0) : nullptr;
+          for (std::int64_t ic = 0; ic < s.ic; ++ic)
+            *dst++ = in ? src[ic] : 0.0f;
+        }
+      }
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        const float* wp = w.data() + oc * gk;
+        float accv = 0.0f;
+        for (std::int64_t kk = 0; kk < gk; ++kk) accv += patch[kk] * wp[kk];
+        y.at(ni, hi, wo, oc) = accv;
+      }
+    }
+  });
+}
+
+TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
+                          const ConvShape& s,
+                          const std::vector<Segment>& plan) {
+  s.validate();
+  IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
+            x.dim(2) == s.iw && x.dim(3) == s.ic);
+  IWG_CHECK(w.rank() == 4 && w.dim(0) == s.oc && w.dim(1) == s.fh &&
+            w.dim(2) == s.fw && w.dim(3) == s.ic);
+  TensorF y({s.n, s.oh(), s.ow(), s.oc});
+  std::int64_t covered = 0;
+  for (const Segment& seg : plan) {
+    IWG_CHECK_MSG(seg.ow_start == covered, "boundary plan has gaps");
+    if (seg.is_gemm) {
+      conv2d_gemm_host_segment(x, w, s, seg.ow_start, seg.ow_len, y);
+    } else {
+      conv2d_gamma_host_segment(x, w, s, seg.cfg, seg.ow_start, seg.ow_len, y);
+    }
+    covered += seg.ow_len;
+  }
+  IWG_CHECK_MSG(covered == s.ow(), "boundary plan does not cover OW");
+  return y;
+}
+
+TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
+                            const ConvShape& s,
+                            const std::vector<Segment>& plan) {
+  // Equivalent forward problem: rotated/channel-swapped filter, flipped pad.
+  const TensorF wd = deconv_filter(w);
+  ConvShape ds;
+  ds.n = s.n;
+  ds.ih = s.oh();
+  ds.iw = s.ow();
+  ds.ic = s.oc;
+  ds.oc = s.ic;
+  ds.fh = s.fh;
+  ds.fw = s.fw;
+  ds.ph = s.fh - 1 - s.ph;
+  ds.pw = s.fw - 1 - s.pw;
+  IWG_CHECK(ds.oh() == s.ih && ds.ow() == s.iw);
+  return conv2d_gamma_host(dy, wd, ds, plan);
+}
+
+}  // namespace iwg::core
+
+namespace iwg::core {
+
+TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
+                                    const ConvShape& s) {
+  s.validate();
+  IWG_CHECK_MSG(s.fw >= 2 && s.fw <= 9,
+                "winograd filter gradient supports filter widths 2-9");
+  IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
+            x.dim(2) == s.iw && x.dim(3) == s.ic);
+  IWG_CHECK(dy.rank() == 4 && dy.dim(0) == s.n && dy.dim(1) == s.oh() &&
+            dy.dim(2) == s.ow() && dy.dim(3) == s.oc);
+
+  // F(fw, m): fw outputs (the filter taps along W), m dY taps per tile.
+  const int alpha = s.fw <= 7 ? 8 : 16;
+  const int m = alpha + 1 - static_cast<int>(s.fw);
+  const WinogradPlan& plan = get_plan(static_cast<int>(s.fw), m);
+  const TransformEval g_eval(alpha, m, plan.g_f, /*paired=*/true);
+  const TransformEval d_eval(alpha, alpha, plan.bt_f, /*paired=*/true);
+
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  const std::int64_t tiles_w = (ow + m - 1) / m;  // zero-padded tail tiles
+
+  TensorF dw({s.oc, s.fh, s.fw, s.ic});
+
+  // One fh slice at a time keeps the state accumulator at α·IC·OC floats.
+  // Parallelism across fh (outer) — rows accumulate into the shared slice.
+  parallel_for(s.fh, [&](std::int64_t fh) {
+    std::vector<float> macc(static_cast<std::size_t>(alpha) * s.ic * s.oc,
+                            0.0f);
+    std::vector<float> ghat(static_cast<std::size_t>(alpha) * s.oc);
+    std::vector<float> dhat(static_cast<std::size_t>(alpha) * s.ic);
+    float taps[16];
+    float th[16];
+    for (std::int64_t ni = 0; ni < s.n; ++ni) {
+      for (std::int64_t h = 0; h < oh; ++h) {
+        const std::int64_t ihp = h + fh - s.ph;
+        if (ihp < 0 || ihp >= s.ih) continue;
+        for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
+          const std::int64_t ow0 = tw * m;
+          // ĝ[t][oc] — the dY chunk is the Winograd "filter".
+          for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+            for (int i = 0; i < m; ++i) {
+              const std::int64_t o = ow0 + i;
+              taps[i] = o < ow ? dy.at(ni, h, o, oc) : 0.0f;
+            }
+            g_eval.apply(taps, 1, th, 1);
+            for (int t = 0; t < alpha; ++t)
+              ghat[static_cast<std::size_t>(t) * s.oc + oc] = th[t];
+          }
+          // d̂[t][ic] — the α-wide X window is the Winograd "input".
+          const std::int64_t iw0 = ow0 - s.pw;
+          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+            for (int e = 0; e < alpha; ++e) {
+              const std::int64_t iw = iw0 + e;
+              taps[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, ihp, iw, ic) : 0.0f;
+            }
+            d_eval.apply(taps, 1, th, 1);
+            for (int t = 0; t < alpha; ++t)
+              dhat[static_cast<std::size_t>(t) * s.ic + ic] = th[t];
+          }
+          // State-domain rank-1 accumulation over (row, tile).
+          for (int t = 0; t < alpha; ++t) {
+            const float* grow = &ghat[static_cast<std::size_t>(t) * s.oc];
+            const float* drow = &dhat[static_cast<std::size_t>(t) * s.ic];
+            float* mbase =
+                &macc[static_cast<std::size_t>(t) * s.ic * s.oc];
+            for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+              const float dv = drow[ic];
+              if (dv == 0.0f) continue;
+              float* mrow = mbase + ic * s.oc;
+              for (std::int64_t oc = 0; oc < s.oc; ++oc)
+                mrow[oc] += dv * grow[oc];
+            }
+          }
+        }
+      }
+    }
+    // Output transform: dW[oc][fh][j][ic] = Σ_t A^T[j][t] · m̂[t][ic][oc].
+    for (std::int64_t j = 0; j < s.fw; ++j) {
+      const float* at_row =
+          &plan.at_f[static_cast<std::size_t>(j) * alpha];
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+        for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+          float acc = 0.0f;
+          for (int t = 0; t < alpha; ++t) {
+            const float a = at_row[t];
+            if (a == 0.0f) continue;
+            acc += a * macc[(static_cast<std::size_t>(t) * s.ic + ic) * s.oc +
+                            oc];
+          }
+          dw.at(oc, fh, j, ic) = acc;
+        }
+      }
+    }
+  });
+  return dw;
+}
+
+}  // namespace iwg::core

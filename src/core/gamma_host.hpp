@@ -1,0 +1,58 @@
+// Host (CPU) execution engine for Im2col-Winograd.
+//
+// Same mathematics and FP32 accumulation structure as the GPU kernels —
+// 1-D Winograd per filter row, elementwise accumulation over (FH, IC) in the
+// α-state domain, one output transform per tile — organized for CPU
+// efficiency (channel-major inner loops the compiler vectorizes). This is
+// the engine the training framework (src/nn) and the accuracy experiment
+// (Table 3) run on; the simulator kernels validate against it and against
+// direct convolution.
+//
+// Unlike the fused GPU kernels, the host engine keeps the transformed
+// filters in a bounded scratch buffer (α·FH·IC·OC floats — the analogue of
+// what the GPU stages through SMEM across iterations); it allocates no
+// per-tile intermediate tensors.
+#pragma once
+
+#include <vector>
+
+#include "core/gamma_config.hpp"
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::core {
+
+/// Convolution over one OW segment with Γα(n,r); writes into `y` in place.
+/// `w` is the original OC,FH,FW,IC filter.
+void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
+                               const ConvShape& s, const GammaConfig& cfg,
+                               std::int64_t ow_start, std::int64_t ow_len,
+                               TensorF& y);
+
+/// Implicit-GEMM convolution over one OW segment (the §5.5 boundary tail);
+/// writes into `y` in place.
+void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
+                              const ConvShape& s, std::int64_t ow_start,
+                              std::int64_t ow_len, TensorF& y);
+
+/// Full convolution: §5.5 boundary plan over OW, Γ kernels + GEMM tail.
+TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
+                          const ConvShape& s,
+                          const std::vector<Segment>& plan);
+
+/// Backward-data (deconvolution) through the same engine: the filter
+/// rotation/channel swap is folded into the filter transform.
+TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
+                            const ConvShape& s,
+                            const std::vector<Segment>& plan);
+
+/// Filter gradient via 1-D Winograd — an extension beyond the paper (which
+/// computes filter gradients with standard algorithms): the weight-gradient
+/// correlation dW[oc,fh,j,ic] = Σ dY[...]·X[...+j] is itself a 1-D
+/// correlation along W with the dY row acting as the filter, so F(fw, m)
+/// with m = α+1−fw applies. Requires 2 ≤ fw ≤ 9; α is 8 for fw ≤ 7 and 16
+/// otherwise. Zero-padded tail tiles handle OW % m ≠ 0.
+TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
+                                    const ConvShape& s);
+
+}  // namespace iwg::core

@@ -1,0 +1,466 @@
+#include "core/gamma_kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace iwg::core {
+
+using sim::Block;
+using sim::Smem;
+using sim::Thread;
+
+namespace {
+
+// Access-site ids for the counter analyzers.
+enum Site : int {
+  kSiteW = 0,    // filter loads (global)
+  kSiteX = 1,    // input loads (global, texture-like)
+  kSiteGsSt = 2, // transformed filter stores (SMEM)
+  kSiteDsSt = 3, // transformed input stores (SMEM)
+  kSiteGsLd = 4, // outer-product a loads (SMEM)
+  kSiteDsLd = 5, // outer-product b loads (SMEM)
+  kSiteYsSt = 6, // output-transform staging stores (SMEM)
+  kSiteYsLd = 7, // output-transform staging loads (SMEM)
+  kSiteY = 8,    // output stores (global)
+};
+
+}  // namespace
+
+ConvShape GammaKernel::make_backward_shape(const ConvShape& s) {
+  ConvShape b;
+  b.n = s.n;
+  b.ih = s.oh();
+  b.iw = s.ow();
+  b.ic = s.oc;
+  b.oc = s.ic;
+  b.fh = s.fh;
+  b.fw = s.fw;
+  b.ph = s.fh - 1 - s.ph;
+  b.pw = s.fw - 1 - s.pw;
+  b.validate();
+  IWG_CHECK(b.oh() == s.ih && b.ow() == s.iw);
+  return b;
+}
+
+GammaKernel::GammaKernel(GammaConfig cfg, ConvShape shape, ConvDir dir,
+                         sim::GmemBuf x, sim::GmemBuf w, sim::GmemBuf y,
+                         std::int64_t ow_start, std::int64_t ow_len)
+    : cfg_(cfg),
+      shape_(shape),
+      dir_(dir),
+      x_(x),
+      w_(w),
+      y_(y),
+      ow_start_(ow_start),
+      ow_len_(ow_len),
+      plan_(&get_plan(cfg.n, cfg.r)),
+      g_eval_(cfg.alpha, cfg.r, plan_->g_f, /*paired=*/true),
+      d_eval_(cfg.alpha, cfg.alpha, plan_->bt_f, /*paired=*/true),
+      at_eval_(cfg.n, cfg.alpha, plan_->at_f, /*paired=*/false) {
+  shape_.validate();
+  IWG_CHECK(cfg_.r == shape_.fw);
+  IWG_CHECK(ow_start_ >= 0 && ow_len_ > 0 &&
+            ow_start_ + ow_len_ <= shape_.ow());
+  IWG_CHECK_MSG(ow_len_ % cfg_.n == 0,
+                "segment length must be a tile multiple (planner bug)");
+  tiles_w_ = ow_len_ / cfg_.n;
+  total_tiles_ = shape_.n * shape_.oh() * tiles_w_;
+}
+
+sim::Dim3 GammaKernel::grid() const {
+  sim::Dim3 g;
+  g.x = static_cast<int>((shape_.oc + cfg_.bn - 1) / cfg_.bn);
+  g.y = static_cast<int>((total_tiles_ + cfg_.bm - 1) / cfg_.bm);
+  return g;
+}
+
+std::int64_t GammaKernel::filter_index(std::int64_t fh, std::int64_t j,
+                                       std::int64_t k, std::int64_t c) const {
+  if (dir_ == ConvDir::kForward) {
+    // Transposed layout FH,FW,IC,OC (§5.1): consecutive OC are contiguous.
+    return ((fh * shape_.fw + j) * shape_.ic + k) * shape_.oc + c;
+  }
+  // Backward data: original OC,FH,FW,IC layout with the 180° rotation fused
+  // into the indexing. Here the kernel's input channels k are the original
+  // output channels and vice versa; consecutive c (original IC) are
+  // contiguous, so loads stay coalesced without rearranging the filter.
+  const std::int64_t fh_orig = shape_.fh - 1 - fh;
+  const std::int64_t fw_orig = shape_.fw - 1 - j;
+  return ((k * shape_.fh + fh_orig) * shape_.fw + fw_orig) * shape_.oc + c;
+}
+
+namespace {
+
+struct Geom {
+  // Tile/filter staging assignment.
+  int gk, gi;  // filter: k-channel within chunk, first OC column
+  int xk, xi;  // input: k-channel within chunk, first tile column
+  // Outer-product assignment.
+  int ux;          // state
+  int gidx, didx;  // first OC / tile of the accumulator patch
+  int gchunk;      // gidx / a_len
+};
+
+Geom make_geom(const GammaConfig& cfg, const Thread& t) {
+  Geom g;
+  const int threads = cfg.threads();
+  g.gk = t.ty % 8;
+  g.xk = t.tx % 8;
+  const int slot_g = threads == 256 ? 2 * t.tx + (t.ty > 7 ? 1 : 0) : t.tx;
+  const int slot_d = 2 * t.ty + (t.tx > 7 ? 1 : 0);
+  g.gi = slot_g * cfg.filter_tiles_per_thread;
+  g.xi = slot_d * cfg.input_tiles_per_thread;
+
+  const int tps = threads / cfg.alpha;  // threads per state
+  g.ux = t.flat / tps;
+  const int uy = t.flat % tps;
+  const int gc = cfg.bn / cfg.a_len;
+  const int dc = cfg.bm / cfg.b_len;
+  int gcell, dcell;
+  if (cfg.zshape_lanes && gc >= 2) {
+    // Figure-4 Z-shaped arrangement: 2×2 squares of lanes walk the chunk
+    // grid so that sub-warp transactions touch disjoint bank groups.
+    gcell = (uy % 2) + (uy / (2 * dc)) * 2;
+    dcell = (uy % (2 * dc)) / 2;
+  } else {
+    gcell = uy % gc;
+    dcell = uy / gc;
+  }
+  g.gidx = gcell * cfg.a_len;
+  g.didx = dcell * cfg.b_len;
+  g.gchunk = gcell;
+  return g;
+}
+
+}  // namespace
+
+void GammaKernel::load_chunk(Block& blk, const Thread& t, Smem& gs, Smem& ds,
+                             int buf, std::int64_t fh, std::int64_t ic0,
+                             std::int64_t oc0, std::int64_t tile0) const {
+  (void)blk;
+  const Geom g = make_geom(cfg_, t);
+  const int alpha = cfg_.alpha;
+  const int r = cfg_.r;
+  const int bn = cfg_.bn;
+  const int bm = cfg_.bm;
+  const int ds_last = bm + ((cfg_.pad_smem && !cfg_.swizzle_ds) ? 4 : 0);
+
+  auto gs_at = [&](int k, int s, int col) {
+    return ((static_cast<std::int64_t>(buf) * cfg_.bk + k) * alpha + s) * bn +
+           col;
+  };
+  auto ds_at = [&](int k, int s, int col) {
+    return ((static_cast<std::int64_t>(buf) * cfg_.bk + k) * alpha + s) *
+               ds_last +
+           col;
+  };
+
+  // ---- Filter tiles: load r taps, transform to α states, stage in Gs.
+  // Threads owning adjacent OC tiles fetch both taps with one 64-bit load
+  // (the vectorization §5.4 mentions for the filter path). Forward filters
+  // are consecutive in OC; backward filters are consecutive in the original
+  // IC, which is the backward out-channel — contiguous either way.
+  const std::int64_t kch = ic0 + g.gk;
+  const int ft = cfg_.filter_tiles_per_thread;
+  for (int f0 = 0; f0 < ft; f0 += 2) {
+    const std::int64_t c = oc0 + g.gi + f0;
+    const bool pair = f0 + 1 < ft;
+    float wt[2][16];
+    const bool have0 = c < shape_.oc && kch < shape_.ic;
+    const bool have1 = pair && c + 1 < shape_.oc && kch < shape_.ic;
+    for (int j = 0; j < r; ++j) {
+      if (pair && have0 && have1) {
+        float two[2];
+        t.ldg64(w_, filter_index(fh, j, kch, c), two, kSiteW);
+        wt[0][j] = two[0];
+        wt[1][j] = two[1];
+      } else {
+        wt[0][j] =
+            have0 ? t.ldg(w_, filter_index(fh, j, kch, c), kSiteW) : 0.0f;
+        wt[1][j] = have1
+                       ? t.ldg(w_, filter_index(fh, j, kch, c + 1), kSiteW)
+                       : 0.0f;
+      }
+    }
+    for (int f = f0; f < std::min(f0 + 2, ft); ++f) {
+      float gh[16];
+      g_eval_.apply(wt[f - f0], 1, gh, 1);
+      t.count_fma(g_eval_.mul_count());
+      t.count_alu(g_eval_.add_count());
+      for (int s = 0; s < alpha; ++s) {
+        t.sts(gs, gs_at(g.gk, s, g.gi + f), gh[s], kSiteGsSt);
+      }
+    }
+  }
+
+  // ---- Input tiles: α row elements each (texture-style implicit padding),
+  // with the §5.4 overlap reuse when a thread owns adjacent tiles. Note the
+  // input staging uses its own k-channel (Xk), not the filter one (Gk).
+  const std::int64_t xch = ic0 + g.xk;
+  const std::int64_t oh_total = shape_.oh();
+  float dt_prev[16];
+  bool prev_ok = false;
+  std::int64_t prev_tile = -1;
+  for (int it = 0; it < cfg_.input_tiles_per_thread; ++it) {
+    const std::int64_t tile = tile0 + g.xi + it;
+    const bool valid = tile < total_tiles_ && xch < shape_.ic;
+    std::int64_t n_i = 0, oh_i = 0, tw = 0;
+    if (valid) {
+      n_i = tile / (oh_total * tiles_w_);
+      const std::int64_t rem = tile % (oh_total * tiles_w_);
+      oh_i = rem / tiles_w_;
+      tw = rem % tiles_w_;
+    }
+    const std::int64_t ih = oh_i + fh - shape_.ph;
+    const std::int64_t iw0 = ow_start_ + tw * cfg_.n - shape_.pw;
+    const bool row_ok = valid && ih >= 0 && ih < shape_.ih;
+
+    float dt[16];
+    float dh[16];
+    // Overlap with the previous tile: tiles are n apart, so elements
+    // [0, r−1) of this tile equal elements [n, α) of the previous one when
+    // both tiles sit on the same feature-map row.
+    const bool reuse = it > 0 && prev_ok && valid && tile == prev_tile + 1 &&
+                       (tile % tiles_w_) != 0;
+    const int e0 = reuse ? (r - 1) : 0;
+    if (reuse) {
+      for (int e = 0; e < r - 1; ++e) dt[e] = dt_prev[cfg_.n + e];
+    }
+    for (int e = e0; e < alpha; ++e) {
+      const std::int64_t iw = iw0 + e;
+      const bool ok = row_ok && iw >= 0 && iw < shape_.iw;
+      dt[e] = ok ? t.ldg(x_,
+                         ((n_i * shape_.ih + ih) * shape_.iw + iw) * shape_.ic +
+                             xch,
+                         kSiteX)
+                 : 0.0f;
+    }
+    d_eval_.apply(dt, 1, dh, 1);
+    t.count_fma(d_eval_.mul_count());
+    t.count_alu(d_eval_.add_count());
+    const int col_raw = g.xi + it;
+    const int col = cfg_.swizzle_ds ? (col_raw + 4 * g.xk) % bm : col_raw;
+    for (int s = 0; s < alpha; ++s) {
+      t.sts(ds, ds_at(g.xk, s, col), dh[s], kSiteDsSt);
+    }
+    for (int e = 0; e < alpha; ++e) dt_prev[e] = dt[e];
+    prev_ok = row_ok;
+    prev_tile = tile;
+  }
+}
+
+void GammaKernel::outer_product(const Thread& t, Smem& gs, Smem& ds, int buf,
+                                float* v) const {
+  const Geom g = make_geom(cfg_, t);
+  const int alpha = cfg_.alpha;
+  const int bn = cfg_.bn;
+  const int bm = cfg_.bm;
+  const int ds_last = bm + ((cfg_.pad_smem && !cfg_.swizzle_ds) ? 4 : 0);
+
+  for (int ik = 0; ik < cfg_.bk; ++ik) {
+    const std::int64_t gs_row =
+        ((static_cast<std::int64_t>(buf) * cfg_.bk + ik) * alpha + g.ux) * bn;
+    const std::int64_t ds_row =
+        ((static_cast<std::int64_t>(buf) * cfg_.bk + ik) * alpha + g.ux) *
+        ds_last;
+    float a[16];
+    float b[16];
+    for (int c4 = 0; c4 < cfg_.a_len / 4; ++c4) {
+      t.lds128(gs, gs_row + g.gidx + 4 * c4, &a[4 * c4], kSiteGsLd);
+    }
+    for (int c4 = 0; c4 < cfg_.b_len / 4; ++c4) {
+      // With the Γ8/c64 swizzle the b-mapping shifts by 4·ik (§5.2); the
+      // shifted start stays 4-aligned, so 128-bit loads remain legal.
+      const int col0 = cfg_.swizzle_ds
+                           ? (g.didx + 4 * c4 + 4 * ik) % bm
+                           : g.didx + 4 * c4;
+      t.lds128(ds, ds_row + col0, &b[4 * c4], kSiteDsLd);
+    }
+    for (int ia = 0; ia < cfg_.a_len; ++ia) {
+      for (int ib = 0; ib < cfg_.b_len; ++ib) {
+        v[ia * cfg_.b_len + ib] += a[ia] * b[ib];
+      }
+    }
+    t.count_fma(cfg_.a_len * cfg_.b_len);
+  }
+}
+
+void GammaKernel::run_block(Block& blk) const {
+  const int alpha = cfg_.alpha;
+  const int threads = cfg_.threads();
+  const int vlen = cfg_.accumulators_per_thread();
+  const std::int64_t oc0 =
+      static_cast<std::int64_t>(blk.block_idx().x) * cfg_.bn;
+  const std::int64_t tile0 =
+      static_cast<std::int64_t>(blk.block_idx().y) * cfg_.bm;
+
+  const int bufs = cfg_.double_buffer ? 2 : 1;
+  const int ds_last = cfg_.bm + ((cfg_.pad_smem && !cfg_.swizzle_ds) ? 4 : 0);
+  Smem gs = blk.smem("Gs", static_cast<std::int64_t>(bufs) * cfg_.bk * alpha *
+                               cfg_.bn);
+  Smem ds = blk.smem("Ds", static_cast<std::int64_t>(bufs) * cfg_.bk * alpha *
+                               ds_last);
+
+  // Per-thread accumulators (the kernel's registers).
+  std::vector<float> acc(static_cast<std::size_t>(threads) * vlen, 0.0f);
+
+  // Chunk sequence: (fh, ic0) pairs — FH × ⌈IC/BK⌉ iterations (§5.1).
+  struct Chunk {
+    std::int64_t fh, ic0;
+  };
+  std::vector<Chunk> chunks;
+  for (std::int64_t fh = 0; fh < shape_.fh; ++fh) {
+    for (std::int64_t ic0 = 0; ic0 < shape_.ic; ic0 += cfg_.bk) {
+      chunks.push_back({fh, ic0});
+    }
+  }
+
+  if (cfg_.double_buffer) {
+    // Algorithm 1: one barrier per iteration; outer product on buffer `buf`
+    // overlaps (in program order) with staging the next chunk into buf^1.
+    int buf = 0;
+    blk.phase([&](Thread& t) {
+      load_chunk(blk, t, gs, ds, 0, chunks[0].fh, chunks[0].ic0, oc0, tile0);
+    });
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      blk.phase([&, i, buf](Thread& t) {
+        outer_product(t, gs, ds, buf, &acc[static_cast<std::size_t>(t.flat) * vlen]);
+        if (i + 1 < chunks.size()) {
+          load_chunk(blk, t, gs, ds, buf ^ 1, chunks[i + 1].fh,
+                     chunks[i + 1].ic0, oc0, tile0);
+        }
+      });
+      buf ^= 1;
+    }
+  } else {
+    // Algorithm 2: single buffer, two barriers per iteration.
+    for (const Chunk& ch : chunks) {
+      blk.phase([&](Thread& t) {
+        load_chunk(blk, t, gs, ds, 0, ch.fh, ch.ic0, oc0, tile0);
+      });
+      blk.phase([&](Thread& t) {
+        outer_product(t, gs, ds, 0,
+                      &acc[static_cast<std::size_t>(t.flat) * vlen]);
+      });
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Output transform: Ys aliases the Gs/Ds storage (§5.1 "reuse Gs").
+  blk.smem_reuse_from("Gs");
+  const int gc = cfg_.bn / cfg_.a_len;
+  const int p1 = cfg_.pad_smem ? 1 : 0;
+  const int cols = 2 * gc + (cfg_.pad_smem ? 4 : 0);
+  Smem ys = blk.smem("Ys", static_cast<std::int64_t>(alpha) * (cfg_.bm + p1) *
+                               cols);
+  auto ys_at = [&](int s, int tile, int col) {
+    return (static_cast<std::int64_t>(s) * (cfg_.bm + p1) + tile) * cols + col;
+  };
+
+  const std::int64_t oh_total = shape_.oh();
+  const std::int64_t ow_total = shape_.ow();
+  const int pairs_total = cfg_.bm * gc;  // (tile, oc-group) cells
+  const int iters = (pairs_total + threads - 1) / threads;
+  // 4 consecutive OC per thread accumulate across a sub-round pair before
+  // one 128-bit store per output position.
+  std::vector<float> y4(static_cast<std::size_t>(threads) * iters * cfg_.n * 4,
+                        0.0f);
+
+  for (int qp = 0; qp < cfg_.a_len / 4; ++qp) {
+    for (int sub = 0; sub < 2; ++sub) {
+      const int q = 2 * qp + sub;
+      // Scatter: each thread stores 2·b_len accumulators for OC offsets
+      // {2q, 2q+1} of its patch.
+      blk.phase([&](Thread& t) {
+        const Geom g = make_geom(cfg_, t);
+        const float* v = &acc[static_cast<std::size_t>(t.flat) * vlen];
+        for (int bpar = 0; bpar < 2; ++bpar) {
+          const int a_local = 2 * q + bpar;
+          for (int k = 0; k < cfg_.b_len; ++k) {
+            t.sts(ys, ys_at(g.ux, g.didx + k, g.gchunk * 2 + bpar),
+                  v[a_local * cfg_.b_len + k], kSiteYsSt);
+          }
+        }
+      });
+      // Gather: α states per (tile, oc) cell, apply A^T, bank the n outputs.
+      blk.phase([&](Thread& t) {
+        for (int it = 0; it < iters; ++it) {
+          const int c = t.flat + it * threads;
+          if (c >= pairs_total) break;
+          const int gp = c % gc;
+          const int tile_l = c / gc;
+          for (int bpar = 0; bpar < 2; ++bpar) {
+            float m[16];
+            for (int s = 0; s < alpha; ++s) {
+              m[s] = t.lds(ys, ys_at(s, tile_l, gp * 2 + bpar), kSiteYsLd);
+            }
+            float yout[16];
+            at_eval_.apply(m, 1, yout, 1);
+            t.count_fma(at_eval_.mul_count());
+            t.count_alu(at_eval_.add_count());
+            float* slot =
+                &y4[(static_cast<std::size_t>(t.flat) * iters + it) * cfg_.n *
+                    4];
+            for (int i = 0; i < cfg_.n; ++i) {
+              slot[i * 4 + 2 * sub + bpar] = yout[i];
+            }
+          }
+        }
+      });
+    }
+    // Emit: one 128-bit store per output position covering OC offsets
+    // 4qp … 4qp+3 (§5.1 "merged and written in 128-bit units").
+    blk.phase([&](Thread& t) {
+      for (int it = 0; it < iters; ++it) {
+        const int c = t.flat + it * threads;
+        if (c >= pairs_total) break;
+        const int gp = c % gc;
+        const int tile_l = c / gc;
+        const std::int64_t tile = tile0 + tile_l;
+        if (tile >= total_tiles_) continue;
+        const std::int64_t n_i = tile / (oh_total * tiles_w_);
+        const std::int64_t rem = tile % (oh_total * tiles_w_);
+        const std::int64_t oh_i = rem / tiles_w_;
+        const std::int64_t ow0 = ow_start_ + (rem % tiles_w_) * cfg_.n;
+        const std::int64_t oc_base = oc0 + gp * cfg_.a_len + 4 * qp;
+        const float* slot =
+            &y4[(static_cast<std::size_t>(t.flat) * iters + it) * cfg_.n * 4];
+        for (int i = 0; i < cfg_.n; ++i) {
+          const std::int64_t base =
+              ((n_i * oh_total + oh_i) * ow_total + ow0 + i) * shape_.oc +
+              oc_base;
+          if (oc_base + 3 < shape_.oc) {
+            t.stg128(y_, base, &slot[i * 4], kSiteY);
+          } else {
+            for (int j = 0; j < 4 && oc_base + j < shape_.oc; ++j) {
+              t.stg(y_, base + j, slot[i * 4 + j], kSiteY);
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+sim::LaunchStats run_gamma(const GammaKernel& k, bool counting) {
+  return sim::launch_all(k, k.grid(), counting);
+}
+
+sim::PerfEstimate profile_gamma(const GammaKernel& k,
+                                const sim::DeviceProfile& dev,
+                                double conv_flops, double footprint_bytes,
+                                int max_samples, int num_launches) {
+  sim::PerfInput in;
+  in.stats = sim::launch_sample(k, k.grid(), max_samples);
+  in.grid_blocks = k.grid().count();
+  in.threads_per_block = k.config().threads();
+  in.smem_per_block = k.config().smem_bytes();
+  in.regs_per_thread = k.config().regs_per_thread();
+  in.accumulators_per_thread = k.config().accumulators_per_thread();
+  in.conv_flops = conv_flops;
+  in.footprint_bytes = footprint_bytes;
+  in.num_launches = num_launches;
+  return sim::estimate_perf(dev, in);
+}
+
+}  // namespace iwg::core

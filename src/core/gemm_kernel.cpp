@@ -1,0 +1,317 @@
+#include "core/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace iwg::core {
+
+using sim::Block;
+using sim::Smem;
+using sim::Thread;
+
+namespace {
+enum Site : int {
+  kSiteW = 0,
+  kSiteX = 1,
+  kSiteAsSt = 2,
+  kSiteBsSt = 3,
+  kSiteAsLd = 4,
+  kSiteBsLd = 5,
+  kSiteY = 6,
+};
+}  // namespace
+
+TensorF precompute_gemm_filter(const TensorF& w, GemmLayout layout) {
+  IWG_CHECK(w.rank() == 4);
+  const std::int64_t oc = w.dim(0), fh = w.dim(1), fw = w.dim(2),
+                     ic = w.dim(3);
+  TensorF out({fh * fw * ic, oc});
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t h = 0; h < fh; ++h) {
+      for (std::int64_t x = 0; x < fw; ++x) {
+        for (std::int64_t i = 0; i < ic; ++i) {
+          const std::int64_t k = layout == GemmLayout::kNHWC
+                                     ? (h * fw + x) * ic + i
+                                     : (i * fh + h) * fw + x;
+          out.at(k, o, 0, 0) = w.at(o, h, x, i);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ImplicitGemmKernel::ImplicitGemmKernel(ConvShape shape, GemmLayout layout,
+                                       sim::GmemBuf x, sim::GmemBuf w,
+                                       sim::GmemBuf y, std::int64_t ow_start,
+                                       std::int64_t ow_len)
+    : shape_(shape),
+      layout_(layout),
+      x_(x),
+      w_(w),
+      y_(y),
+      ow_start_(ow_start),
+      ow_len_(ow_len) {
+  shape_.validate();
+  IWG_CHECK(ow_start >= 0 && ow_len > 0 && ow_start + ow_len <= shape_.ow());
+  pixels_ = shape_.n * shape_.oh() * ow_len_;
+  gk_ = shape_.fh * shape_.fw * shape_.ic;
+  // Library-style tile selection: don't waste half the math on OC padding.
+  bn_ = shape_.oc <= 64 ? 64 : 128;
+  bm_ = 16384 / bn_;
+}
+
+sim::Dim3 ImplicitGemmKernel::grid() const {
+  sim::Dim3 g;
+  g.x = static_cast<int>((shape_.oc + bn_ - 1) / bn_);
+  g.y = static_cast<int>((pixels_ + bm_ - 1) / bm_);
+  return g;
+}
+
+std::int64_t ImplicitGemmKernel::x_index(std::int64_t ni, std::int64_t fh,
+                                         std::int64_t fw, std::int64_t ic,
+                                         std::int64_t oh, std::int64_t ow,
+                                         bool& ok) const {
+  const std::int64_t ih = oh + fh - shape_.ph;
+  const std::int64_t iw = ow + fw - shape_.pw;
+  ok = ih >= 0 && ih < shape_.ih && iw >= 0 && iw < shape_.iw;
+  if (!ok) return 0;
+  if (layout_ == GemmLayout::kNHWC) {
+    return ((ni * shape_.ih + ih) * shape_.iw + iw) * shape_.ic + ic;
+  }
+  return ((ni * shape_.ic + ic) * shape_.ih + ih) * shape_.iw + iw;
+}
+
+void ImplicitGemmKernel::run_block(Block& blk) const {
+  const std::int64_t oc0 = static_cast<std::int64_t>(blk.block_idx().x) * bn_;
+  const std::int64_t pix0 = static_cast<std::int64_t>(blk.block_idx().y) * bm_;
+  const std::int64_t oh_total = shape_.oh();
+
+  Smem as = blk.smem("As", 2ll * kBk * bn_);
+  Smem bs = blk.smem("Bs", 2ll * kBk * bm_);
+  std::vector<float> acc(256 * 64, 0.0f);
+
+  auto pixel_of = [&](std::int64_t m, std::int64_t& ni, std::int64_t& oh,
+                      std::int64_t& ow) {
+    ni = m / (oh_total * ow_len_);
+    const std::int64_t rem = m % (oh_total * ow_len_);
+    oh = rem / ow_len_;
+    ow = ow_start_ + rem % ow_len_;
+  };
+  auto k_of = [&](std::int64_t k, std::int64_t& fh, std::int64_t& fw,
+                  std::int64_t& ic) {
+    if (layout_ == GemmLayout::kNHWC) {
+      fh = k / (shape_.fw * shape_.ic);
+      fw = (k / shape_.ic) % shape_.fw;
+      ic = k % shape_.ic;
+    } else {
+      ic = k / (shape_.fh * shape_.fw);
+      fh = (k / shape_.fw) % shape_.fh;
+      fw = k % shape_.fw;
+    }
+  };
+
+  // Z-ordered accumulator tiles (like the Γ kernels' Figure-4 arrangement):
+  // lanes of a quarter-warp stay inside one 32-word span of As and Bs, which
+  // keeps the 128-bit shared loads conflict-free.
+  const int dc = bm_ / 8;
+  auto tile_of = [&](const Thread& t, int& aoff, int& boff) {
+    aoff = ((t.flat % 2) + (t.flat / (2 * dc)) * 2) * 8;
+    boff = ((t.flat % (2 * dc)) / 2) * 8;
+  };
+
+  auto load_chunk = [&](const Thread& t, int buf, std::int64_t k0) {
+    // As[k][oc-col]: each thread fetches its contiguous span of the k-major
+    // filter matrix (coalesced by construction).
+    {
+      const int av = bn_ * kBk / 256;  // 2 or 4 contiguous OC per thread
+      const int start = t.flat * av;
+      const int kk = start / bn_;
+      const int col0 = start % bn_;
+      float v[4] = {0, 0, 0, 0};
+      const std::int64_t k = k0 + kk;
+      if (k < gk_) {
+        if (av == 4) {
+          if (oc0 + col0 + 3 < shape_.oc) {
+            t.ldg128(w_, k * shape_.oc + oc0 + col0, v, kSiteW);
+          } else {
+            for (int j = 0; j < 4 && oc0 + col0 + j < shape_.oc; ++j)
+              v[j] = t.ldg(w_, k * shape_.oc + oc0 + col0 + j, kSiteW);
+          }
+        } else {
+          if (oc0 + col0 + 1 < shape_.oc) {
+            t.ldg64(w_, k * shape_.oc + oc0 + col0, v, kSiteW);
+          } else if (oc0 + col0 < shape_.oc) {
+            v[0] = t.ldg(w_, k * shape_.oc + oc0 + col0, kSiteW);
+          }
+        }
+      }
+      for (int j = 0; j < av; ++j) {
+        t.sts(as, (static_cast<std::int64_t>(buf) * kBk + kk) * bn_ + col0 + j,
+              v[j], kSiteAsSt);
+      }
+    }
+    // Bs[k][pixel]: layout-dependent gather direction.
+    if (layout_ == GemmLayout::kNHWC) {
+      // k-major per pixel: contiguous IC runs within one filter tap become
+      // 128-bit loads.
+      const int tpp = 256 / bm_;  // threads per pixel (1 or 2)
+      const int kpt = kBk / tpp;  // k values per thread (8 or 4)
+      const std::int64_t m_l = t.flat % bm_;
+      const int kh = (t.flat / static_cast<int>(bm_)) * kpt;
+      std::int64_t ni = 0, oh = 0, ow = 0;
+      const bool mp = pix0 + m_l < pixels_;
+      if (mp) pixel_of(pix0 + m_l, ni, oh, ow);
+      for (int q = 0; q < kpt; q += 4) {
+        float v[4] = {0, 0, 0, 0};
+        const std::int64_t kbase = k0 + kh + q;
+        std::int64_t fh0 = 0, fw0 = 0, ic0 = 0;
+        bool contiguous = false;
+        if (mp && kbase + 3 < gk_) {
+          k_of(kbase, fh0, fw0, ic0);
+          contiguous = ic0 + 3 < shape_.ic;  // four k inside one filter tap
+        }
+        if (contiguous) {
+          bool ok;
+          const std::int64_t idx = x_index(ni, fh0, fw0, ic0, oh, ow, ok);
+          if (ok) t.ldg128(x_, idx, v, kSiteX);
+        } else {
+          for (int j = 0; j < 4; ++j) {
+            const std::int64_t k = kbase + j;
+            if (!mp || k >= gk_) continue;
+            std::int64_t fh, fw, ic;
+            k_of(k, fh, fw, ic);
+            bool ok;
+            const std::int64_t idx = x_index(ni, fh, fw, ic, oh, ow, ok);
+            v[j] = ok ? t.ldg(x_, idx, kSiteX) : 0.0f;
+          }
+        }
+        for (int j = 0; j < 4; ++j) {
+          t.sts(bs,
+                (static_cast<std::int64_t>(buf) * kBk + (kh + q + j)) * bm_ +
+                    m_l,
+                v[j], kSiteBsSt);
+        }
+      }
+    } else {
+      // pixel-major: one warp per k row, lanes covering consecutive pixels
+      // via 128-bit loads — coalesced along the contiguous w axis.
+      const int pv = bm_ / 32;  // pixels per lane (4 or 8)
+      const int kk = t.warp;
+      const std::int64_t k = k0 + kk;
+      std::int64_t fh = 0, fw = 0, ic = 0;
+      if (k < gk_) k_of(k, fh, fw, ic);
+      for (int q = 0; q < pv; q += 4) {
+        const int m0 = t.lane * pv + q;
+        float v[4] = {0, 0, 0, 0};
+        bool vectorized = false;
+        if (k < gk_ && pix0 + m0 + 3 < pixels_) {
+          std::int64_t ni, oh, ow;
+          pixel_of(pix0 + m0, ni, oh, ow);
+          // One 128-bit load when the 4 pixels stay in one output row and
+          // their input columns are all interior.
+          if (ow + 3 < ow_start_ + ow_len_) {
+            const std::int64_t iw = ow + fw - shape_.pw;
+            if (iw >= 0 && iw + 3 < shape_.iw) {
+              const std::int64_t ih = oh + fh - shape_.ph;
+              if (ih >= 0 && ih < shape_.ih) {
+                t.ldg128(x_,
+                         ((ni * shape_.ic + ic) * shape_.ih + ih) * shape_.iw +
+                             iw,
+                         v, kSiteX);
+              }
+              vectorized = true;  // padded rows keep the zeros
+            }
+          }
+        }
+        if (!vectorized) {
+          for (int j = 0; j < 4; ++j) {
+            const std::int64_t m = pix0 + m0 + j;
+            if (k >= gk_ || m >= pixels_) continue;
+            std::int64_t ni, oh, ow;
+            pixel_of(m, ni, oh, ow);
+            bool ok;
+            const std::int64_t idx = x_index(ni, fh, fw, ic, oh, ow, ok);
+            v[j] = ok ? t.ldg(x_, idx, kSiteX) : 0.0f;
+          }
+        }
+        t.sts128(bs, (static_cast<std::int64_t>(buf) * kBk + kk) * bm_ + m0, v,
+                 kSiteBsSt);
+      }
+    }
+  };
+
+  auto compute = [&](const Thread& t, int buf) {
+    int aoff, boff;
+    tile_of(t, aoff, boff);
+    float* v = &acc[static_cast<std::size_t>(t.flat) * 64];
+    for (int ik = 0; ik < kBk; ++ik) {
+      float a[8];
+      float b[8];
+      for (int c4 = 0; c4 < 2; ++c4) {
+        t.lds128(as,
+                 (static_cast<std::int64_t>(buf) * kBk + ik) * bn_ + aoff +
+                     4 * c4,
+                 &a[4 * c4], kSiteAsLd);
+        t.lds128(bs,
+                 (static_cast<std::int64_t>(buf) * kBk + ik) * bm_ + boff +
+                     4 * c4,
+                 &b[4 * c4], kSiteBsLd);
+      }
+      for (int ia = 0; ia < 8; ++ia)
+        for (int ib = 0; ib < 8; ++ib) v[ia * 8 + ib] += a[ia] * b[ib];
+      t.count_fma(64);
+    }
+  };
+
+  const std::int64_t chunks = (gk_ + kBk - 1) / kBk;
+  int buf = 0;
+  blk.phase([&](Thread& t) { load_chunk(t, 0, 0); });
+  for (std::int64_t i = 0; i < chunks; ++i) {
+    blk.phase([&, i, buf](Thread& t) {
+      compute(t, buf);
+      if (i + 1 < chunks) load_chunk(t, buf ^ 1, (i + 1) * kBk);
+    });
+    buf ^= 1;
+  }
+
+  // Store 8×8 accumulators.
+  blk.phase([&](Thread& t) {
+    int aoff, boff;
+    tile_of(t, aoff, boff);
+    const float* v = &acc[static_cast<std::size_t>(t.flat) * 64];
+    for (int ib = 0; ib < 8; ++ib) {
+      const std::int64_t m = pix0 + boff + ib;
+      if (m >= pixels_) continue;
+      std::int64_t ni, oh, ow;
+      pixel_of(m, ni, oh, ow);
+      for (int ia = 0; ia < 8; ++ia) {
+        const std::int64_t oc = oc0 + aoff + ia;
+        if (oc >= shape_.oc) continue;
+        const std::int64_t idx =
+            layout_ == GemmLayout::kNHWC
+                ? ((ni * oh_total + oh) * shape_.ow() + ow) * shape_.oc + oc
+                : ((ni * shape_.oc + oc) * oh_total + oh) * shape_.ow() + ow;
+        t.stg(y_, idx, v[ia * 8 + ib], kSiteY);
+      }
+    }
+  });
+}
+
+sim::PerfEstimate profile_gemm(const ImplicitGemmKernel& k,
+                               const sim::DeviceProfile& dev,
+                               double conv_flops, double footprint_bytes,
+                               int max_samples, int num_launches) {
+  sim::PerfInput in;
+  in.stats = sim::launch_sample(k, k.grid(), max_samples);
+  in.grid_blocks = k.grid().count();
+  in.threads_per_block = 256;
+  in.smem_per_block = k.smem_bytes();
+  in.regs_per_thread = k.regs_per_thread();
+  in.conv_flops = conv_flops;
+  in.footprint_bytes = footprint_bytes;
+  in.num_launches = num_launches;
+  return sim::estimate_perf(dev, in);
+}
+
+}  // namespace iwg::core

@@ -1,0 +1,77 @@
+// Implicit-precomp-GEMM convolution on the SIMT model — the stand-in for
+// cuDNN's Implicit_Precomp_GEMM benchmark algorithm (§6.1.1), in both NHWC
+// and NCHW layouts. Also serves as the §5.5 boundary-tail kernel.
+//
+// The "precomp" part is the k-major filter matrix W' ∈ R^{GK×OC}
+// (GK = FH·FW·IC), which cuDNN precomputes so filter loads are contiguous in
+// OC. Input patches are gathered on the fly (implicit im2col): NHWC warps
+// load k-major (consecutive input channels are contiguous, 128-bit loads
+// within a filter tap), NCHW warps load pixel-major (consecutive output
+// columns are contiguous) — each layout's natural coalescing.
+//
+// Tile geometry: BN×BM×BK with 256 threads and 8×8 accumulators per thread.
+// BN adapts to the problem (64 for OC ≤ 64, else 128) the way a library
+// kernel selector would, so small-channel layers don't burn half the math on
+// padding.
+#pragma once
+
+#include "gpusim/perf_model.hpp"
+#include "gpusim/sim.hpp"
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::core {
+
+enum class GemmLayout { kNHWC, kNCHW };
+
+/// Build the precomputed k-major filter matrix (GK × OC) from the original
+/// OC,FH,FW,IC filter. NHWC k-order is (fh, fw, ic); NCHW is (ic, fh, fw).
+TensorF precompute_gemm_filter(const TensorF& w, GemmLayout layout);
+
+class ImplicitGemmKernel final : public sim::Kernel {
+ public:
+  /// `x` and `y` are in `layout`; `w` is the precomputed GK×OC matrix.
+  /// Computes output columns [ow_start, ow_start + ow_len).
+  ImplicitGemmKernel(ConvShape shape, GemmLayout layout, sim::GmemBuf x,
+                     sim::GmemBuf w, sim::GmemBuf y, std::int64_t ow_start,
+                     std::int64_t ow_len);
+
+  std::string name() const override {
+    return layout_ == GemmLayout::kNHWC ? "implicit_gemm_nhwc"
+                                        : "implicit_gemm_nchw";
+  }
+  sim::Dim3 block_dim() const override { return {16, 16, 1}; }
+  std::int64_t smem_bytes() const override {
+    return 2ll * kBk * (bn_ + bm_) * 4;  // double-buffered As + Bs
+  }
+  int regs_per_thread() const override { return 64 + 16 + 24; }
+  void run_block(sim::Block& blk) const override;
+
+  sim::Dim3 grid() const;
+  int bn() const { return bn_; }
+  int bm() const { return bm_; }
+
+  static constexpr int kBk = 8;  ///< GEMM k per iteration
+
+ private:
+  std::int64_t x_index(std::int64_t ni, std::int64_t fh, std::int64_t fw,
+                       std::int64_t ic, std::int64_t oh, std::int64_t ow,
+                       bool& ok) const;
+
+  ConvShape shape_;
+  GemmLayout layout_;
+  sim::GmemBuf x_, w_, y_;
+  std::int64_t ow_start_, ow_len_;
+  std::int64_t pixels_;  ///< N · OH · ow_len
+  std::int64_t gk_;
+  int bn_ = 128;  ///< output channels per block
+  int bm_ = 128;  ///< output pixels per block (bn · bm = 16384)
+};
+
+/// Sampled profile + analytic estimate (see gamma_kernel.hpp).
+sim::PerfEstimate profile_gemm(const ImplicitGemmKernel& k,
+                               const sim::DeviceProfile& dev,
+                               double conv_flops, double footprint_bytes,
+                               int max_samples = 8, int num_launches = 1);
+
+}  // namespace iwg::core

@@ -1,0 +1,69 @@
+#include "core/selector.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace iwg::core {
+
+AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
+                            int samples) {
+  s.validate();
+  AlgoChoice best;
+  best.est_gflops = 0.0;
+
+  const auto consider = [&](const std::vector<Segment>& plan,
+                            const char* label) {
+    if (plan.empty()) return;
+    if (plan.size() == 1 && plan[0].is_gemm) return;  // GEMM handled below
+    const auto rep = profile_conv2d(s, dev, plan, samples);
+    if (rep.gflops > best.est_gflops) {
+      best.use_winograd = true;
+      best.plan = plan;
+      best.est_gflops = rep.gflops;
+      best.description = label;
+    }
+  };
+
+  if (s.fw >= 2 && s.fw <= 9) {
+    ConvOptions def;
+    consider(plan_for(s, def), "winograd (default chain)");
+    ConvOptions no_ruse;
+    no_ruse.allow_ruse = false;
+    consider(plan_for(s, no_ruse), "winograd (base kernels)");
+    if (s.ic % 64 == 0 && s.oc % 64 == 0 && s.fw >= 7) {
+      ConvOptions c64;
+      c64.allow_c64 = true;
+      consider(plan_for(s, c64), "winograd (c64 chain)");
+    }
+  }
+
+  const auto gemm = profile_gemm_conv2d(s, dev, GemmLayout::kNHWC, samples);
+  best.gemm_gflops = gemm.gflops;
+  if (gemm.gflops > best.est_gflops) {
+    best.use_winograd = false;
+    best.plan.clear();
+    best.est_gflops = gemm.gflops;
+    best.description = "implicit GEMM (NHWC)";
+  }
+  return best;
+}
+
+const AlgoChoice& select_algorithm_cached(const ConvShape& s,
+                                          const sim::DeviceProfile& dev,
+                                          int samples) {
+  static std::mutex mu;
+  static std::map<std::string, AlgoChoice> cache;
+  std::ostringstream key;
+  key << dev.name << '|' << s.n << 'x' << s.ih << 'x' << s.iw << 'x' << s.ic
+      << "->" << s.oc << 'f' << s.fh << 'x' << s.fw << 'p' << s.ph << ','
+      << s.pw;
+  std::lock_guard lock(mu);
+  auto it = cache.find(key.str());
+  if (it == cache.end()) {
+    it = cache.emplace(key.str(), select_algorithm(s, dev, samples)).first;
+  }
+  return it->second;
+}
+
+}  // namespace iwg::core

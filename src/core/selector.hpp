@@ -1,0 +1,38 @@
+// Algorithm selection — the cuDNN-find analogue.
+//
+// Given a convolution geometry and a device profile, profile every candidate
+// plan (Γ variants via the §5.5 planner, plus the implicit-GEMM baseline)
+// through the analytic model and return the fastest. This is what a
+// framework integration (§5.7) would call once per layer at graph-build
+// time; results are cached per (shape, device).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conv_api.hpp"
+
+namespace iwg::core {
+
+struct AlgoChoice {
+  bool use_winograd = true;        ///< false → implicit GEMM wins
+  std::vector<Segment> plan;       ///< winning plan (empty for GEMM)
+  double est_gflops = 0.0;         ///< model estimate of the winner
+  double gemm_gflops = 0.0;        ///< the baseline it beat (or lost to)
+  std::string description;         ///< human-readable summary
+};
+
+/// Profile all candidates for `s` on `dev` and return the fastest. Candidate
+/// set: default plan, ruse-disabled plan, c64-enabled plan (when channels
+/// allow), and implicit GEMM. `samples` bounds the per-candidate block
+/// sampling cost.
+AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
+                            int samples = 4);
+
+/// Cached variant (thread-safe); key is the full geometry + device name.
+const AlgoChoice& select_algorithm_cached(const ConvShape& s,
+                                          const sim::DeviceProfile& dev,
+                                          int samples = 4);
+
+}  // namespace iwg::core

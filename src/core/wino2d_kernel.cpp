@@ -1,0 +1,317 @@
+#include "core/wino2d_kernel.hpp"
+
+#include <vector>
+
+#include "tensor/layout.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg::core {
+
+using sim::Block;
+using sim::Smem;
+using sim::Thread;
+
+namespace {
+
+enum Site : int {
+  kSiteW = 0,
+  kSiteX = 1,
+  kSiteGsSt = 2,
+  kSiteDsSt = 3,
+  kSiteGsLd = 4,
+  kSiteDsLd = 5,
+  kSiteYsSt = 6,
+  kSiteYsLd = 7,
+  kSiteY = 8,
+};
+
+// Fixed 4×4 F(2,3) transforms (multiplication-free input/output matrices).
+void filter_transform_2d(const float g[12], const float w9[9],
+                         float out[16]) {
+  float tmp[12];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += g[i * 3 + k] * w9[k * 3 + j];
+      tmp[i * 3 + j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += tmp[i * 3 + k] * g[j * 3 + k];
+      out[i * 4 + j] = acc;
+    }
+}
+
+void input_transform_2d(const float bt[16], const float in[16],
+                        float out[16]) {
+  float tmp[16];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += bt[i * 4 + k] * in[k * 4 + j];
+      tmp[i * 4 + j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += tmp[i * 4 + k] * bt[j * 4 + k];
+      out[i * 4 + j] = acc;
+    }
+}
+
+void output_transform_2d(const float at[8], const float m[16], float out[4]) {
+  float tmp[8];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += at[i * 4 + k] * m[k * 4 + j];
+      tmp[i * 4 + j] = acc;
+    }
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += tmp[i * 4 + k] * at[j * 4 + k];
+      out[i * 2 + j] = acc;
+    }
+}
+
+}  // namespace
+
+Winograd2dKernel::Winograd2dKernel(ConvShape shape, sim::GmemBuf x,
+                                   sim::GmemBuf w, sim::GmemBuf y)
+    : shape_(shape), x_(x), w_(w), y_(y) {
+  shape_.validate();
+  IWG_CHECK_MSG(shape_.fh == 3 && shape_.fw == 3,
+                "fused 2-D Winograd requires 3x3 filters");
+  th_ = (shape_.oh() + 1) / 2;
+  tw_ = (shape_.ow() + 1) / 2;
+  total_tiles_ = shape_.n * th_ * tw_;
+}
+
+sim::Dim3 Winograd2dKernel::grid() const {
+  sim::Dim3 g;
+  g.x = static_cast<int>((shape_.oc + kBn - 1) / kBn);
+  g.y = static_cast<int>((total_tiles_ + kBm - 1) / kBm);
+  return g;
+}
+
+void Winograd2dKernel::run_block(Block& blk) const {
+  constexpr int kStates = 16;
+  const WinogradPlan& plan = get_plan(2, 3);
+  const float* gmat = plan.g_f.data();    // 4×3
+  const float* btmat = plan.bt_f.data();  // 4×4
+  const float* atmat = plan.at_f.data();  // 2×4
+
+  const std::int64_t oc0 = static_cast<std::int64_t>(blk.block_idx().x) * kBn;
+  const std::int64_t tile0 =
+      static_cast<std::int64_t>(blk.block_idx().y) * kBm;
+
+  const int ds_last = kBm + 4;  // padded (§5.2 style)
+  Smem gs = blk.smem("Gs", 1ll * kBk * kStates * kBn);
+  Smem ds = blk.smem("Ds", 1ll * kBk * kStates * ds_last);
+  std::vector<float> acc(256 * 64, 0.0f);
+
+  const std::int64_t oh_total = shape_.oh();
+  const std::int64_t ow_total = shape_.ow();
+
+  auto tile_coords = [&](std::int64_t tile, std::int64_t& ni, std::int64_t& a,
+                         std::int64_t& b) {
+    ni = tile / (th_ * tw_);
+    const std::int64_t rem = tile % (th_ * tw_);
+    a = rem / tw_;
+    b = rem % tw_;
+  };
+
+  // Thread → (state, cell) for the outer product, Z-shaped like Γ16.
+  auto geom = [&](const Thread& t, int& ux, int& gidx, int& didx) {
+    const int tps = 256 / kStates;  // 16 threads per state
+    ux = t.flat / tps;
+    const int uy = t.flat % tps;
+    const int dcells = kBm / 8;  // 4
+    const int g = (uy % 2) + (uy / (2 * dcells)) * 2;
+    const int d = (uy % (2 * dcells)) / 2;
+    gidx = g * 8;
+    didx = d * 8;
+  };
+
+  const std::int64_t chunks = (shape_.ic + kBk - 1) / kBk;
+  for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::int64_t ic0 = chunk * kBk;
+    blk.phase([&](Thread& t) {
+      // Filter tile: one (oc, k) 3×3 filter per thread. NCHW warps walk
+      // tiles/oc fastest, channels slowest (the reverse of the NHWC Γ
+      // kernels), keeping global loads contiguous along w.
+      const int gk = t.tx % 8;
+      const int gi = 2 * t.ty + (t.tx > 7 ? 1 : 0);  // oc column in [0,32)
+      const std::int64_t kch = ic0 + gk;
+      const std::int64_t oc = oc0 + gi;
+      float w9[9] = {0};
+      if (kch < shape_.ic && oc < shape_.oc) {
+        for (int e = 0; e < 9; ++e) {
+          // OC,FH,FW,IC layout: taps are IC apart (§5.1's transposition is a
+          // forward-NHWC concern; the NCHW algorithm reads OIHW-equivalent).
+          t.count_alu(1);
+          w9[e] = t.ldg(
+              w_, ((oc * 3 + e / 3) * 3 + e % 3) * shape_.ic + kch, kSiteW);
+        }
+      }
+      float gh[16];
+      filter_transform_2d(gmat, w9, gh);
+      t.count_fma(28);  // GWG^T multiplications (G has 1/2 entries)
+      t.count_alu(24);
+      for (int s = 0; s < kStates; ++s) {
+        t.sts(gs, (static_cast<std::int64_t>(gk) * kStates + s) * kBn + gi,
+              gh[s], kSiteGsSt);
+      }
+      // Input tile: one (tile, k) 4×4 patch per thread; lanes cover
+      // consecutive tiles of one channel plane.
+      const int xk = t.ty % 8;
+      const int xi = 2 * t.tx + (t.ty > 7 ? 1 : 0);
+      const std::int64_t xch = ic0 + xk;
+      const std::int64_t tile = tile0 + xi;
+      float in[16] = {0};
+      if (xch < shape_.ic && tile < total_tiles_) {
+        std::int64_t ni, ta, tb;
+        tile_coords(tile, ni, ta, tb);
+        for (int a = 0; a < 4; ++a) {
+          const std::int64_t ih = ta * 2 + a - shape_.ph;
+          if (ih < 0 || ih >= shape_.ih) continue;
+          const std::int64_t iw0 = tb * 2 - shape_.pw;
+          // Row of 4 contiguous w values (NCHW's in-tile continuity is rows
+          // of 4 — shorter runs than Im2col-Winograd's α-length 1-D tiles,
+          // which is the §3 discontinuity argument in reverse).
+          for (int b = 0; b < 4; ++b) {
+            const std::int64_t iw = iw0 + b;
+            if (iw < 0 || iw >= shape_.iw) continue;
+            in[a * 4 + b] = t.ldg(
+                x_, ((ni * shape_.ic + xch) * shape_.ih + ih) * shape_.iw + iw,
+                kSiteX);
+          }
+        }
+      }
+      float dh[16];
+      input_transform_2d(btmat, in, dh);
+      t.count_alu(64);  // BT X B is multiplication-free (adds only)
+      for (int s = 0; s < kStates; ++s) {
+        t.sts(ds, (static_cast<std::int64_t>(xk) * kStates + s) * ds_last + xi,
+              dh[s], kSiteDsSt);
+      }
+    });
+    blk.phase([&](Thread& t) {
+      int ux, gidx, didx;
+      geom(t, ux, gidx, didx);
+      float* v = &acc[static_cast<std::size_t>(t.flat) * 64];
+      for (int ik = 0; ik < kBk; ++ik) {
+        float a[8];
+        float b[8];
+        for (int c4 = 0; c4 < 2; ++c4) {
+          t.lds128(gs,
+                   (static_cast<std::int64_t>(ik) * kStates + ux) * kBn +
+                       gidx + 4 * c4,
+                   &a[4 * c4], kSiteGsLd);
+          t.lds128(ds,
+                   (static_cast<std::int64_t>(ik) * kStates + ux) * ds_last +
+                       didx + 4 * c4,
+                   &b[4 * c4], kSiteDsLd);
+        }
+        for (int ia = 0; ia < 8; ++ia)
+          for (int ib = 0; ib < 8; ++ib) v[ia * 8 + ib] += a[ia] * b[ib];
+        t.count_fma(64);
+      }
+    });
+  }
+
+  // Output transform through SMEM, Γ-style sub-rounds over oc pairs.
+  blk.smem_reuse_from("Gs");
+  const int gc = kBn / 8;  // 4 oc-groups
+  const int cols = 2 * gc + 4;
+  Smem ys = blk.smem("Ys", static_cast<std::int64_t>(kStates) * (kBm + 1) *
+                               cols);
+  auto ys_at = [&](int s, int tile, int col) {
+    return (static_cast<std::int64_t>(s) * (kBm + 1) + tile) * cols + col;
+  };
+  const int pairs_total = kBm * gc;
+  const int iters = (pairs_total + 255) / 256;
+  for (int q = 0; q < 4; ++q) {  // oc offsets {2q, 2q+1}
+    blk.phase([&](Thread& t) {
+      int ux, gidx, didx;
+      geom(t, ux, gidx, didx);
+      const float* v = &acc[static_cast<std::size_t>(t.flat) * 64];
+      for (int bpar = 0; bpar < 2; ++bpar) {
+        const int a_local = 2 * q + bpar;
+        for (int k = 0; k < 8; ++k) {
+          t.sts(ys, ys_at(ux, didx + k, (gidx / 8) * 2 + bpar),
+                v[a_local * 8 + k], kSiteYsSt);
+        }
+      }
+    });
+    blk.phase([&](Thread& t) {
+      for (int it = 0; it < iters; ++it) {
+        const int c = t.flat + it * 256;
+        if (c >= pairs_total) break;
+        const int gp = c % gc;
+        const int tile_l = c / gc;
+        const std::int64_t tile = tile0 + tile_l;
+        if (tile >= total_tiles_) continue;
+        std::int64_t ni, ta, tb;
+        tile_coords(tile, ni, ta, tb);
+        for (int bpar = 0; bpar < 2; ++bpar) {
+          const std::int64_t oc = oc0 + gp * 8 + 2 * q + bpar;
+          if (oc >= shape_.oc) continue;
+          float m[16];
+          for (int s = 0; s < kStates; ++s) {
+            m[s] = t.lds(ys, ys_at(s, tile_l, gp * 2 + bpar), kSiteYsLd);
+          }
+          float out[4];
+          output_transform_2d(atmat, m, out);
+          t.count_alu(40);
+          for (int a = 0; a < 2; ++a) {
+            const std::int64_t oh = ta * 2 + a;
+            if (oh >= oh_total) continue;
+            for (int b = 0; b < 2; ++b) {
+              const std::int64_t ow = tb * 2 + b;
+              if (ow >= ow_total) continue;
+              t.stg(y_,
+                    ((ni * shape_.oc + oc) * oh_total + oh) * ow_total + ow,
+                    out[a * 2 + b], kSiteY);
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+sim::LaunchStats run_wino2d(const Winograd2dKernel& k, bool counting) {
+  return sim::launch_all(k, k.grid(), counting);
+}
+
+sim::PerfEstimate profile_wino2d(const Winograd2dKernel& k,
+                                 const sim::DeviceProfile& dev,
+                                 double conv_flops, double footprint_bytes,
+                                 int max_samples) {
+  sim::PerfInput in;
+  in.stats = sim::launch_sample(k, k.grid(), max_samples);
+  in.grid_blocks = k.grid().count();
+  in.threads_per_block = 256;
+  in.smem_per_block = k.smem_bytes();
+  in.regs_per_thread = k.regs_per_thread();
+  in.conv_flops = conv_flops;
+  in.footprint_bytes = footprint_bytes;
+  return sim::estimate_perf(dev, in);
+}
+
+TensorF conv2d_wino2d_sim(const TensorF& x_nhwc, const TensorF& w,
+                          const ConvShape& s) {
+  const TensorF xn = nhwc_to_nchw(x_nhwc);
+  TensorF y({s.n, s.oc, s.oh(), s.ow()});
+  sim::GmemBuf xb(xn.data(), xn.size(), /*clamp_zero=*/true);
+  sim::GmemBuf wb(w.data(), w.size());
+  sim::GmemBuf yb(y.data(), y.size());
+  Winograd2dKernel k(s, xb, wb, yb);
+  sim::launch_all(k, k.grid());
+  return nchw_to_nhwc(y);
+}
+
+}  // namespace iwg::core

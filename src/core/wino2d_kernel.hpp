@@ -1,0 +1,58 @@
+// Fused 2-D Winograd F(2×2, 3×3) kernel for NCHW — the cuDNN Fused_Winograd
+// stand-in (§6.1.1: restricted to NCHW format and 3×3 filters, so only
+// comparable to Γ8(6,3)).
+//
+// Structure mirrors the α=16 Γ kernel — the 2-D algorithm has 16 states per
+// tile (4×4), which is exactly the space-complexity point §4.2 makes: at the
+// same state budget, 2-D Winograd only reaches F(2×2,3×3) while
+// Im2col-Winograd runs F(9,8)/F(8,9).
+#pragma once
+
+#include "gpusim/perf_model.hpp"
+#include "gpusim/sim.hpp"
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::core {
+
+class Winograd2dKernel final : public sim::Kernel {
+ public:
+  /// `x` is NCHW (N,C,H,W); `w` is the original OC,FH,FW,IC filter laid out
+  /// as OC-major (we index it directly); `y` is NCHW. Requires fh == fw == 3.
+  Winograd2dKernel(ConvShape shape, sim::GmemBuf x, sim::GmemBuf w,
+                   sim::GmemBuf y);
+
+  std::string name() const override { return "fused_winograd2d_f2x2_3x3"; }
+  sim::Dim3 block_dim() const override { return {16, 16, 1}; }
+  std::int64_t smem_bytes() const override {
+    // Gs[8][16][32] + Ds[8][16][32+4] (padded) — single-buffered like Γ16.
+    return 4ll * kBk * 16 * (kBn + kBm + 4);
+  }
+  int regs_per_thread() const override { return 64 + 16 + 9 + 26; }
+  void run_block(sim::Block& blk) const override;
+
+  sim::Dim3 grid() const;
+
+  static constexpr int kBn = 32;  ///< output channels per block
+  static constexpr int kBm = 32;  ///< 2×2 output tiles per block
+  static constexpr int kBk = 8;   ///< input channels per iteration
+
+ private:
+  ConvShape shape_;
+  sim::GmemBuf x_, w_, y_;
+  std::int64_t th_, tw_;          ///< tile grid (⌈OH/2⌉ × ⌈OW/2⌉)
+  std::int64_t total_tiles_;
+};
+
+/// Functional run + sampled profile helpers.
+sim::LaunchStats run_wino2d(const Winograd2dKernel& k, bool counting = false);
+sim::PerfEstimate profile_wino2d(const Winograd2dKernel& k,
+                                 const sim::DeviceProfile& dev,
+                                 double conv_flops, double footprint_bytes,
+                                 int max_samples = 6);
+
+/// Convenience: full NCHW convolution through the kernel (tests/benches).
+TensorF conv2d_wino2d_sim(const TensorF& x_nhwc, const TensorF& w,
+                          const ConvShape& s);
+
+}  // namespace iwg::core

@@ -1,0 +1,93 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace iwg::data {
+
+TensorF Dataset::batch(std::int64_t first, std::int64_t size,
+                       std::vector<std::int64_t>& batch_labels) const {
+  IWG_CHECK(first >= 0 && first + size <= count());
+  const std::int64_t h = images.dim(1);
+  const std::int64_t w = images.dim(2);
+  const std::int64_t c = images.dim(3);
+  TensorF out({size, h, w, c});
+  const std::int64_t per = h * w * c;
+  for (std::int64_t i = 0; i < size * per; ++i) {
+    out[i] = images[first * per + i];
+  }
+  batch_labels.assign(labels.begin() + first, labels.begin() + first + size);
+  return out;
+}
+
+Dataset make_synthetic(std::int64_t classes, std::int64_t count,
+                       std::int64_t height, std::int64_t width,
+                       std::int64_t channels, unsigned seed, float noise) {
+  IWG_CHECK(classes >= 2 && count >= classes);
+  // The class-defining textures depend only on the task geometry, NOT on
+  // `seed` — so train and test splits drawn with different seeds sample the
+  // *same* classes with independent noise (otherwise the test set would be
+  // a different, unlearnable task).
+  Rng tex_rng(0xC1A55u ^ (static_cast<unsigned>(classes) * 2654435761u) ^
+              static_cast<unsigned>(channels));
+  Rng rng(seed);
+
+  // Per-class texture parameters: a few sinusoid components per channel.
+  constexpr int kComponents = 3;
+  struct Component {
+    float fx, fy, phase, amp;
+  };
+  std::vector<Component> comps(
+      static_cast<std::size_t>(classes * channels * kComponents));
+  for (auto& c : comps) {
+    c.fx = tex_rng.uniform(0.5f, 3.0f);
+    c.fy = tex_rng.uniform(0.5f, 3.0f);
+    c.phase = tex_rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    c.amp = tex_rng.uniform(0.3f, 0.8f);
+  }
+
+  Dataset ds;
+  ds.classes = classes;
+  ds.images.reset({count, height, width, channels});
+  ds.labels.resize(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t y = i % classes;  // balanced
+    ds.labels[static_cast<std::size_t>(i)] = y;
+    for (std::int64_t h = 0; h < height; ++h) {
+      for (std::int64_t w = 0; w < width; ++w) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+          float v = 0.0f;
+          for (int k = 0; k < kComponents; ++k) {
+            const Component& cp =
+                comps[static_cast<std::size_t>((y * channels + c) * kComponents + k)];
+            v += cp.amp *
+                 std::sin(cp.fx * 2.0f * std::numbers::pi_v<float> *
+                              static_cast<float>(w) / static_cast<float>(width) +
+                          cp.fy * 2.0f * std::numbers::pi_v<float> *
+                              static_cast<float>(h) /
+                              static_cast<float>(height) +
+                          cp.phase);
+          }
+          v += noise * rng.normal();
+          ds.images.at(i, h, w, c) = std::clamp(v, -1.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset make_cifar_like(std::int64_t count, unsigned seed, std::int64_t size) {
+  return make_synthetic(10, count, size, size, 3, seed);
+}
+
+Dataset make_ilsvrc_like(std::int64_t count, unsigned seed, std::int64_t size,
+                         std::int64_t classes) {
+  return make_synthetic(classes, count, size, size, 3, seed ^ 0xabcdef);
+}
+
+}  // namespace iwg::data

@@ -1,0 +1,46 @@
+// Synthetic image datasets standing in for CIFAR-10 / ILSVRC2012 (§6.3),
+// which are not available offline. Convergence equivalence between the two
+// convolution engines is a numerics property, so any learnable image
+// distribution exercises it; these are class-conditional band-limited
+// textures plus noise, linearly scaled to [−1, 1] like the paper's inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace iwg::data {
+
+struct Dataset {
+  TensorF images;                    ///< (count, H, W, C) in [−1, 1]
+  std::vector<std::int64_t> labels;  ///< class ids
+  std::int64_t classes = 0;
+
+  std::int64_t count() const { return images.dim(0); }
+
+  /// Copy batch [first, first+size) into (size, H, W, C) + labels.
+  TensorF batch(std::int64_t first, std::int64_t size,
+                std::vector<std::int64_t>& batch_labels) const;
+};
+
+/// Deterministic class-conditional dataset: each class is a mixture of
+/// low-frequency sinusoid textures; samples add Gaussian noise. The class
+/// textures are a function of (classes, channels) only, so datasets built
+/// with different seeds are train/test splits of the same task. A linear
+/// classifier cannot separate the classes well, a small CNN can.
+Dataset make_synthetic(std::int64_t classes, std::int64_t count,
+                       std::int64_t height, std::int64_t width,
+                       std::int64_t channels, unsigned seed,
+                       float noise = 0.25f);
+
+/// CIFAR-like: 10 classes of 3-channel square images (default 16×16 —
+/// channel-scaled like the models that consume it).
+Dataset make_cifar_like(std::int64_t count, unsigned seed,
+                        std::int64_t size = 16);
+
+/// ILSVRC-like: more classes (default 20 standing in for 1000).
+Dataset make_ilsvrc_like(std::int64_t count, unsigned seed,
+                         std::int64_t size = 16, std::int64_t classes = 20);
+
+}  // namespace iwg::data

@@ -1,0 +1,65 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace iwg::sim {
+
+DeviceProfile DeviceProfile::rtx3060ti() {
+  DeviceProfile d;
+  d.name = "sim-rtx3060ti";
+  d.num_sms = 38;
+  d.clock_ghz = 1.665;
+  d.fma_lanes_per_sm = 128;  // GA104: 128 FP32 lanes → 16.2 TFLOPS peak
+  d.dram_bw_gbps = 448.0;
+  d.l2_bytes = 4ll * 1024 * 1024;
+  d.max_threads_per_sm = 1536;
+  d.smem_per_sm = 102400;
+  d.regs_per_sm = 65536;
+  return d;
+}
+
+DeviceProfile DeviceProfile::rtx4090() {
+  DeviceProfile d;
+  d.name = "sim-rtx4090";
+  d.num_sms = 128;
+  d.clock_ghz = 2.52;
+  d.fma_lanes_per_sm = 128;  // AD102: 82.6 TFLOPS peak
+  d.dram_bw_gbps = 1008.0;
+  d.l2_bytes = 72ll * 1024 * 1024;
+  d.max_threads_per_sm = 1536;
+  d.smem_per_sm = 102400;
+  d.regs_per_sm = 65536;
+  return d;
+}
+
+Occupancy compute_occupancy(const DeviceProfile& dev, int threads_per_block,
+                            int smem_per_block, int regs_per_thread) {
+  IWG_CHECK(threads_per_block > 0 &&
+            threads_per_block <= dev.max_threads_per_block);
+  IWG_CHECK(smem_per_block >= 0 && smem_per_block <= dev.max_smem_per_block);
+  IWG_CHECK(regs_per_thread > 0);
+
+  Occupancy occ;
+  const int by_threads = dev.max_threads_per_sm / threads_per_block;
+  const int by_smem = smem_per_block > 0 ? dev.smem_per_sm / smem_per_block
+                                         : dev.max_blocks_per_sm;
+  // Registers allocate in per-warp granules; a plain product is close enough
+  // for the model.
+  const int by_regs = dev.regs_per_sm / (regs_per_thread * threads_per_block);
+  const int by_limit = dev.max_blocks_per_sm;
+
+  occ.blocks_per_sm = std::min({by_threads, by_smem, by_regs, by_limit});
+  if (occ.blocks_per_sm == by_threads) occ.limiter = "threads";
+  if (occ.blocks_per_sm == by_regs) occ.limiter = "registers";
+  if (occ.blocks_per_sm == by_smem) occ.limiter = "smem";
+  if (occ.blocks_per_sm == by_limit) occ.limiter = "blocks";
+  occ.blocks_per_sm = std::max(occ.blocks_per_sm, 0);
+  occ.active_threads = occ.blocks_per_sm * threads_per_block;
+  occ.active_warps = occ.active_threads / dev.warp_size;
+  occ.ratio = static_cast<double>(occ.active_threads) / dev.max_threads_per_sm;
+  return occ;
+}
+
+}  // namespace iwg::sim

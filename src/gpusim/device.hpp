@@ -1,0 +1,65 @@
+// GPU device models.
+//
+// The paper evaluates on an RTX 3060 Ti (Ampere) and an RTX 4090 (Ada
+// Lovelace). Neither a GPU nor CUDA is available in this environment, so the
+// library executes kernels on a software SIMT model (sim.hpp) and estimates
+// time with an analytic roofline (perf_model.hpp) parameterized by these
+// profiles. Numbers are the public specifications of the two cards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iwg::sim {
+
+/// Hardware parameters consumed by the occupancy and performance models.
+struct DeviceProfile {
+  std::string name;
+
+  int num_sms = 1;
+  double clock_ghz = 1.0;
+  /// FP32 fused multiply-adds issued per cycle per SM (CUDA cores).
+  int fma_lanes_per_sm = 128;
+
+  double dram_bw_gbps = 1.0;  ///< bytes/s × 1e9
+  std::int64_t l2_bytes = 0;
+
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 1536;
+  int max_blocks_per_sm = 16;
+  /// Max static shared memory per block — the 49152-byte limit the paper's
+  /// α ≤ 24 derivation uses (§4.1).
+  int max_smem_per_block = 49152;
+  int smem_per_sm = 102400;
+  int regs_per_sm = 65536;
+  /// Shared-memory bandwidth: bytes served per cycle per SM (one 128-byte
+  /// warp transaction per cycle).
+  double smem_bytes_per_cycle = 128.0;
+  /// Fixed host-side cost of one kernel launch (seconds) — this is what makes
+  /// the §5.5 boundary treatment's "fewer, larger kernels" preferable to many
+  /// tiny tail launches.
+  double launch_overhead_s = 4e-6;
+
+  double peak_gflops() const {
+    return 2.0 * fma_lanes_per_sm * num_sms * clock_ghz;
+  }
+
+  static DeviceProfile rtx3060ti();
+  static DeviceProfile rtx4090();
+};
+
+/// Per-SM residency for a kernel configuration.
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int active_threads = 0;
+  int active_warps = 0;
+  double ratio = 0.0;       ///< active threads / max threads per SM
+  const char* limiter = ""; ///< which resource bounds residency
+};
+
+/// Compute how many blocks of the given configuration fit on one SM.
+Occupancy compute_occupancy(const DeviceProfile& dev, int threads_per_block,
+                            int smem_per_block, int regs_per_thread);
+
+}  // namespace iwg::sim

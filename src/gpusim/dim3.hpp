@@ -1,0 +1,18 @@
+// CUDA-like launch geometry.
+#pragma once
+
+#include <cstdint>
+
+namespace iwg::sim {
+
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+};
+
+}  // namespace iwg::sim

@@ -1,0 +1,93 @@
+#include "gpusim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iwg::sim {
+
+namespace {
+// Fixed pipeline efficiency (issue overheads beyond the modeled index ops).
+constexpr double kPipelineEff = 0.95;
+// Latency-hiding scale: effective parallelism (warps × per-thread ILP)
+// needed before the pipes saturate. This term is what prices the §5.4
+// trade-off: the ruse variants halve the active threads but double each
+// thread's independent accumulator chains.
+constexpr double kHideScale = 5.0;
+// Integer/address ops the ALU pipes spend per memory access per lane
+// (pointer arithmetic, predicates). Winograd kernels issue more accesses per
+// useful FMA than GEMM, which is part of why their real-world speedup is
+// smaller than the pure multiplication-count ratio.
+constexpr double kIndexOpsPerAccess = 3.0;
+}  // namespace
+
+PerfEstimate estimate_perf(const DeviceProfile& dev, const PerfInput& in) {
+  PerfEstimate e;
+  e.occ = compute_occupancy(dev, in.threads_per_block,
+                            static_cast<int>(in.smem_per_block),
+                            in.regs_per_thread);
+
+  const double ilp = static_cast<double>(in.accumulators_per_thread) / 64.0;
+  const double warps_eff = static_cast<double>(e.occ.active_warps) * ilp;
+  const double lat_hide = warps_eff / (warps_eff + kHideScale);
+  const double eff = kPipelineEff * std::max(lat_hide, 0.05);
+
+  // FP32/ALU pipes: every counted FMA and ALU op occupies one lane-cycle,
+  // plus the modeled address arithmetic behind each memory instruction.
+  const double accesses =
+      32.0 * static_cast<double>(in.stats.gld_requests + in.stats.gst_requests +
+                                 in.stats.smem_ld_requests +
+                                 in.stats.smem_st_requests);
+  const double ops = static_cast<double>(in.stats.fma + in.stats.alu) +
+                     kIndexOpsPerAccess * accesses;
+  const double lane_rate =
+      static_cast<double>(dev.num_sms) * dev.fma_lanes_per_sm * dev.clock_ghz *
+      1e9;
+  e.t_compute = ops / (lane_rate * eff);
+
+  // L2 traffic is what the coalescing analysis measured (sectors × 32 B).
+  const double l2_traffic = in.stats.gld_bytes() + in.stats.gst_bytes();
+
+  // DRAM: blocks resident at the same time share the L2. If the unique bytes
+  // touched per wave fit in L2, cross-block reuse (filters shared along the
+  // tile axis, inputs shared along the OC axis) is absorbed and DRAM sees
+  // only the unique footprint; otherwise traffic spills.
+  const double concurrent_blocks = std::max(
+      1.0, static_cast<double>(e.occ.blocks_per_sm) * dev.num_sms);
+  const double waves =
+      std::max(1.0, std::ceil(static_cast<double>(in.grid_blocks) /
+                              concurrent_blocks));
+  const double unique_per_wave = in.footprint_bytes / waves;
+  const double hit_capacity =
+      unique_per_wave <= 0.0
+          ? 1.0
+          : std::min(1.0, static_cast<double>(dev.l2_bytes) / unique_per_wave);
+  e.dram_bytes = in.footprint_bytes +
+                 std::max(0.0, l2_traffic - in.footprint_bytes) *
+                     (1.0 - hit_capacity);
+  e.t_dram = e.dram_bytes / (dev.dram_bw_gbps * 1e9 * std::max(lat_hide, 0.25));
+
+  // L2 bandwidth: roughly 3× DRAM bandwidth on both parts.
+  e.t_l2 = l2_traffic / (3.0 * dev.dram_bw_gbps * 1e9);
+
+  // Shared memory: one pass (128 B) per cycle per SM; conflicts are extra
+  // passes measured by the bank analyzer.
+  const double passes = static_cast<double>(in.stats.smem_ld_passes +
+                                            in.stats.smem_st_passes);
+  e.t_smem = passes / (static_cast<double>(dev.num_sms) * dev.clock_ghz * 1e9 *
+                       std::max(lat_hide, 0.25));
+
+  e.t_launch = dev.launch_overhead_s * in.num_launches;
+
+  e.time_s = std::max({e.t_compute, e.t_dram, e.t_l2, e.t_smem}) + e.t_launch;
+  e.bound = "compute";
+  if (e.t_dram >= e.t_compute && e.t_dram >= e.t_smem && e.t_dram >= e.t_l2)
+    e.bound = "dram";
+  else if (e.t_smem >= e.t_compute && e.t_smem >= e.t_dram)
+    e.bound = "smem";
+  else if (e.t_l2 >= e.t_compute)
+    e.bound = "l2";
+  e.gflops = in.conv_flops / e.time_s / 1e9;
+  return e;
+}
+
+}  // namespace iwg::sim

@@ -1,0 +1,48 @@
+// Analytic performance model.
+//
+// Takes the measured counters of a (sampled) kernel launch and a device
+// profile, and produces an estimated execution time via a roofline over four
+// resources: FP32 pipes, DRAM bandwidth (behind an L2 reuse model), L2
+// bandwidth, and shared-memory bandwidth (bank-conflict passes). A latency-
+// hiding factor derived from occupancy penalizes kernels that cannot keep
+// enough warps in flight — the α/outer-product-scale tension of §3.
+//
+// The absolute numbers are estimates; what the model preserves is the paper's
+// comparative structure: who wins for which filter size, where the ruse/c64
+// variants pay off, and how NHWC coalescing and bank conflicts move the
+// needle. EXPERIMENTS.md reports model output against the paper's numbers.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/sim.hpp"
+
+namespace iwg::sim {
+
+struct PerfInput {
+  LaunchStats stats;                ///< full-launch (extrapolated) counters
+  std::int64_t grid_blocks = 1;
+  int threads_per_block = 256;
+  std::int64_t smem_per_block = 0;  ///< bytes
+  int regs_per_thread = 64;
+  int accumulators_per_thread = 64;  ///< per-thread ILP (latency hiding)
+  double conv_flops = 0.0;          ///< algorithmic work for Gflop/s
+  double footprint_bytes = 0.0;     ///< unique X + W + Y bytes
+  int num_launches = 1;             ///< kernel segments (boundary treatment)
+};
+
+struct PerfEstimate {
+  double time_s = 0.0;
+  double gflops = 0.0;
+  double t_compute = 0.0;
+  double t_dram = 0.0;
+  double t_l2 = 0.0;
+  double t_smem = 0.0;
+  double t_launch = 0.0;
+  double dram_bytes = 0.0;
+  Occupancy occ;
+  const char* bound = "";
+};
+
+PerfEstimate estimate_perf(const DeviceProfile& dev, const PerfInput& in);
+
+}  // namespace iwg::sim

@@ -1,0 +1,363 @@
+#include "gpusim/sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace iwg::sim {
+
+void LaunchStats::merge(const LaunchStats& o) {
+  fma += o.fma;
+  alu += o.alu;
+  gld_requests += o.gld_requests;
+  gld_sectors += o.gld_sectors;
+  gld_ideal_bytes += o.gld_ideal_bytes;
+  gst_requests += o.gst_requests;
+  gst_sectors += o.gst_sectors;
+  gst_ideal_bytes += o.gst_ideal_bytes;
+  smem_ld_requests += o.smem_ld_requests;
+  smem_ld_passes += o.smem_ld_passes;
+  smem_ld_ideal += o.smem_ld_ideal;
+  smem_st_requests += o.smem_st_requests;
+  smem_st_passes += o.smem_st_passes;
+  smem_st_ideal += o.smem_st_ideal;
+  barriers += o.barriers;
+  blocks += o.blocks;
+}
+
+void LaunchStats::scale(double factor) {
+  auto s = [factor](std::int64_t& v) {
+    v = static_cast<std::int64_t>(static_cast<double>(v) * factor + 0.5);
+  };
+  s(fma);
+  s(alu);
+  s(gld_requests);
+  s(gld_sectors);
+  s(gld_ideal_bytes);
+  s(gst_requests);
+  s(gst_sectors);
+  s(gst_ideal_bytes);
+  s(smem_ld_requests);
+  s(smem_ld_passes);
+  s(smem_ld_ideal);
+  s(smem_st_requests);
+  s(smem_st_passes);
+  s(smem_st_ideal);
+  s(barriers);
+  s(blocks);
+}
+
+// ---------------------------------------------------------------------------
+// Thread accessors.
+
+float Thread::ldg(const GmemBuf& b, std::int64_t idx, int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kGld, site, lane, idx * 4, 4);
+  return b.load(idx);
+}
+
+void Thread::ldg64(const GmemBuf& b, std::int64_t idx, float out[2],
+                   int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kGld, site, lane, idx * 4, 8);
+  for (int i = 0; i < 2; ++i) out[i] = b.load(idx + i);
+}
+
+void Thread::ldg128(const GmemBuf& b, std::int64_t idx, float out[4],
+                    int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kGld, site, lane, idx * 4, 16);
+  for (int i = 0; i < 4; ++i) out[i] = b.load(idx + i);
+}
+
+void Thread::stg(const GmemBuf& b, std::int64_t idx, float v, int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kGst, site, lane, idx * 4, 4);
+  b.store(idx, v);
+}
+
+void Thread::stg128(const GmemBuf& b, std::int64_t idx, const float v[4],
+                    int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kGst, site, lane, idx * 4, 16);
+  for (int i = 0; i < 4; ++i) b.store(idx + i, v[i]);
+}
+
+float Thread::lds(const Smem& s, std::int64_t idx, int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kSld, site, lane, (s.base + idx) * 4, 4);
+  return const_cast<Smem&>(s)[idx];
+}
+
+void Thread::lds128(const Smem& s, std::int64_t idx, float out[4],
+                    int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kSld, site, lane, (s.base + idx) * 4, 16);
+  for (int i = 0; i < 4; ++i) out[i] = const_cast<Smem&>(s)[idx + i];
+}
+
+void Thread::sts(const Smem& s, std::int64_t idx, float v, int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kSst, site, lane, (s.base + idx) * 4, 4);
+  const_cast<Smem&>(s)[idx] = v;
+}
+
+void Thread::sts128(const Smem& s, std::int64_t idx, const float v[4],
+                    int site) const {
+  if (block->counting())
+    block->record(Block::Kind::kSst, site, lane, (s.base + idx) * 4, 16);
+  for (int i = 0; i < 4; ++i) const_cast<Smem&>(s)[idx + i] = v[i];
+}
+
+void Thread::count_fma(std::int64_t n) const { block->count_fma(n); }
+void Thread::count_alu(std::int64_t n) const { block->count_alu(n); }
+
+// ---------------------------------------------------------------------------
+// Block.
+
+Block::Block(Dim3 block_idx, Dim3 block_dim, std::int64_t smem_limit_bytes,
+             bool counting)
+    : idx_(block_idx),
+      dim_(block_dim),
+      smem_limit_words_(smem_limit_bytes / 4),
+      arena_(static_cast<std::size_t>(smem_limit_words_), 0.0f),
+      counting_(counting) {}
+
+Smem Block::smem(const std::string& name, std::int64_t words) {
+  for (const Region& r : regions_) {
+    if (r.name == name) {
+      IWG_CHECK_MSG(r.count == words, "smem region re-declared with new size");
+      return Smem{arena_.data() + r.base, r.base, r.count};
+    }
+  }
+  IWG_CHECK_MSG(arena_top_ + words <= smem_limit_words_,
+                "shared memory limit exceeded for region " + name);
+  const std::int64_t base = arena_top_;
+  arena_top_ += words;
+  high_water_ = std::max(high_water_, arena_top_);
+  regions_.push_back(Region{name, base, words});
+  return Smem{arena_.data() + base, base, words};
+}
+
+void Block::smem_reuse_from(const std::string& name) {
+  // Rewind the linear allocator to the start of `name`, dropping it and every
+  // later region. New allocations alias the old storage.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == name) {
+      arena_top_ = regions_[i].base;
+      regions_.resize(i);
+      return;
+    }
+  }
+  IWG_CHECK_MSG(false, "smem_reuse_from: unknown region " + name);
+}
+
+void Block::phase(const std::function<void(Thread&)>& fn) {
+  const int threads = num_threads();
+  Thread t;
+  t.block = this;
+  for (int flat = 0; flat < threads; ++flat) {
+    t.flat = flat;
+    t.tx = flat % dim_.x;
+    t.ty = flat / dim_.x;
+    t.lane = flat % 32;
+    t.warp = flat / 32;
+    fn(t);
+    if (counting_ && (t.lane == 31 || flat == threads - 1)) flush_warp();
+  }
+  ++stats_.barriers;
+}
+
+void Block::record(Kind kind, int site, int lane, std::int64_t byte_addr,
+                   int width) const {
+  lane_log_[lane].push_back(Access{kind, static_cast<std::int16_t>(site),
+                                   static_cast<std::int16_t>(width),
+                                   byte_addr});
+}
+
+void Block::flush_warp() const {
+  // Group each lane's accesses by (kind, site, occurrence index); accesses
+  // in the same group form one warp-wide request. Flat slot indexing keeps
+  // this analysis cheap — it runs once per warp per phase.
+  struct Group {
+    std::vector<std::pair<std::int64_t, int>> lanes;  // (addr, width)
+  };
+  constexpr int kMaxSites = 16;
+  constexpr int kSlots = 4 * kMaxSites;  // kind × site
+  // groups_scratch_[slot] = per-occurrence request list.
+  static thread_local std::vector<std::vector<Group>> slots;
+  static thread_local std::vector<int> used_slots;
+  if (slots.empty()) slots.resize(kSlots);
+  int occ[kSlots];
+  bool touched[kSlots] = {false};
+  for (int lane = 0; lane < 32; ++lane) {
+    std::fill(std::begin(occ), std::end(occ), 0);
+    for (const Access& a : lane_log_[lane]) {
+      const int slot = static_cast<int>(a.kind) * kMaxSites + (a.site % kMaxSites);
+      auto& vec = slots[static_cast<std::size_t>(slot)];
+      const int k = occ[slot]++;
+      if (!touched[slot]) {
+        touched[slot] = true;
+        used_slots.push_back(slot);
+      }
+      if (static_cast<int>(vec.size()) <= k) vec.resize(static_cast<std::size_t>(k) + 1);
+      vec[static_cast<std::size_t>(k)].lanes.emplace_back(a.addr, a.width);
+    }
+    lane_log_[lane].clear();
+  }
+
+  std::vector<std::pair<Kind, const Group*>> flat;
+  for (int slot : used_slots) {
+    auto& vec = slots[static_cast<std::size_t>(slot)];
+    for (auto& g : vec) {
+      if (!g.lanes.empty())
+        flat.emplace_back(static_cast<Kind>(slot / kMaxSites), &g);
+    }
+  }
+
+  for (const auto& [kind_v, gp] : flat) {
+    const Kind kind = kind_v;
+    const Group& g = *gp;
+    if (kind == Kind::kGld || kind == Kind::kGst) {
+      // Coalescing: count distinct 32-byte sectors across the warp.
+      std::int64_t sector_buf[96];
+      int nsec = 0;
+      std::int64_t ideal = 0;
+      for (const auto& [addr, width] : g.lanes) {
+        ideal += width;
+        for (std::int64_t b = addr / 32; b <= (addr + width - 1) / 32; ++b) {
+          if (nsec < 96) sector_buf[nsec++] = b;
+        }
+      }
+      std::sort(sector_buf, sector_buf + nsec);
+      const std::int64_t nsectors =
+          std::unique(sector_buf, sector_buf + nsec) - sector_buf;
+      if (kind == Kind::kGld) {
+        stats_.gld_requests += 1;
+        stats_.gld_sectors += nsectors;
+        stats_.gld_ideal_bytes += ideal;
+      } else {
+        stats_.gst_requests += 1;
+        stats_.gst_sectors += nsectors;
+        stats_.gst_ideal_bytes += ideal;
+      }
+    } else {
+      // Bank conflicts. Hardware splits wide accesses into sub-warp
+      // transactions (64-bit → half warps, 128-bit → quarter warps); within
+      // each transaction a pass serves at most one distinct 4-byte word per
+      // bank, broadcast to any number of lanes.
+      int max_width = 4;
+      for (const auto& [addr, width] : g.lanes)
+        max_width = std::max(max_width, width);
+      const std::size_t lanes_per_group =
+          static_cast<std::size_t>(std::max(1, 32 / (max_width / 4)));
+      std::int64_t passes = 0;
+      std::int64_t ideal = 0;
+      for (std::size_t g0 = 0; g0 < g.lanes.size(); g0 += lanes_per_group) {
+        std::int64_t word_buf[160];
+        int nw = 0;
+        const std::size_t g1 = std::min(g.lanes.size(), g0 + lanes_per_group);
+        for (std::size_t i = g0; i < g1; ++i) {
+          const auto& [addr, width] = g.lanes[i];
+          for (int w = 0; w < width / 4 && nw < 160; ++w)
+            word_buf[nw++] = addr / 4 + w;
+        }
+        std::sort(word_buf, word_buf + nw);
+        const std::int64_t nwords =
+            std::unique(word_buf, word_buf + nw) - word_buf;
+        std::int64_t per_bank[32] = {0};
+        for (std::int64_t i = 0; i < nwords; ++i) ++per_bank[word_buf[i] % 32];
+        std::int64_t group_passes = 0;
+        for (std::int64_t c : per_bank)
+          group_passes = std::max(group_passes, c);
+        passes += std::max<std::int64_t>(group_passes, nwords == 0 ? 0 : 1);
+        ideal += (nwords + 31) / 32;
+      }
+      if (kind == Kind::kSld) {
+        stats_.smem_ld_requests += 1;
+        stats_.smem_ld_passes += passes;
+        stats_.smem_ld_ideal += ideal;
+      } else {
+        stats_.smem_st_requests += 1;
+        stats_.smem_st_passes += passes;
+        stats_.smem_st_ideal += ideal;
+      }
+    }
+  }
+
+  for (int slot : used_slots) {
+    for (auto& g : slots[static_cast<std::size_t>(slot)]) g.lanes.clear();
+  }
+  used_slots.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Launchers.
+
+namespace {
+
+LaunchStats run_blocks(const Kernel& kernel,
+                       const std::vector<Dim3>& block_ids, bool counting,
+                       std::int64_t smem_limit) {
+  LaunchStats total;
+  std::mutex mu;
+  parallel_for(static_cast<std::int64_t>(block_ids.size()),
+               [&](std::int64_t i) {
+                 Block blk(block_ids[static_cast<std::size_t>(i)],
+                           kernel.block_dim(), smem_limit, counting);
+                 kernel.run_block(blk);
+                 LaunchStats s = blk.stats();
+                 s.blocks = 1;
+                 std::lock_guard lock(mu);
+                 total.merge(s);
+               });
+  return total;
+}
+
+std::int64_t smem_limit_for(const Kernel& kernel) {
+  const std::int64_t declared = kernel.smem_bytes();
+  IWG_CHECK_MSG(declared <= 49152,
+                "kernel " + kernel.name() + " exceeds the 48 KiB SMEM limit");
+  return declared;
+}
+
+}  // namespace
+
+LaunchStats launch_all(const Kernel& kernel, Dim3 grid, bool counting) {
+  const std::int64_t limit = smem_limit_for(kernel);
+  IWG_CHECK(grid.count() > 0);
+  IWG_CHECK(kernel.block_dim().count() <= 1024);
+  std::vector<Dim3> ids;
+  ids.reserve(static_cast<std::size_t>(grid.count()));
+  for (int z = 0; z < grid.z; ++z)
+    for (int y = 0; y < grid.y; ++y)
+      for (int x = 0; x < grid.x; ++x) ids.push_back(Dim3{x, y, z});
+  return run_blocks(kernel, ids, counting, limit);
+}
+
+LaunchStats launch_sample(const Kernel& kernel, Dim3 grid, int max_samples) {
+  const std::int64_t limit = smem_limit_for(kernel);
+  const std::int64_t total = grid.count();
+  IWG_CHECK(total > 0 && max_samples > 0);
+  const std::int64_t samples = std::min<std::int64_t>(max_samples, total);
+  std::vector<Dim3> ids;
+  ids.reserve(static_cast<std::size_t>(samples));
+  for (std::int64_t s = 0; s < samples; ++s) {
+    // Evenly spaced flat indices (including first and last blocks so that
+    // boundary behaviour is represented in the sample).
+    const std::int64_t flat =
+        samples == 1 ? 0 : s * (total - 1) / (samples - 1);
+    Dim3 id;
+    id.x = static_cast<int>(flat % grid.x);
+    id.y = static_cast<int>((flat / grid.x) % grid.y);
+    id.z = static_cast<int>(flat / (static_cast<std::int64_t>(grid.x) * grid.y));
+    ids.push_back(id);
+  }
+  LaunchStats stats = run_blocks(kernel, ids, /*counting=*/true, limit);
+  stats.scale(static_cast<double>(total) / static_cast<double>(samples));
+  return stats;
+}
+
+}  // namespace iwg::sim

@@ -1,0 +1,249 @@
+// Software SIMT execution model.
+//
+// Kernels written against this model execute functionally (bit-real FP32
+// arithmetic, real shared-memory staging, real barrier phases) on the host,
+// while the model measures exactly the quantities GPU performance analysis
+// cares about:
+//   * FP32 FMA / ALU operation counts,
+//   * per-warp global-memory coalescing (32-byte sectors per request),
+//   * per-warp shared-memory bank conflicts (passes per request, 32 banks),
+//   * barrier counts and static SMEM footprint (occupancy inputs).
+//
+// Execution semantics: a kernel's run_block() is invoked once per thread
+// block and structures its work as a sequence of *phases*; Block::phase(fn)
+// runs fn for every thread of the block (warp by warp, lane order) and ends
+// with an implicit __syncthreads(). This matches how the paper's Algorithm 1
+// and 2 are written: straight-line per-thread code separated by barriers.
+// Block-uniform control flow (the fh / ic-chunk loops) lives in run_block
+// between phases. Per-thread state that must survive across phases (e.g. the
+// 64 accumulators) lives in arrays indexed by Thread::flat.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace iwg::sim {
+
+/// A global-memory buffer visible to kernels. `clamp_zero` gives texture-like
+/// semantics: out-of-range loads return 0.0f, which is how the paper
+/// implements implicit zero padding without warp divergence (§5).
+class GmemBuf {
+ public:
+  GmemBuf() = default;
+  GmemBuf(float* data, std::int64_t count, bool clamp_zero = false)
+      : data_(data), count_(count), clamp_zero_(clamp_zero) {}
+  GmemBuf(const float* data, std::int64_t count, bool clamp_zero = false)
+      : data_(const_cast<float*>(data)),
+        count_(count),
+        clamp_zero_(clamp_zero),
+        read_only_(true) {}
+
+  std::int64_t count() const { return count_; }
+  bool clamp_zero() const { return clamp_zero_; }
+
+  float load(std::int64_t idx) const {
+    if (idx < 0 || idx >= count_) {
+      IWG_CHECK_MSG(clamp_zero_, "global load out of range");
+      return 0.0f;
+    }
+    return data_ ? data_[idx] : 0.0f;
+  }
+
+  void store(std::int64_t idx, float v) const {
+    IWG_CHECK_MSG(!read_only_, "store to read-only buffer");
+    IWG_CHECK_MSG(idx >= 0 && idx < count_, "global store out of range");
+    if (data_) data_[idx] = v;
+  }
+
+ private:
+  float* data_ = nullptr;  // may be null: address-only profiling mode
+  std::int64_t count_ = 0;
+  bool clamp_zero_ = false;
+  bool read_only_ = false;
+};
+
+/// A named shared-memory array carved out of the block's 48 KiB arena.
+/// `base` is the word offset inside the arena — the bank of element i is
+/// (base + i) % 32, exactly like consecutive 4-byte words on hardware.
+struct Smem {
+  float* ptr = nullptr;
+  std::int64_t base = 0;  ///< word offset in the arena
+  std::int64_t count = 0;
+
+  float& operator[](std::int64_t i) {
+    IWG_CHECK_MSG(i >= 0 && i < count, "smem index out of range");
+    return ptr[i];
+  }
+};
+
+/// Aggregated measurements for one launch (or one sampled block set).
+struct LaunchStats {
+  std::int64_t fma = 0;  ///< FP32 multiply-add operations
+  std::int64_t alu = 0;  ///< other FP32 ops (transform adds, scaling)
+
+  std::int64_t gld_requests = 0;
+  std::int64_t gld_sectors = 0;      ///< 32-byte sectors transferred
+  std::int64_t gld_ideal_bytes = 0;  ///< bytes actually consumed
+  std::int64_t gst_requests = 0;
+  std::int64_t gst_sectors = 0;
+  std::int64_t gst_ideal_bytes = 0;
+
+  std::int64_t smem_ld_requests = 0;
+  std::int64_t smem_ld_passes = 0;  ///< ≥ requests; excess = bank conflicts
+  std::int64_t smem_ld_ideal = 0;   ///< conflict-free passes
+  std::int64_t smem_st_requests = 0;
+  std::int64_t smem_st_passes = 0;
+  std::int64_t smem_st_ideal = 0;
+
+  std::int64_t barriers = 0;
+  std::int64_t blocks = 0;
+
+  void merge(const LaunchStats& o);
+  void scale(double factor);
+
+  double gld_bytes() const { return 32.0 * static_cast<double>(gld_sectors); }
+  double gst_bytes() const { return 32.0 * static_cast<double>(gst_sectors); }
+  /// Fraction of loaded bytes the kernel actually used (1.0 = perfectly
+  /// coalesced).
+  double gld_efficiency() const {
+    return gld_sectors == 0
+               ? 1.0
+               : static_cast<double>(gld_ideal_bytes) / gld_bytes();
+  }
+  double smem_ld_conflict_factor() const {
+    return smem_ld_ideal == 0 ? 1.0
+                              : static_cast<double>(smem_ld_passes) /
+                                    static_cast<double>(smem_ld_ideal);
+  }
+  double smem_st_conflict_factor() const {
+    return smem_st_ideal == 0 ? 1.0
+                              : static_cast<double>(smem_st_passes) /
+                                    static_cast<double>(smem_st_ideal);
+  }
+};
+
+class Block;
+
+/// Per-thread handle passed to phase functions.
+class Thread {
+ public:
+  int tx = 0;
+  int ty = 0;
+  int flat = 0;  ///< ty * blockDim.x + tx (CUDA linearization)
+  int lane = 0;  ///< flat % 32
+  int warp = 0;  ///< flat / 32
+
+  /// Texture-style global load (counts coalescing when profiling).
+  float ldg(const GmemBuf& b, std::int64_t idx, int site) const;
+  /// 64-bit load: 2 consecutive floats.
+  void ldg64(const GmemBuf& b, std::int64_t idx, float out[2], int site) const;
+  /// 128-bit load: 4 consecutive floats.
+  void ldg128(const GmemBuf& b, std::int64_t idx, float out[4],
+              int site) const;
+  void stg(const GmemBuf& b, std::int64_t idx, float v, int site) const;
+  void stg128(const GmemBuf& b, std::int64_t idx, const float v[4],
+              int site) const;
+
+  float lds(const Smem& s, std::int64_t idx, int site) const;
+  void lds128(const Smem& s, std::int64_t idx, float out[4], int site) const;
+  void sts(const Smem& s, std::int64_t idx, float v, int site) const;
+  void sts128(const Smem& s, std::int64_t idx, const float v[4],
+              int site) const;
+
+  void count_fma(std::int64_t n) const;
+  void count_alu(std::int64_t n) const;
+
+  Block* block = nullptr;
+};
+
+/// One thread block in flight. Created by the launcher.
+class Block {
+ public:
+  Block(Dim3 block_idx, Dim3 block_dim, std::int64_t smem_limit_bytes,
+        bool counting);
+
+  const Dim3& block_idx() const { return idx_; }
+  const Dim3& block_dim() const { return dim_; }
+  int num_threads() const { return static_cast<int>(dim_.count()); }
+
+  /// Allocate (or retrieve, by name) a shared-memory array of `words` floats.
+  /// Allocation is linear in the arena, so later arrays sit at higher bank
+  /// offsets, as on hardware.
+  Smem smem(const std::string& name, std::int64_t words);
+
+  /// Reset the arena allocator so a later region can alias an earlier one
+  /// (the paper reuses Gs/Ds as Ys for the output transform).
+  void smem_reuse_from(const std::string& name);
+
+  /// Run fn for every thread (warp-major order) and end with a barrier.
+  void phase(const std::function<void(Thread&)>& fn);
+
+  std::int64_t smem_bytes_used() const { return high_water_ * 4; }
+  const LaunchStats& stats() const { return stats_; }
+  bool counting() const { return counting_; }
+
+  // Internal: access recording (called by Thread).
+  enum class Kind : std::uint8_t { kGld, kGst, kSld, kSst };
+  void record(Kind kind, int site, int lane, std::int64_t byte_addr,
+              int width) const;
+  void count_fma(std::int64_t n) const { stats_.fma += n; }
+  void count_alu(std::int64_t n) const { stats_.alu += n; }
+
+ private:
+  void flush_warp() const;
+
+  Dim3 idx_;
+  Dim3 dim_;
+  std::int64_t smem_limit_words_;
+  std::vector<float> arena_;
+  struct Region {
+    std::string name;
+    std::int64_t base;
+    std::int64_t count;
+  };
+  std::vector<Region> regions_;
+  std::int64_t arena_top_ = 0;
+  std::int64_t high_water_ = 0;
+  bool counting_;
+
+  struct Access {
+    Kind kind;
+    std::int16_t site;
+    std::int16_t width;
+    std::int64_t addr;
+  };
+  mutable std::vector<Access> lane_log_[32];
+  mutable LaunchStats stats_;
+};
+
+/// Base class for kernels.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  virtual std::string name() const = 0;
+  virtual Dim3 block_dim() const = 0;
+  /// Static shared memory the kernel declares (checked against the limit).
+  virtual std::int64_t smem_bytes() const = 0;
+  /// Estimated register usage per thread (occupancy model input).
+  virtual int regs_per_thread() const = 0;
+  virtual void run_block(Block& blk) const = 0;
+};
+
+/// Functionally execute every block of the grid (parallel across blocks).
+/// Counters are optional because logging slows functional runs.
+LaunchStats launch_all(const Kernel& kernel, Dim3 grid, bool counting = false);
+
+/// Execute at most `max_samples` evenly spaced blocks with counters on and
+/// extrapolate the stats to the full grid. Outputs written by the sampled
+/// blocks are real; the rest of the output buffer is untouched. This is what
+/// makes paper-scale performance sweeps feasible on a 1-core host.
+LaunchStats launch_sample(const Kernel& kernel, Dim3 grid, int max_samples);
+
+}  // namespace iwg::sim

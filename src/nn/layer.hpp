@@ -1,0 +1,53 @@
+// Minimal FP32 training framework (the Dragon-Alpha / PyTorch stand-in for
+// Experiment 3).
+//
+// Layers own their parameters and cached activations; backward returns the
+// input gradient and accumulates parameter gradients. Convolutions run on a
+// selectable engine — Im2col-Winograd ("Alpha") or implicit GEMM (the
+// baseline) — which is the only difference between the two training
+// configurations the experiment compares.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace iwg::nn {
+
+/// A trainable parameter with its gradient accumulator.
+struct Param {
+  std::string name;
+  TensorF value;
+  TensorF grad;
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Which convolution algorithm the framework uses (§6.3: Alpha integrates
+/// Im2col-Winograd for unit-stride convolution and deconvolution; other
+/// algorithms handle the non-unit-stride cases).
+enum class ConvEngine { kWinograd, kGemm };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+  /// Forward pass; `train` enables caching for backward and batch-norm
+  /// statistics updates.
+  virtual TensorF forward(const TensorF& x, bool train) = 0;
+  /// Backward pass: consumes dL/dy, returns dL/dx, accumulates param grads.
+  virtual TensorF backward(const TensorF& dy) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Bytes of cached activations after the last training forward (for the
+  /// Table 4/5 memory accounting).
+  virtual std::int64_t activation_bytes() const { return 0; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace iwg::nn

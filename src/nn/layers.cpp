@@ -1,0 +1,467 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "core/conv_api.hpp"
+#include "core/gamma_host.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/im2col_gemm.hpp"
+
+namespace iwg::nn {
+
+void kaiming_uniform(TensorF& w, std::int64_t fan_in, Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  w.fill_uniform(rng, -bound, bound);
+}
+
+namespace {
+
+core::ConvOptions options_for(ConvEngine engine) {
+  core::ConvOptions opts;
+  opts.use_winograd = engine == ConvEngine::kWinograd;
+  return opts;
+}
+
+/// dX of a stride-s convolution (scatter form; used for s == 2 layers where
+/// the paper also falls back to non-Winograd algorithms).
+TensorF deconv_strided(const TensorF& dy, const TensorF& w, const ConvShape& s,
+                       std::int64_t stride) {
+  const std::int64_t oh = dy.dim(1);
+  const std::int64_t ow = dy.dim(2);
+  TensorF dx({s.n, s.ih, s.iw, s.ic});
+  parallel_for(s.n, [&](std::int64_t ni) {
+    for (std::int64_t ho = 0; ho < oh; ++ho) {
+      for (std::int64_t wo = 0; wo < ow; ++wo) {
+        for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+          const std::int64_t hi = ho * stride + fh - s.ph;
+          if (hi < 0 || hi >= s.ih) continue;
+          for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+            const std::int64_t wi = wo * stride + fw - s.pw;
+            if (wi < 0 || wi >= s.iw) continue;
+            for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+              const float g = dy.at(ni, ho, wo, oc);
+              if (g == 0.0f) continue;
+              const float* wp = &w.at(oc, fh, fw, 0);
+              float* xp = &dx.at(ni, hi, wi, 0);
+              for (std::int64_t ic = 0; ic < s.ic; ++ic) xp[ic] += g * wp[ic];
+            }
+          }
+        }
+      }
+    }
+  });
+  return dx;
+}
+
+/// dW of a stride-s convolution.
+TensorF filter_grad_strided(const TensorF& x, const TensorF& dy,
+                            const ConvShape& s, std::int64_t stride) {
+  const std::int64_t oh = dy.dim(1);
+  const std::int64_t ow = dy.dim(2);
+  TensorF dw({s.oc, s.fh, s.fw, s.ic});
+  parallel_for(s.oc, [&](std::int64_t oc) {
+    for (std::int64_t ni = 0; ni < s.n; ++ni) {
+      for (std::int64_t ho = 0; ho < oh; ++ho) {
+        for (std::int64_t wo = 0; wo < ow; ++wo) {
+          const float g = dy.at(ni, ho, wo, oc);
+          if (g == 0.0f) continue;
+          for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+            const std::int64_t hi = ho * stride + fh - s.ph;
+            if (hi < 0 || hi >= s.ih) continue;
+            for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+              const std::int64_t wi = wo * stride + fw - s.pw;
+              if (wi < 0 || wi >= s.iw) continue;
+              const float* xp = &x.at(ni, hi, wi, 0);
+              float* wp = &dw.at(oc, fh, fw, 0);
+              for (std::int64_t ic = 0; ic < s.ic; ++ic) wp[ic] += g * xp[ic];
+            }
+          }
+        }
+      }
+    }
+  });
+  return dw;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conv2D
+
+Conv2D::Conv2D(std::int64_t in_ch, std::int64_t out_ch, std::int64_t fsize,
+               std::int64_t stride, std::int64_t pad, ConvEngine engine,
+               Rng& rng, std::string label)
+    : label_(std::move(label)),
+      fsize_(fsize),
+      stride_(stride),
+      pad_(pad),
+      engine_(engine) {
+  IWG_CHECK(stride == 1 || stride == 2);
+  w_.name = label_ + ".w";
+  w_.value.reset({out_ch, fsize, fsize, in_ch});
+  w_.grad.reset({out_ch, fsize, fsize, in_ch});
+  kaiming_uniform(w_.value, in_ch * fsize * fsize, rng);
+  b_.name = label_ + ".b";
+  b_.value.reset({out_ch});
+  b_.grad.reset({out_ch});
+}
+
+TensorF Conv2D::forward(const TensorF& x, bool train) {
+  IWG_CHECK(x.rank() == 4);
+  shape_ = ConvShape{.n = x.dim(0), .ih = x.dim(1), .iw = x.dim(2),
+                     .ic = x.dim(3), .oc = w_.value.dim(0), .fh = fsize_,
+                     .fw = fsize_, .ph = pad_, .pw = pad_};
+  TensorF y;
+  if (stride_ == 1) {
+    y = core::conv2d(x, w_.value, shape_, options_for(engine_));
+  } else {
+    y = ref::conv2d_implicit_gemm_strided(x, w_.value, shape_, stride_,
+                                          stride_);
+  }
+  // Bias.
+  const std::int64_t oc = y.dim(3);
+  const std::int64_t pixels = y.size() / oc;
+  for (std::int64_t m = 0; m < pixels; ++m) {
+    float* row = y.data() + m * oc;
+    for (std::int64_t c = 0; c < oc; ++c) row[c] += b_.value[c];
+  }
+  if (train) {
+    x_cache_ = x;
+  } else {
+    x_cache_ = TensorF();
+  }
+  return y;
+}
+
+TensorF Conv2D::backward(const TensorF& dy) {
+  IWG_CHECK(!x_cache_.empty());
+  // db
+  const std::int64_t oc = dy.dim(3);
+  const std::int64_t pixels = dy.size() / oc;
+  for (std::int64_t m = 0; m < pixels; ++m) {
+    const float* row = dy.data() + m * oc;
+    for (std::int64_t c = 0; c < oc; ++c) b_.grad[c] += row[c];
+  }
+  // dw and dx
+  if (stride_ == 1) {
+    // The Winograd engine also accelerates the weight-gradient correlation
+    // (library extension — see conv2d_filter_grad_winograd).
+    const bool wino_dw =
+        engine_ == ConvEngine::kWinograd && fsize_ >= 2 && fsize_ <= 9;
+    const TensorF dw =
+        wino_dw ? core::conv2d_filter_grad_winograd(x_cache_, dy, shape_)
+                : ref::conv2d_filter_grad_gemm(x_cache_, dy, shape_);
+    for (std::int64_t i = 0; i < dw.size(); ++i) w_.grad[i] += dw[i];
+    if (engine_ == ConvEngine::kWinograd) {
+      return core::deconv2d(dy, w_.value, shape_, options_for(engine_));
+    }
+    return ref::deconv2d_implicit_gemm(dy, w_.value, shape_);
+  }
+  const TensorF dw = filter_grad_strided(x_cache_, dy, shape_, stride_);
+  for (std::int64_t i = 0; i < dw.size(); ++i) w_.grad[i] += dw[i];
+  return deconv_strided(dy, w_.value, shape_, stride_);
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2D
+
+BatchNorm2D::BatchNorm2D(std::int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_.name = "bn.gamma";
+  gamma_.value.reset({channels});
+  gamma_.value.fill(1.0f);
+  gamma_.grad.reset({channels});
+  beta_.name = "bn.beta";
+  beta_.value.reset({channels});
+  beta_.grad.reset({channels});
+  running_mean_.reset({channels});
+  running_var_.reset({channels});
+  running_var_.fill(1.0f);
+  inv_std_.resize(static_cast<std::size_t>(channels));
+}
+
+TensorF BatchNorm2D::forward(const TensorF& x, bool train) {
+  IWG_CHECK(x.rank() == 4 && x.dim(3) == channels_);
+  const std::int64_t m = x.size() / channels_;
+  TensorF y(std::vector<std::int64_t>{x.dim(0), x.dim(1), x.dim(2), x.dim(3)});
+  if (train) {
+    xhat_.reset({x.dim(0), x.dim(1), x.dim(2), x.dim(3)});
+    count_ = m;
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double mean = 0.0;
+      for (std::int64_t i = 0; i < m; ++i) mean += x[i * channels_ + c];
+      mean /= static_cast<double>(m);
+      double var = 0.0;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const double d = x[i * channels_ + c] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(m);
+      const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std_[static_cast<std::size_t>(c)] = inv;
+      running_mean_[c] = momentum_ * running_mean_[c] +
+                         (1.0f - momentum_) * static_cast<float>(mean);
+      running_var_[c] = momentum_ * running_var_[c] +
+                        (1.0f - momentum_) * static_cast<float>(var);
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float xh =
+            (x[i * channels_ + c] - static_cast<float>(mean)) * inv;
+        xhat_[i * channels_ + c] = xh;
+        y[i * channels_ + c] = gamma_.value[c] * xh + beta_.value[c];
+      }
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float inv = 1.0f / std::sqrt(running_var_[c] + eps_);
+      for (std::int64_t i = 0; i < m; ++i) {
+        y[i * channels_ + c] =
+            gamma_.value[c] * (x[i * channels_ + c] - running_mean_[c]) * inv +
+            beta_.value[c];
+      }
+    }
+  }
+  return y;
+}
+
+TensorF BatchNorm2D::backward(const TensorF& dy) {
+  IWG_CHECK(!xhat_.empty());
+  const std::int64_t m = count_;
+  TensorF dx(std::vector<std::int64_t>{dy.dim(0), dy.dim(1), dy.dim(2),
+                                       dy.dim(3)});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float g = dy[i * channels_ + c];
+      sum_dy += g;
+      sum_dy_xhat += g * xhat_[i * channels_ + c];
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+    const float inv = inv_std_[static_cast<std::size_t>(c)];
+    const float k1 = static_cast<float>(sum_dy / static_cast<double>(m));
+    const float k2 = static_cast<float>(sum_dy_xhat / static_cast<double>(m));
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float g = dy[i * channels_ + c];
+      dx[i * channels_ + c] = gamma_.value[c] * inv *
+                              (g - k1 - xhat_[i * channels_ + c] * k2);
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// LeakyReLU
+
+TensorF LeakyReLU::forward(const TensorF& x, bool train) {
+  TensorF y = x;
+  if (train) mask_.assign(static_cast<std::size_t>(x.size()), 0);
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) {
+      y[i] *= slope_;
+    } else if (train) {
+      mask_[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return y;
+}
+
+TensorF LeakyReLU::backward(const TensorF& dy) {
+  IWG_CHECK(static_cast<std::int64_t>(mask_.size()) == dy.size());
+  TensorF dx = dy;
+  for (std::int64_t i = 0; i < dx.size(); ++i) {
+    if (!mask_[static_cast<std::size_t>(i)]) dx[i] *= slope_;
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// MaxPool2x2
+
+TensorF MaxPool2x2::forward(const TensorF& x, bool train) {
+  IWG_CHECK(x.rank() == 4 && x.dim(1) % 2 == 0 && x.dim(2) % 2 == 0);
+  n_ = x.dim(0);
+  ih_ = x.dim(1);
+  iw_ = x.dim(2);
+  c_ = x.dim(3);
+  const std::int64_t oh = ih_ / 2;
+  const std::int64_t ow = iw_ / 2;
+  TensorF y({n_, oh, ow, c_});
+  if (train) argmax_.assign(static_cast<std::size_t>(y.size()), 0);
+  for (std::int64_t ni = 0; ni < n_; ++ni) {
+    for (std::int64_t h = 0; h < oh; ++h) {
+      for (std::int64_t w = 0; w < ow; ++w) {
+        for (std::int64_t c = 0; c < c_; ++c) {
+          float best = x.at(ni, 2 * h, 2 * w, c);
+          std::uint8_t idx = 0;
+          const float cands[3] = {x.at(ni, 2 * h, 2 * w + 1, c),
+                                  x.at(ni, 2 * h + 1, 2 * w, c),
+                                  x.at(ni, 2 * h + 1, 2 * w + 1, c)};
+          for (int k = 0; k < 3; ++k) {
+            if (cands[k] > best) {
+              best = cands[k];
+              idx = static_cast<std::uint8_t>(k + 1);
+            }
+          }
+          y.at(ni, h, w, c) = best;
+          if (train)
+            argmax_[static_cast<std::size_t>(y.offset(ni, h, w, c))] = idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TensorF MaxPool2x2::backward(const TensorF& dy) {
+  TensorF dx({n_, ih_, iw_, c_});
+  const std::int64_t oh = ih_ / 2;
+  const std::int64_t ow = iw_ / 2;
+  for (std::int64_t ni = 0; ni < n_; ++ni) {
+    for (std::int64_t h = 0; h < oh; ++h) {
+      for (std::int64_t w = 0; w < ow; ++w) {
+        for (std::int64_t c = 0; c < c_; ++c) {
+          const std::uint8_t idx =
+              argmax_[static_cast<std::size_t>(dy.offset(ni, h, w, c))];
+          const std::int64_t hh = 2 * h + (idx >= 2 ? 1 : 0);
+          const std::int64_t ww = 2 * w + (idx % 2);
+          dx.at(ni, hh, ww, c) += dy.at(ni, h, w, c);
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// GlobalAvgPool
+
+TensorF GlobalAvgPool::forward(const TensorF& x, bool /*train*/) {
+  IWG_CHECK(x.rank() == 4);
+  n_ = x.dim(0);
+  h_ = x.dim(1);
+  w_ = x.dim(2);
+  c_ = x.dim(3);
+  TensorF y({n_, c_});
+  const float inv = 1.0f / static_cast<float>(h_ * w_);
+  for (std::int64_t ni = 0; ni < n_; ++ni) {
+    for (std::int64_t hh = 0; hh < h_; ++hh) {
+      for (std::int64_t ww = 0; ww < w_; ++ww) {
+        for (std::int64_t c = 0; c < c_; ++c) {
+          y.at(ni, c, 0, 0) += x.at(ni, hh, ww, c) * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TensorF GlobalAvgPool::backward(const TensorF& dy) {
+  TensorF dx({n_, h_, w_, c_});
+  const float inv = 1.0f / static_cast<float>(h_ * w_);
+  for (std::int64_t ni = 0; ni < n_; ++ni) {
+    for (std::int64_t hh = 0; hh < h_; ++hh) {
+      for (std::int64_t ww = 0; ww < w_; ++ww) {
+        for (std::int64_t c = 0; c < c_; ++c) {
+          dx.at(ni, hh, ww, c) = dy.at(ni, c, 0, 0) * inv;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Flatten
+
+TensorF Flatten::forward(const TensorF& x, bool /*train*/) {
+  IWG_CHECK(x.rank() == 4);
+  n_ = x.dim(0);
+  h_ = x.dim(1);
+  w_ = x.dim(2);
+  c_ = x.dim(3);
+  TensorF y({n_, h_ * w_ * c_});
+  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i];
+  return y;
+}
+
+TensorF Flatten::backward(const TensorF& dy) {
+  TensorF dx({n_, h_, w_, c_});
+  for (std::int64_t i = 0; i < dy.size(); ++i) dx[i] = dy[i];
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+
+Linear::Linear(std::int64_t in_dim, std::int64_t out_dim, Rng& rng,
+               std::string label)
+    : label_(std::move(label)) {
+  w_.name = label_ + ".w";
+  w_.value.reset({in_dim, out_dim});
+  w_.grad.reset({in_dim, out_dim});
+  kaiming_uniform(w_.value, in_dim, rng);
+  b_.name = label_ + ".b";
+  b_.value.reset({out_dim});
+  b_.grad.reset({out_dim});
+}
+
+TensorF Linear::forward(const TensorF& x, bool train) {
+  IWG_CHECK(x.rank() == 2 && x.dim(1) == w_.value.dim(0));
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  const std::int64_t m = w_.value.dim(1);
+  TensorF y({n, m});
+  parallel_for(n, [&](std::int64_t i) {
+    float* yr = y.data() + i * m;
+    for (std::int64_t j = 0; j < m; ++j) yr[j] = b_.value[j];
+    const float* xr = x.data() + i * d;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const float xv = xr[k];
+      if (xv == 0.0f) continue;
+      const float* wr = w_.value.data() + k * m;
+      for (std::int64_t j = 0; j < m; ++j) yr[j] += xv * wr[j];
+    }
+  });
+  if (train) {
+    x_cache_ = x;
+  } else {
+    x_cache_ = TensorF();
+  }
+  return y;
+}
+
+TensorF Linear::backward(const TensorF& dy) {
+  IWG_CHECK(!x_cache_.empty());
+  const std::int64_t n = dy.dim(0);
+  const std::int64_t d = w_.value.dim(0);
+  const std::int64_t m = w_.value.dim(1);
+  // db, dw
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* gr = dy.data() + i * m;
+    for (std::int64_t j = 0; j < m; ++j) b_.grad[j] += gr[j];
+    const float* xr = x_cache_.data() + i * d;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const float xv = xr[k];
+      if (xv == 0.0f) continue;
+      float* wg = w_.grad.data() + k * m;
+      for (std::int64_t j = 0; j < m; ++j) wg[j] += xv * gr[j];
+    }
+  }
+  // dx = dy · W^T
+  TensorF dx({n, d});
+  parallel_for(n, [&](std::int64_t i) {
+    const float* gr = dy.data() + i * m;
+    float* xr = dx.data() + i * d;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const float* wr = w_.value.data() + k * m;
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < m; ++j) acc += gr[j] * wr[j];
+      xr[k] = acc;
+    }
+  });
+  return dx;
+}
+
+}  // namespace iwg::nn

@@ -1,0 +1,42 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iwg::nn {
+
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  IWG_CHECK(logits.rank() == 2);
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t k = logits.dim(1);
+  IWG_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+
+  LossResult res;
+  res.dlogits.reset({n, k});
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* grow = res.dlogits.data() + i * k;
+    const float mx = *std::max_element(row, row + k);
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < k; ++j) denom += std::exp(row[j] - mx);
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    IWG_CHECK(y >= 0 && y < k);
+    std::int64_t arg = 0;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double p = std::exp(row[j] - mx) / denom;
+      grow[j] = static_cast<float>((p - (j == y ? 1.0 : 0.0)) /
+                                   static_cast<double>(n));
+      if (row[j] > row[arg]) arg = j;
+    }
+    loss -= std::log(std::exp(row[y] - mx) / denom);
+    if (arg == y) ++res.correct;
+  }
+  res.loss = static_cast<float>(loss / static_cast<double>(n));
+  return res;
+}
+
+}  // namespace iwg::nn

@@ -1,0 +1,21 @@
+// Softmax cross-entropy with one-hot labels (§6.3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace iwg::nn {
+
+struct LossResult {
+  float loss = 0.0f;      ///< mean cross-entropy over the batch
+  TensorF dlogits;        ///< gradient w.r.t. the logits
+  std::int64_t correct = 0;  ///< argmax hits (for accuracy accounting)
+};
+
+/// logits: (N, K); labels: class indices (one-hot encoded internally).
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace iwg::nn

@@ -1,0 +1,190 @@
+#include "nn/model.hpp"
+
+#include "nn/layers.hpp"
+
+namespace iwg::nn {
+
+TensorF Model::forward(const TensorF& x, bool train) {
+  TensorF h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+TensorF Model::backward(const TensorF& dloss) {
+  TensorF g = dloss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t Model::param_count() {
+  std::int64_t total = 0;
+  for (Param* p : params()) total += p->value.size();
+  return total;
+}
+
+std::int64_t Model::activation_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l->activation_bytes();
+  return total;
+}
+
+std::string Model::summary() {
+  std::string s;
+  for (auto& l : layers_) {
+    s += l->name();
+    s += "\n";
+  }
+  s += "params: " + std::to_string(param_count()) + "\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ResidualBlock
+
+ResidualBlock::ResidualBlock(std::int64_t in_ch, std::int64_t out_ch,
+                             std::int64_t stride, ConvEngine engine,
+                             Rng& rng) {
+  main_.push_back(std::make_unique<Conv2D>(in_ch, out_ch, 3, stride, 1, engine,
+                                           rng, "res.conv1"));
+  main_.push_back(std::make_unique<BatchNorm2D>(out_ch));
+  main_.push_back(std::make_unique<LeakyReLU>());
+  main_.push_back(std::make_unique<Conv2D>(out_ch, out_ch, 3, 1, 1, engine,
+                                           rng, "res.conv2"));
+  main_.push_back(std::make_unique<BatchNorm2D>(out_ch));
+  if (stride != 1 || in_ch != out_ch) {
+    proj_.push_back(std::make_unique<Conv2D>(in_ch, out_ch, 1, stride, 0,
+                                             engine, rng, "res.proj"));
+    proj_.push_back(std::make_unique<BatchNorm2D>(out_ch));
+  }
+  relu_out_ = std::make_unique<LeakyReLU>();
+}
+
+TensorF ResidualBlock::forward(const TensorF& x, bool train) {
+  TensorF h = x;
+  for (auto& l : main_) h = l->forward(h, train);
+  TensorF skip = x;
+  for (auto& l : proj_) skip = l->forward(skip, train);
+  IWG_CHECK(h.same_shape(skip));
+  for (std::int64_t i = 0; i < h.size(); ++i) h[i] += skip[i];
+  if (train) skip_cache_ = skip;  // only shape matters for backward
+  return relu_out_->forward(h, train);
+}
+
+TensorF ResidualBlock::backward(const TensorF& dy) {
+  TensorF g = relu_out_->backward(dy);
+  // The addition forks the gradient into both branches.
+  TensorF gmain = g;
+  for (auto it = main_.rbegin(); it != main_.rend(); ++it) {
+    gmain = (*it)->backward(gmain);
+  }
+  TensorF gskip = g;
+  for (auto it = proj_.rbegin(); it != proj_.rend(); ++it) {
+    gskip = (*it)->backward(gskip);
+  }
+  IWG_CHECK(gmain.same_shape(gskip));
+  for (std::int64_t i = 0; i < gmain.size(); ++i) gmain[i] += gskip[i];
+  return gmain;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out;
+  for (auto& l : main_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  for (auto& l : proj_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::int64_t ResidualBlock::activation_bytes() const {
+  std::int64_t total = relu_out_->activation_bytes() + skip_cache_.size() * 4;
+  for (const auto& l : main_) total += l->activation_bytes();
+  for (const auto& l : proj_) total += l->activation_bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo
+
+Model make_vgg(int depth, const ModelConfig& cfg, int filter_size,
+               int first4_filter) {
+  IWG_CHECK(depth == 16 || depth == 19);
+  Rng rng(cfg.seed);
+  Model m;
+  // Convs per stage; stage widths are base·{1,2,4,8,8} like VGG's
+  // 64·{1,2,4,8,8}. VGG19 deepens the last three stages.
+  const std::vector<int> convs = depth == 16 ? std::vector<int>{2, 2, 3, 3, 3}
+                                             : std::vector<int>{2, 2, 4, 4, 4};
+  std::int64_t ch = 3;
+  std::int64_t spatial = cfg.image_size;
+  int conv_index = 0;
+  for (std::size_t stage = 0; stage < convs.size(); ++stage) {
+    const std::int64_t width =
+        cfg.base_channels << std::min<std::size_t>(stage, 3);
+    for (int i = 0; i < convs[stage]; ++i) {
+      int f = filter_size;
+      if (first4_filter > 0 && conv_index < 4) f = first4_filter;
+      m.add(std::make_unique<Conv2D>(ch, width, f, 1, f / 2, cfg.engine, rng,
+                                     "conv" + std::to_string(conv_index)));
+      // §6.3.1: BatchNorm layers were added into VGG to expedite convergence.
+      if (i == 0) m.add(std::make_unique<BatchNorm2D>(width));
+      m.add(std::make_unique<LeakyReLU>());
+      ch = width;
+      ++conv_index;
+    }
+    if (spatial >= 8) {  // keep at least a 4×4 map so the heavy deep
+      m.add(std::make_unique<MaxPool2x2>());  // layers stay Winograd-covered
+      spatial /= 2;
+    }
+  }
+  m.add(std::make_unique<Flatten>());
+  const std::int64_t feat = spatial * spatial * ch;
+  m.add(std::make_unique<Linear>(feat, 4 * cfg.base_channels, rng, "fc1"));
+  m.add(std::make_unique<LeakyReLU>());
+  m.add(std::make_unique<Linear>(4 * cfg.base_channels, cfg.num_classes, rng,
+                                 "fc2"));
+  return m;
+}
+
+Model make_resnet(int depth, const ModelConfig& cfg) {
+  IWG_CHECK(depth == 18 || depth == 34);
+  Rng rng(cfg.seed);
+  Model m;
+  const std::vector<int> blocks = depth == 18 ? std::vector<int>{2, 2, 2, 2}
+                                              : std::vector<int>{3, 4, 6, 3};
+  const std::int64_t c0 = cfg.base_channels;
+  m.add(std::make_unique<Conv2D>(3, c0, 3, 1, 1, cfg.engine, rng, "stem"));
+  m.add(std::make_unique<BatchNorm2D>(c0));
+  m.add(std::make_unique<LeakyReLU>());
+  std::int64_t ch = c0;
+  std::int64_t spatial = cfg.image_size;
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    const std::int64_t width = c0 << stage;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      // Non-unit-stride down-sampling at stage entry (§6.3.2), kept only
+      // while the map stays at least 4×4.
+      const std::int64_t stride =
+          (b == 0 && stage > 0 && spatial >= 8) ? 2 : 1;
+      m.add(std::make_unique<ResidualBlock>(ch, width, stride, cfg.engine,
+                                            rng));
+      if (stride == 2) spatial /= 2;
+      ch = width;
+    }
+  }
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(ch, cfg.num_classes, rng, "fc"));
+  return m;
+}
+
+}  // namespace iwg::nn

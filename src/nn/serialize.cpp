@@ -1,0 +1,83 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace iwg::nn {
+
+namespace {
+constexpr char kMagic[4] = {'I', 'W', 'G', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* p, std::size_t n) {
+  IWG_CHECK_MSG(std::fwrite(p, 1, n, f) == n, "weight file write failed");
+}
+
+void read_bytes(std::FILE* f, void* p, std::size_t n) {
+  IWG_CHECK_MSG(std::fread(p, 1, n, f) == n, "weight file truncated");
+}
+
+}  // namespace
+
+std::int64_t save_weights(Model& model, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  IWG_CHECK_MSG(f != nullptr, "cannot open weight file for writing: " + path);
+  write_bytes(f.get(), kMagic, 4);
+  write_bytes(f.get(), &kVersion, sizeof(kVersion));
+  const auto params = model.params();
+  const std::uint64_t count = params.size();
+  write_bytes(f.get(), &count, sizeof(count));
+  std::int64_t total = 4 + 4 + 8;
+  for (Param* p : params) {
+    const std::uint32_t name_len = static_cast<std::uint32_t>(p->name.size());
+    write_bytes(f.get(), &name_len, sizeof(name_len));
+    write_bytes(f.get(), p->name.data(), name_len);
+    const std::uint64_t elems = static_cast<std::uint64_t>(p->value.size());
+    write_bytes(f.get(), &elems, sizeof(elems));
+    write_bytes(f.get(), p->value.data(), elems * sizeof(float));
+    total += 4 + name_len + 8 + static_cast<std::int64_t>(elems) * 4;
+  }
+  return total;
+}
+
+void load_weights(Model& model, const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  IWG_CHECK_MSG(f != nullptr, "cannot open weight file: " + path);
+  char magic[4];
+  read_bytes(f.get(), magic, 4);
+  IWG_CHECK_MSG(std::memcmp(magic, kMagic, 4) == 0, "bad weight-file magic");
+  std::uint32_t version = 0;
+  read_bytes(f.get(), &version, sizeof(version));
+  IWG_CHECK_MSG(version == kVersion, "unsupported weight-file version");
+  std::uint64_t count = 0;
+  read_bytes(f.get(), &count, sizeof(count));
+  const auto params = model.params();
+  IWG_CHECK_MSG(count == params.size(), "weight file parameter count differs");
+  for (Param* p : params) {
+    std::uint32_t name_len = 0;
+    read_bytes(f.get(), &name_len, sizeof(name_len));
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len);
+    IWG_CHECK_MSG(name == p->name, "weight file parameter order differs: " +
+                                       name + " vs " + p->name);
+    std::uint64_t elems = 0;
+    read_bytes(f.get(), &elems, sizeof(elems));
+    IWG_CHECK_MSG(elems == static_cast<std::uint64_t>(p->value.size()),
+                  "weight file shape differs for " + name);
+    read_bytes(f.get(), p->value.data(), elems * sizeof(float));
+  }
+}
+
+}  // namespace iwg::nn

@@ -1,0 +1,20 @@
+// Weight-file serialization — the "weight file" column of Tables 4/5.
+//
+// Format (little-endian): magic "IWGW", u32 version, u64 param count, then
+// per parameter: u32 name length, name bytes, u64 element count, f32 data.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace iwg::nn {
+
+/// Write every parameter of the model; returns bytes written.
+std::int64_t save_weights(Model& model, const std::string& path);
+
+/// Load weights into an identically-structured model (names and sizes must
+/// match, in order). Throws on any mismatch.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace iwg::nn

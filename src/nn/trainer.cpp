@@ -1,0 +1,74 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+
+namespace iwg::nn {
+
+TrainStats train_model(Model& model, Optimizer& opt,
+                       const data::Dataset& train_set,
+                       const data::Dataset* test_set, const TrainConfig& cfg) {
+  TrainStats stats;
+  const std::vector<Param*> params = model.params();
+  stats.param_bytes = model.param_bytes();
+
+  const std::int64_t steps_per_epoch = train_set.count() / cfg.batch;
+  IWG_CHECK_MSG(steps_per_epoch > 0, "dataset smaller than one batch");
+
+  std::int64_t step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    Timer epoch_timer;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    for (std::int64_t s = 0; s < steps_per_epoch; ++s, ++step) {
+      std::vector<std::int64_t> labels;
+      const TensorF x = train_set.batch(s * cfg.batch, cfg.batch, labels);
+      opt.zero_grad(params);
+      const TensorF logits = model.forward(x, /*train=*/true);
+      const LossResult res = softmax_cross_entropy(logits, labels);
+      model.backward(res.dlogits);
+      opt.step(params);
+      correct += res.correct;
+      seen += cfg.batch;
+      if (step % cfg.record_every == 0) stats.loss_curve.push_back(res.loss);
+      if (cfg.verbose && s % 20 == 0) {
+        std::printf("epoch %d step %lld loss %.4f\n", epoch,
+                    static_cast<long long>(s), static_cast<double>(res.loss));
+      }
+    }
+    stats.epoch_seconds.push_back(epoch_timer.seconds());
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(seen);
+  }
+  double total = 0.0;
+  for (double t : stats.epoch_seconds) total += t;
+  stats.seconds_per_epoch = total / static_cast<double>(cfg.epochs);
+
+  // Memory accounting: weights + gradients + optimizer-agnostic activation
+  // caches from the last training step.
+  stats.memory_bytes = 2 * stats.param_bytes + model.activation_bytes();
+
+  if (test_set != nullptr) {
+    stats.test_accuracy = evaluate(model, *test_set, cfg.batch);
+  }
+  return stats;
+}
+
+double evaluate(Model& model, const data::Dataset& ds, std::int64_t batch) {
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  const std::int64_t batches = ds.count() / batch;
+  for (std::int64_t b = 0; b < batches; ++b) {
+    std::vector<std::int64_t> labels;
+    const TensorF x = ds.batch(b * batch, batch, labels);
+    const TensorF logits = model.forward(x, /*train=*/false);
+    const LossResult res = softmax_cross_entropy(logits, labels);
+    correct += res.correct;
+    seen += batch;
+  }
+  return seen == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(seen);
+}
+
+}  // namespace iwg::nn

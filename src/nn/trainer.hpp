@@ -1,0 +1,40 @@
+// Training loop with the accounting Experiment 3 reports: per-epoch wall
+// time, loss curve (recorded every `record_every` steps, as in the paper),
+// train/test accuracy, and memory estimates.
+#pragma once
+
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optim.hpp"
+
+namespace iwg::nn {
+
+struct TrainConfig {
+  int epochs = 3;
+  std::int64_t batch = 16;
+  int record_every = 10;  ///< steps between loss-curve samples (§6.3.1)
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<float> loss_curve;   ///< sampled every record_every steps
+  std::vector<double> epoch_seconds;
+  double seconds_per_epoch = 0.0;  ///< mean
+  double train_accuracy = 0.0;     ///< final-epoch running accuracy
+  double test_accuracy = 0.0;      ///< 0 when no test set given
+  std::int64_t param_bytes = 0;    ///< the "weight file" column
+  std::int64_t memory_bytes = 0;   ///< params + grads + activations
+};
+
+/// Train `model` on `train_set` (optionally evaluating on `test_set`).
+TrainStats train_model(Model& model, Optimizer& opt,
+                       const data::Dataset& train_set,
+                       const data::Dataset* test_set, const TrainConfig& cfg);
+
+/// Classification accuracy of the model on a dataset (eval mode).
+double evaluate(Model& model, const data::Dataset& ds, std::int64_t batch);
+
+}  // namespace iwg::nn

@@ -1,0 +1,136 @@
+#include "reference/direct_conv.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace iwg::ref {
+
+namespace {
+
+/// Shared loop skeleton: Acc is the accumulator type, In the tensor element.
+template <typename Acc, typename In>
+void conv_rows(const Tensor<In>& x, const Tensor<In>& w, const ConvShape& s,
+               Tensor<Acc>& y) {
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  parallel_for(s.n * oh, [&](std::int64_t row) {
+    const std::int64_t n = row / oh;
+    const std::int64_t h = row % oh;
+    for (std::int64_t wo = 0; wo < ow; ++wo) {
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        Acc acc = 0;
+        for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+          const std::int64_t ihp = h + fh - s.ph;
+          if (ihp < 0 || ihp >= s.ih) continue;
+          for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+            const std::int64_t iwp = wo + fw - s.pw;
+            if (iwp < 0 || iwp >= s.iw) continue;
+            const In* xp = &x.at(n, ihp, iwp, 0);
+            const In* wp = &w.at(oc, fh, fw, 0);
+            for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+              acc += static_cast<Acc>(xp[ic]) * static_cast<Acc>(wp[ic]);
+            }
+          }
+        }
+        y.at(n, h, wo, oc) = acc;
+      }
+    }
+  });
+}
+
+void check_inputs(const TensorF& x, const TensorF& w, const ConvShape& s) {
+  s.validate();
+  IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
+            x.dim(2) == s.iw && x.dim(3) == s.ic);
+  IWG_CHECK(w.rank() == 4 && w.dim(0) == s.oc && w.dim(1) == s.fh &&
+            w.dim(2) == s.fw && w.dim(3) == s.ic);
+}
+
+}  // namespace
+
+TensorF conv2d_direct(const TensorF& x, const TensorF& w, const ConvShape& s) {
+  check_inputs(x, w, s);
+  TensorF y({s.n, s.oh(), s.ow(), s.oc});
+  conv_rows<float>(x, w, s, y);
+  return y;
+}
+
+TensorD conv2d_direct_fp64(const TensorF& x, const TensorF& w,
+                           const ConvShape& s) {
+  check_inputs(x, w, s);
+  const TensorD xd = x.cast<double>();
+  const TensorD wd = w.cast<double>();
+  TensorD y({s.n, s.oh(), s.ow(), s.oc});
+  conv_rows<double>(xd, wd, s, y);
+  return y;
+}
+
+TensorF deconv2d_direct(const TensorF& dy, const TensorF& w,
+                        const ConvShape& s) {
+  s.validate();
+  IWG_CHECK(dy.rank() == 4 && dy.dim(0) == s.n && dy.dim(1) == s.oh() &&
+            dy.dim(2) == s.ow() && dy.dim(3) == s.oc);
+  IWG_CHECK(w.rank() == 4 && w.dim(0) == s.oc && w.dim(1) == s.fh &&
+            w.dim(2) == s.fw && w.dim(3) == s.ic);
+  // dX[n,ih,iw,ic] = Σ_{fh,fw,oc} W[oc,fh,fw,ic] · dY[n, ih−fh+ph, iw−fw+pw, oc]
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  TensorF dx({s.n, s.ih, s.iw, s.ic});
+  parallel_for(s.n * s.ih, [&](std::int64_t row) {
+    const std::int64_t n = row / s.ih;
+    const std::int64_t hi = row % s.ih;
+    for (std::int64_t wi = 0; wi < s.iw; ++wi) {
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+        float acc = 0.0f;
+        for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+          const std::int64_t ho = hi - fh + s.ph;
+          if (ho < 0 || ho >= oh) continue;
+          for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+            const std::int64_t wo = wi - fw + s.pw;
+            if (wo < 0 || wo >= ow) continue;
+            for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+              acc += w.at(oc, fh, fw, ic) * dy.at(n, ho, wo, oc);
+            }
+          }
+        }
+        dx.at(n, hi, wi, ic) = acc;
+      }
+    }
+  });
+  return dx;
+}
+
+TensorF conv2d_filter_grad_direct(const TensorF& x, const TensorF& dy,
+                                  const ConvShape& s) {
+  s.validate();
+  IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
+            x.dim(2) == s.iw && x.dim(3) == s.ic);
+  IWG_CHECK(dy.rank() == 4 && dy.dim(0) == s.n && dy.dim(1) == s.oh() &&
+            dy.dim(2) == s.ow() && dy.dim(3) == s.oc);
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  TensorF dw({s.oc, s.fh, s.fw, s.ic});
+  parallel_for(s.oc, [&](std::int64_t oc) {
+    for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+      for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+        for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+          float acc = 0.0f;
+          for (std::int64_t n = 0; n < s.n; ++n) {
+            for (std::int64_t h = 0; h < oh; ++h) {
+              const std::int64_t ihp = h + fh - s.ph;
+              if (ihp < 0 || ihp >= s.ih) continue;
+              for (std::int64_t wo = 0; wo < ow; ++wo) {
+                const std::int64_t iwp = wo + fw - s.pw;
+                if (iwp < 0 || iwp >= s.iw) continue;
+                acc += dy.at(n, h, wo, oc) * x.at(n, ihp, iwp, ic);
+              }
+            }
+          }
+          dw.at(oc, fh, fw, ic) = acc;
+        }
+      }
+    }
+  });
+  return dw;
+}
+
+}  // namespace iwg::ref

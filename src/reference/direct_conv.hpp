@@ -1,0 +1,33 @@
+// Direct convolution references.
+//
+// These are the ground truth everything else is validated against. The FP64
+// variant (double accumulators over double inputs) is the paper's accuracy
+// benchmark: "The CPU convolution uses FP64 accumulators, providing much
+// higher accuracy than the GPU convolutions" (§6.2.1).
+#pragma once
+
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::ref {
+
+/// Y[n,oh,ow,oc] = Σ_{fh,fw,ic} W[oc,fh,fw,ic] · Xpad[n,oh+fh,ow+fw,ic].
+/// X is NHWC (N,IH,IW,IC); W is OC,FH,FW,IC; result NHWC (N,OH,OW,OC).
+TensorF conv2d_direct(const TensorF& x, const TensorF& w, const ConvShape& s);
+
+/// FP64 truth: inputs are converted to double and accumulated in double.
+TensorD conv2d_direct_fp64(const TensorF& x, const TensorF& w,
+                           const ConvShape& s);
+
+/// Transposed convolution ("backward deconvolution" in the paper): given
+/// gradients dY (N,OH,OW,OC) and the forward filter W (OC,FH,FW,IC),
+/// produces dX (N,IH,IW,IC). Unit stride throughout.
+TensorF deconv2d_direct(const TensorF& dy, const TensorF& w,
+                        const ConvShape& s);
+
+/// Filter gradient: dW[oc,fh,fw,ic] = Σ_{n,oh,ow} dY[n,oh,ow,oc] ·
+/// Xpad[n,oh+fh,ow+fw,ic].
+TensorF conv2d_filter_grad_direct(const TensorF& x, const TensorF& dy,
+                                  const ConvShape& s);
+
+}  // namespace iwg::ref

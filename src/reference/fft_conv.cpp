@@ -1,0 +1,164 @@
+#include "reference/fft_conv.hpp"
+
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/layout.hpp"
+
+namespace iwg::ref {
+
+std::int64_t next_pow2(std::int64_t v) {
+  IWG_CHECK(v >= 1);
+  std::int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  IWG_CHECK_MSG(n > 0 && (n & (n - 1)) == 0, "FFT length must be 2^k");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / static_cast<double>(len) *
+                       (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+namespace {
+
+/// 2-D FFT over a ph×pw complex grid (rows then columns).
+void fft2_inplace(std::vector<std::complex<double>>& grid, std::int64_t ph,
+                  std::int64_t pw, bool inverse) {
+  std::vector<std::complex<double>> line;
+  line.resize(static_cast<std::size_t>(pw));
+  for (std::int64_t r = 0; r < ph; ++r) {
+    std::copy(grid.begin() + r * pw, grid.begin() + (r + 1) * pw,
+              line.begin());
+    fft_inplace(line, inverse);
+    std::copy(line.begin(), line.end(), grid.begin() + r * pw);
+  }
+  line.resize(static_cast<std::size_t>(ph));
+  for (std::int64_t c = 0; c < pw; ++c) {
+    for (std::int64_t r = 0; r < ph; ++r)
+      line[static_cast<std::size_t>(r)] = grid[r * pw + c];
+    fft_inplace(line, inverse);
+    for (std::int64_t r = 0; r < ph; ++r)
+      grid[r * pw + c] = line[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace
+
+std::int64_t fft_conv_workspace_bytes(const ConvShape& s) {
+  const std::int64_t ph = next_pow2(s.ih + s.fh - 1);
+  const std::int64_t pw = next_pow2(s.iw + s.fw - 1);
+  // Filter spectra (OC·IC grids), one image's channel spectra (IC grids),
+  // and an accumulator grid — each complex double.
+  return 16 * ph * pw * (s.oc * s.ic + s.ic + 1);
+}
+
+FftConvResult conv2d_fft(const TensorF& x, const TensorF& w,
+                         const ConvShape& s) {
+  s.validate();
+  IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
+            x.dim(2) == s.iw && x.dim(3) == s.ic);
+  IWG_CHECK(w.rank() == 4 && w.dim(0) == s.oc && w.dim(1) == s.fh &&
+            w.dim(2) == s.fw && w.dim(3) == s.ic);
+  const std::int64_t ph = next_pow2(s.ih + s.fh - 1);
+  const std::int64_t pw = next_pow2(s.iw + s.fw - 1);
+  const std::int64_t cells = ph * pw;
+
+  FftConvResult res;
+  res.workspace_bytes = fft_conv_workspace_bytes(s);
+
+  // Filter spectra of the 180°-rotated filters (correlation = convolution
+  // with the rotated filter).
+  std::vector<std::vector<std::complex<double>>> wspec(
+      static_cast<std::size_t>(s.oc * s.ic));
+  parallel_for(s.oc * s.ic, [&](std::int64_t job) {
+    const std::int64_t oc = job / s.ic;
+    const std::int64_t ic = job % s.ic;
+    auto& grid = wspec[static_cast<std::size_t>(job)];
+    grid.assign(static_cast<std::size_t>(cells), {0.0, 0.0});
+    for (std::int64_t a = 0; a < s.fh; ++a) {
+      for (std::int64_t b = 0; b < s.fw; ++b) {
+        grid[static_cast<std::size_t>((s.fh - 1 - a) * pw +
+                                      (s.fw - 1 - b))] =
+            static_cast<double>(w.at(oc, a, b, ic));
+      }
+    }
+    fft2_inplace(grid, ph, pw, false);
+  });
+
+  res.y.reset({s.n, s.oh(), s.ow(), s.oc});
+  const std::int64_t off_h = s.fh - 1 - s.ph;
+  const std::int64_t off_w = s.fw - 1 - s.pw;
+  parallel_for(s.n, [&](std::int64_t ni) {
+    // Spectra of this image's channels.
+    std::vector<std::vector<std::complex<double>>> xspec(
+        static_cast<std::size_t>(s.ic));
+    for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+      auto& grid = xspec[static_cast<std::size_t>(ic)];
+      grid.assign(static_cast<std::size_t>(cells), {0.0, 0.0});
+      for (std::int64_t a = 0; a < s.ih; ++a) {
+        for (std::int64_t b = 0; b < s.iw; ++b) {
+          grid[static_cast<std::size_t>(a * pw + b)] =
+              static_cast<double>(x.at(ni, a, b, ic));
+        }
+      }
+      fft2_inplace(grid, ph, pw, false);
+    }
+    std::vector<std::complex<double>> acc;
+    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+      acc.assign(static_cast<std::size_t>(cells), {0.0, 0.0});
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+        const auto& xs = xspec[static_cast<std::size_t>(ic)];
+        const auto& ws = wspec[static_cast<std::size_t>(oc * s.ic + ic)];
+        for (std::int64_t i = 0; i < cells; ++i) {
+          acc[static_cast<std::size_t>(i)] +=
+              xs[static_cast<std::size_t>(i)] *
+              ws[static_cast<std::size_t>(i)];
+        }
+      }
+      fft2_inplace(acc, ph, pw, true);
+      // Crop the "valid with padding" window out of the linear convolution.
+      for (std::int64_t a = 0; a < s.oh(); ++a) {
+        const std::int64_t src_a = a + off_h;
+        for (std::int64_t b = 0; b < s.ow(); ++b) {
+          const std::int64_t src_b = b + off_w;
+          double v = 0.0;
+          if (src_a >= 0 && src_a < ph && src_b >= 0 && src_b < pw) {
+            v = acc[static_cast<std::size_t>(src_a * pw + src_b)].real();
+          }
+          res.y.at(ni, a, b, oc) = static_cast<float>(v);
+        }
+      }
+    }
+  });
+  return res;
+}
+
+}  // namespace iwg::ref

@@ -1,0 +1,40 @@
+// FFT convolution — the fourth implementation family in the paper's §2
+// taxonomy ("direct, GEMM, FFT, and Winograd… FFT is efficient for large
+// filters") and, like non-fused Winograd, excluded from the paper's
+// benchmark because of its workspace appetite (§6.1.1).
+//
+// Self-contained iterative radix-2 complex FFT; 2-D convolution via the
+// convolution theorem with per-image-pair frequency products, plus the
+// closed-form workspace accounting the memory-comparison bench reports.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::ref {
+
+/// In-place iterative radix-2 FFT. data.size() must be a power of two.
+/// inverse applies the conjugate transform including the 1/N scale.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two ≥ v (v ≥ 1).
+std::int64_t next_pow2(std::int64_t v);
+
+struct FftConvResult {
+  TensorF y;
+  std::int64_t workspace_bytes = 0;  ///< complex frequency-domain buffers
+};
+
+/// 2-D convolution via FFT (any filter size, any padding). Exact up to FP
+/// rounding; used as a large-filter reference and for workspace accounting.
+FftConvResult conv2d_fft(const TensorF& x, const TensorF& w,
+                         const ConvShape& s);
+
+/// Closed-form workspace of the FFT organization for a shape.
+std::int64_t fft_conv_workspace_bytes(const ConvShape& s);
+
+}  // namespace iwg::ref

@@ -1,0 +1,187 @@
+#include "reference/im2col_gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "tensor/layout.hpp"
+
+namespace iwg::ref {
+
+TensorF im2col(const TensorF& x, const ConvShape& s) {
+  s.validate();
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  const std::int64_t gm = s.n * oh * ow;
+  const std::int64_t gk = s.fh * s.fw * s.ic;
+  TensorF b({gm, gk});
+  parallel_for(s.n * oh, [&](std::int64_t row) {
+    const std::int64_t n = row / oh;
+    const std::int64_t h = row % oh;
+    for (std::int64_t wo = 0; wo < ow; ++wo) {
+      float* dst = &b.at((n * oh + h) * ow + wo, 0, 0, 0);
+      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+        const std::int64_t ihp = h + fh - s.ph;
+        for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+          const std::int64_t iwp = wo + fw - s.pw;
+          const bool in = ihp >= 0 && ihp < s.ih && iwp >= 0 && iwp < s.iw;
+          const float* src = in ? &x.at(n, ihp, iwp, 0) : nullptr;
+          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+            *dst++ = in ? src[ic] : 0.0f;
+          }
+        }
+      }
+    }
+  });
+  return b;
+}
+
+void sgemm_abt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+               const float* b, float* c) {
+  // Cache-blocked over rows; the k loop stays sequential so the accumulation
+  // order matches a straightforward GEMM (relevant for the accuracy study).
+  constexpr std::int64_t kRowBlock = 32;
+  const std::int64_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  parallel_for(row_blocks, [&](std::int64_t rb) {
+    const std::int64_t r0 = rb * kRowBlock;
+    const std::int64_t r1 = std::min(m, r0 + kRowBlock);
+    for (std::int64_t i = r0; i < r1; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* bj = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
+        ci[j] = acc;
+      }
+    }
+  });
+}
+
+TensorF conv2d_im2col_gemm(const TensorF& x, const TensorF& w,
+                           const ConvShape& s) {
+  const TensorF b = im2col(x, s);
+  const std::int64_t gm = b.dim(0);
+  const std::int64_t gk = b.dim(1);
+  IWG_CHECK(w.size() == s.oc * gk);
+  TensorF y({s.n, s.oh(), s.ow(), s.oc});
+  sgemm_abt(gm, s.oc, gk, b.data(), w.data(), y.data());
+  return y;
+}
+
+float tf32_round(float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, 4);
+  // Round-to-nearest-even into a 10-bit mantissa (TF32).
+  const std::uint32_t round = ((b >> 13) & 1u) + 0xFFFu;
+  b = (b + round) & ~0x1FFFu;
+  std::memcpy(&v, &b, 4);
+  return v;
+}
+
+TensorF conv2d_im2col_gemm_tf32(const TensorF& x, const TensorF& w,
+                                const ConvShape& s) {
+  const TensorF b = im2col(x, s);
+  const std::int64_t gm = b.dim(0);
+  const std::int64_t gk = b.dim(1);
+  IWG_CHECK(w.size() == s.oc * gk);
+  TensorF y({s.n, s.oh(), s.ow(), s.oc});
+  parallel_for(gm, [&](std::int64_t i) {
+    const float* bi = b.data() + i * gk;
+    float* yi = y.data() + i * s.oc;
+    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+      const float* wr = w.data() + oc * gk;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < gk; ++kk) {
+        acc += tf32_round(bi[kk]) * tf32_round(wr[kk]);
+      }
+      yi[oc] = acc;
+    }
+  });
+  return y;
+}
+
+TensorF conv2d_implicit_gemm(const TensorF& x, const TensorF& w,
+                             const ConvShape& s) {
+  return conv2d_implicit_gemm_strided(x, w, s, 1, 1);
+}
+
+TensorF conv2d_implicit_gemm_strided(const TensorF& x, const TensorF& w,
+                                     const ConvShape& s, std::int64_t sh,
+                                     std::int64_t sw) {
+  s.validate();
+  IWG_CHECK(sh >= 1 && sw >= 1);
+  const std::int64_t oh = (s.ih + 2 * s.ph - s.fh) / sh + 1;
+  const std::int64_t ow = (s.iw + 2 * s.pw - s.fw) / sw + 1;
+  TensorF y({s.n, oh, ow, s.oc});
+  // One im2col row is materialized per output pixel on the stack-local
+  // buffer; no O(tensor) workspace, matching the "implicit precomp" idea.
+  parallel_for(s.n * oh, [&](std::int64_t row) {
+    const std::int64_t n = row / oh;
+    const std::int64_t h = row % oh;
+    std::vector<float> patch(static_cast<std::size_t>(s.fh * s.fw * s.ic));
+    for (std::int64_t wo = 0; wo < ow; ++wo) {
+      float* dst = patch.data();
+      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+        const std::int64_t ihp = h * sh + fh - s.ph;
+        for (std::int64_t fw = 0; fw < s.fw; ++fw) {
+          const std::int64_t iwp = wo * sw + fw - s.pw;
+          const bool in = ihp >= 0 && ihp < s.ih && iwp >= 0 && iwp < s.iw;
+          const float* src = in ? &x.at(n, ihp, iwp, 0) : nullptr;
+          for (std::int64_t ic = 0; ic < s.ic; ++ic)
+            *dst++ = in ? src[ic] : 0.0f;
+        }
+      }
+      const std::int64_t gk = s.fh * s.fw * s.ic;
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        const float* wp = w.data() + oc * gk;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < gk; ++kk) acc += patch[kk] * wp[kk];
+        y.at(n, h, wo, oc) = acc;
+      }
+    }
+  });
+  return y;
+}
+
+TensorF deconv2d_implicit_gemm(const TensorF& dy, const TensorF& w,
+                               const ConvShape& s) {
+  // dX = conv(dY, rot180(W) with channels swapped), padding fh−1−ph.
+  const TensorF wd = deconv_filter(w);
+  ConvShape ds;
+  ds.n = s.n;
+  ds.ih = s.oh();
+  ds.iw = s.ow();
+  ds.ic = s.oc;
+  ds.oc = s.ic;
+  ds.fh = s.fh;
+  ds.fw = s.fw;
+  ds.ph = s.fh - 1 - s.ph;
+  ds.pw = s.fw - 1 - s.pw;
+  IWG_CHECK(ds.oh() == s.ih && ds.ow() == s.iw);
+  return conv2d_implicit_gemm(dy, wd, ds);
+}
+
+TensorF conv2d_filter_grad_gemm(const TensorF& x, const TensorF& dy,
+                                const ConvShape& s) {
+  // dW (OC × GK) = dY^T (OC × GM) · B (GM × GK); computed as oc-rows against
+  // the materialized im2col matrix.
+  const TensorF b = im2col(x, s);
+  const std::int64_t gm = b.dim(0);
+  const std::int64_t gk = b.dim(1);
+  TensorF dw({s.oc, s.fh, s.fw, s.ic});
+  parallel_for(s.oc, [&](std::int64_t oc) {
+    float* out = dw.data() + oc * gk;
+    std::fill(out, out + gk, 0.0f);
+    for (std::int64_t m = 0; m < gm; ++m) {
+      const float g = dy[m * s.oc + oc];
+      if (g == 0.0f) continue;
+      const float* bm = &b.at(m, 0, 0, 0);
+      for (std::int64_t kk = 0; kk < gk; ++kk) out[kk] += g * bm[kk];
+    }
+  });
+  return dw;
+}
+
+}  // namespace iwg::ref

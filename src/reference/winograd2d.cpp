@@ -1,0 +1,143 @@
+#include "reference/winograd2d.hpp"
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg::ref {
+
+namespace {
+
+// 4×4 2-D transforms built by applying the 1-D F(2,3) matrices to rows then
+// columns. All loops are over fixed sizes; the compiler unrolls them.
+
+// out(4×4) = D^T · in(4×4) · D, where D^T is the plan's 4×4 input transform.
+void input_transform(const float bt[16], const float in[16], float out[16]) {
+  float tmp[16];
+  for (int i = 0; i < 4; ++i)      // tmp = BT * in
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += bt[i * 4 + k] * in[k * 4 + j];
+      tmp[i * 4 + j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)      // out = tmp * B  (B = BT^T)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += tmp[i * 4 + k] * bt[j * 4 + k];
+      out[i * 4 + j] = acc;
+    }
+}
+
+// out(4×4) = G(4×3) · w(3×3) · G^T
+void filter_transform(const float g[12], const float w[9], float out[16]) {
+  float tmp[12];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += g[i * 3 + k] * w[k * 3 + j];
+      tmp[i * 3 + j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 3; ++k) acc += tmp[i * 3 + k] * g[j * 3 + k];
+      out[i * 4 + j] = acc;
+    }
+}
+
+// out(2×2) = A^T(2×4) · m(4×4) · A
+void output_transform(const float at[8], const float m[16], float out[4]) {
+  float tmp[8];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += at[i * 4 + k] * m[k * 4 + j];
+      tmp[i * 4 + j] = acc;
+    }
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < 4; ++k) acc += tmp[i * 4 + k] * at[j * 4 + k];
+      out[i * 2 + j] = acc;
+    }
+}
+
+}  // namespace
+
+TensorF conv2d_winograd2d_f2x2_3x3(const TensorF& x, const TensorF& w,
+                                   const ConvShape& s) {
+  s.validate();
+  IWG_CHECK_MSG(s.fh == 3 && s.fw == 3, "fused 2-D Winograd requires 3x3");
+  const WinogradPlan& plan = get_plan(2, 3);
+  const float* bt = plan.bt_f.data();
+  const float* g = plan.g_f.data();
+  const float* at = plan.at_f.data();
+
+  const std::int64_t oh = s.oh();
+  const std::int64_t ow = s.ow();
+  const std::int64_t th = (oh + 1) / 2;  // tile grid
+  const std::int64_t tw = (ow + 1) / 2;
+
+  // Pre-transform filters: U[oc][ic][16] = G W G^T.
+  std::vector<float> u(static_cast<std::size_t>(s.oc * s.ic * 16));
+  parallel_for(s.oc, [&](std::int64_t oc) {
+    for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+      float wf[9];
+      for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b) wf[a * 3 + b] = w.at(oc, a, b, ic);
+      filter_transform(g, wf, &u[(oc * s.ic + ic) * 16]);
+    }
+  });
+
+  TensorF y({s.n, oh, ow, s.oc});
+  parallel_for(s.n * th, [&](std::int64_t job) {
+    const std::int64_t n = job / th;
+    const std::int64_t ti = job % th;
+    std::vector<float> v(static_cast<std::size_t>(s.ic) * 16);
+    std::vector<float> m(static_cast<std::size_t>(s.oc) * 16);
+    for (std::int64_t tj = 0; tj < tw; ++tj) {
+      // Input transform for every channel of this 4×4 tile.
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+        float in[16];
+        for (int a = 0; a < 4; ++a) {
+          const std::int64_t ihp = ti * 2 + a - s.ph;
+          for (int b = 0; b < 4; ++b) {
+            const std::int64_t iwp = tj * 2 + b - s.pw;
+            const bool ok =
+                ihp >= 0 && ihp < s.ih && iwp >= 0 && iwp < s.iw;
+            in[a * 4 + b] = ok ? x.at(n, ihp, iwp, ic) : 0.0f;
+          }
+        }
+        input_transform(bt, in, &v[static_cast<std::size_t>(ic) * 16]);
+      }
+      // Elementwise multiply-accumulate over channels.
+      std::fill(m.begin(), m.end(), 0.0f);
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        float* mo = &m[static_cast<std::size_t>(oc) * 16];
+        for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+          const float* uf = &u[(oc * s.ic + ic) * 16];
+          const float* vf = &v[static_cast<std::size_t>(ic) * 16];
+          for (int t = 0; t < 16; ++t) mo[t] += uf[t] * vf[t];
+        }
+      }
+      // Output transform and store (edge tiles clipped).
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        float out[4];
+        output_transform(at, &m[static_cast<std::size_t>(oc) * 16], out);
+        for (int a = 0; a < 2; ++a) {
+          const std::int64_t ho = ti * 2 + a;
+          if (ho >= oh) continue;
+          for (int b = 0; b < 2; ++b) {
+            const std::int64_t wo = tj * 2 + b;
+            if (wo >= ow) continue;
+            y.at(n, ho, wo, oc) = out[a * 2 + b];
+          }
+        }
+      }
+    }
+  });
+  return y;
+}
+
+}  // namespace iwg::ref

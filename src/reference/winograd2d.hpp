@@ -1,0 +1,19 @@
+// Fused 2-D Winograd F(2×2, 3×3) convolution — the cuDNN Fused_Winograd
+// stand-in (restricted to 3×3 filters, like the cuDNN algorithm; §6.1.1).
+//
+// Y = A^T [ (G W G^T) ⊙ (D^T X D) ] A, nested from the 1-D F(2, 3) plan,
+// accumulated over input channels before the output transform.
+#pragma once
+
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::ref {
+
+/// 2-D Winograd convolution. Requires fh == fw == 3; any padding; output
+/// dimensions not divisible by 2 are handled with zero-padded edge tiles
+/// (the conditional-statement boundary style §5.5 argues against).
+TensorF conv2d_winograd2d_f2x2_3x3(const TensorF& x, const TensorF& w,
+                                   const ConvShape& s);
+
+}  // namespace iwg::ref

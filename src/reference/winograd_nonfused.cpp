@@ -1,0 +1,124 @@
+#include "reference/winograd_nonfused.hpp"
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg::ref {
+
+std::int64_t winograd_nonfused_workspace_bytes(const ConvShape& s, int n,
+                                               int r) {
+  const std::int64_t alpha = n + r - 1;
+  const std::int64_t tiles_w = s.ow() / n;
+  const std::int64_t gm = s.n * s.oh() * tiles_w;
+  const std::int64_t ghat = alpha * s.fh * s.ic * s.oc;
+  const std::int64_t dhat = alpha * gm * s.fh * s.ic;
+  const std::int64_t mhat = alpha * gm * s.oc;
+  return 4 * (ghat + dhat + mhat);
+}
+
+NonFusedResult conv2d_winograd_nonfused(const TensorF& x, const TensorF& w,
+                                        const ConvShape& s, int n, int r) {
+  s.validate();
+  IWG_CHECK(s.fw == r);
+  IWG_CHECK_MSG(s.ow() % n == 0, "non-fused baseline needs OW % n == 0");
+  const int alpha = n + r - 1;
+  const WinogradPlan& plan = get_plan(n, r);
+  const TransformEval g_eval(alpha, r, plan.g_f, true);
+  const TransformEval d_eval(alpha, alpha, plan.bt_f, true);
+
+  const std::int64_t oh = s.oh();
+  const std::int64_t tiles_w = s.ow() / n;
+  const std::int64_t gm = s.n * oh * tiles_w;
+
+  NonFusedResult res;
+  res.workspace_bytes = winograd_nonfused_workspace_bytes(s, n, r);
+
+  // Pass 1: filter transform ĝ[fh][t][ic][oc].
+  std::vector<float> ghat(static_cast<std::size_t>(alpha) * s.fh * s.ic *
+                          s.oc);
+  parallel_for(s.fh * s.ic, [&](std::int64_t job) {
+    const std::int64_t fh = job / s.ic;
+    const std::int64_t ic = job % s.ic;
+    float taps[16];
+    float th[16];
+    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+      for (int j = 0; j < r; ++j) taps[j] = w.at(oc, fh, j, ic);
+      g_eval.apply(taps, 1, th, 1);
+      for (int t = 0; t < alpha; ++t) {
+        ghat[((fh * alpha + t) * s.ic + ic) * static_cast<std::size_t>(s.oc) +
+             static_cast<std::size_t>(oc)] = th[t];
+      }
+    }
+  });
+
+  // Pass 2: input transform d̂[m][fh][t][ic] for every tile m.
+  std::vector<float> dhat(static_cast<std::size_t>(gm) * s.fh * alpha * s.ic);
+  parallel_for(gm, [&](std::int64_t m) {
+    const std::int64_t ni = m / (oh * tiles_w);
+    const std::int64_t hi = (m / tiles_w) % oh;
+    const std::int64_t tw = m % tiles_w;
+    const std::int64_t iw0 = tw * n - s.pw;
+    float taps[16];
+    float th[16];
+    for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+      const std::int64_t ihp = hi + fh - s.ph;
+      float* base = &dhat[((m * s.fh + fh) * alpha) * s.ic];
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+        for (int e = 0; e < alpha; ++e) {
+          const std::int64_t iw = iw0 + e;
+          const bool ok =
+              ihp >= 0 && ihp < s.ih && iw >= 0 && iw < s.iw;
+          taps[e] = ok ? x.at(ni, ihp, iw, ic) : 0.0f;
+        }
+        d_eval.apply(taps, 1, th, 1);
+        for (int t = 0; t < alpha; ++t) base[t * s.ic + ic] = th[t];
+      }
+    }
+  });
+
+  // Pass 3: per-state batched GEMMs m̂[m][t][oc] accumulated over (fh, ic).
+  std::vector<float> mhat(static_cast<std::size_t>(gm) * alpha * s.oc, 0.0f);
+  parallel_for(gm, [&](std::int64_t m) {
+    float* mrow_base = &mhat[static_cast<std::size_t>(m) * alpha * s.oc];
+    for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+      const float* drow_base = &dhat[((m * s.fh + fh) * alpha) * s.ic];
+      for (int t = 0; t < alpha; ++t) {
+        const float* drow = drow_base + static_cast<std::size_t>(t) * s.ic;
+        const float* gbase =
+            &ghat[(fh * alpha + t) * s.ic * static_cast<std::size_t>(s.oc)];
+        float* mrow = mrow_base + static_cast<std::size_t>(t) * s.oc;
+        for (std::int64_t ic = 0; ic < s.ic; ++ic) {
+          const float dv = drow[ic];
+          if (dv == 0.0f) continue;
+          const float* grow = gbase + ic * s.oc;
+          for (std::int64_t oc = 0; oc < s.oc; ++oc) mrow[oc] += dv * grow[oc];
+        }
+      }
+    }
+  });
+
+  // Pass 4: output transform.
+  res.y.reset({s.n, oh, s.ow(), s.oc});
+  parallel_for(gm, [&](std::int64_t m) {
+    const std::int64_t ni = m / (oh * tiles_w);
+    const std::int64_t hi = (m / tiles_w) % oh;
+    const std::int64_t tw = m % tiles_w;
+    const float* mrow_base = &mhat[static_cast<std::size_t>(m) * alpha * s.oc];
+    for (int i = 0; i < n; ++i) {
+      float* yrow = &res.y.at(ni, hi, tw * n + i, 0);
+      const float* at_row = &plan.at_f[static_cast<std::size_t>(i) * alpha];
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] = 0.0f;
+      for (int t = 0; t < alpha; ++t) {
+        const float a = at_row[t];
+        if (a == 0.0f) continue;
+        const float* mrow = mrow_base + static_cast<std::size_t>(t) * s.oc;
+        for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] += a * mrow[oc];
+      }
+    }
+  });
+  return res;
+}
+
+}  // namespace iwg::ref

@@ -1,0 +1,40 @@
+// Non-fused 1-D Winograd convolution — the workspace-hungry organization
+// the paper's fused design eliminates (§2/§4.1: "the Non-Fused uses multiple
+// kernels and requires a much larger workspace to store intermediate
+// variables"; §6.1.1 excludes cuDNN's non-fused algorithms from the
+// benchmark for exactly this reason).
+//
+// The computation is identical to Im2col-Winograd (1-D Winograd along W,
+// accumulation over FH × IC in the state domain) but staged as four separate
+// passes over global workspace, like cuDNN's Winograd_NonFused:
+//   1. filter transform      ĝ[fh][t][ic][oc]          (α·FH·IC·OC floats)
+//   2. input transform       d̂[n][oh][fh][tile][t][ic]  (α·GM·FH·IC floats)
+//   3. batched elem-mul GEMM m̂[n][oh][tile][t][oc]      (α·GM·OC floats)
+//   4. output transform      Y
+// The workspace accounting is what the comparison bench reports.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/conv_shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace iwg::ref {
+
+struct NonFusedResult {
+  TensorF y;
+  std::int64_t workspace_bytes = 0;  ///< peak intermediate storage
+};
+
+/// Non-fused Γα(n,r)-equivalent convolution. Requires OW % n == 0 (no
+/// boundary machinery here — this baseline exists for the workspace
+/// comparison, not for production use).
+NonFusedResult conv2d_winograd_nonfused(const TensorF& x, const TensorF& w,
+                                        const ConvShape& s, int n, int r);
+
+/// Workspace the non-fused organization needs for a shape (closed form, no
+/// execution) — used by the memory-comparison bench at paper-scale shapes.
+std::int64_t winograd_nonfused_workspace_bytes(const ConvShape& s, int n,
+                                               int r);
+
+}  // namespace iwg::ref

@@ -1,0 +1,103 @@
+// Layout converters and filter rearrangements.
+//
+// The paper stores filters as OC × FH × FW × IC and, for forward convolution,
+// transposes them to FH × FW × IC × OC so that a warp reading consecutive OC
+// values is coalesced (§5.1). Backward deconvolution additionally rotates the
+// filter 180° spatially, which is fused into the filter transform.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace iwg {
+
+/// NHWC (N,H,W,C) → NCHW (N,C,H,W).
+template <typename T>
+Tensor<T> nhwc_to_nchw(const Tensor<T>& x);
+
+/// NCHW (N,C,H,W) → NHWC (N,H,W,C).
+template <typename T>
+Tensor<T> nchw_to_nhwc(const Tensor<T>& x);
+
+/// Filters OC,FH,FW,IC → FH,FW,IC,OC (forward layout, §5.1).
+template <typename T>
+Tensor<T> transpose_filter_to_fhwio(const Tensor<T>& w);
+
+/// Filters OC,FH,FW,IC → FH,FW,IC,OC with 180° spatial rotation (deconv).
+template <typename T>
+Tensor<T> transpose_filter_to_fhwio_rot180(const Tensor<T>& w);
+
+/// Filters OC,FH,FW,IC → IC,FH,FW,OC with 180° rotation: the filter of the
+/// transposed convolution expressed as a plain convolution filter.
+template <typename T>
+Tensor<T> deconv_filter(const Tensor<T>& w);
+
+// ---------------------------------------------------------------------------
+// Implementation (header-only; trivially inlinable loops).
+
+template <typename T>
+Tensor<T> nhwc_to_nchw(const Tensor<T>& x) {
+  IWG_CHECK(x.rank() == 4);
+  const auto n = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  Tensor<T> out({n, c, h, w});
+  for (std::int64_t in = 0; in < n; ++in)
+    for (std::int64_t ih = 0; ih < h; ++ih)
+      for (std::int64_t iw = 0; iw < w; ++iw)
+        for (std::int64_t ic = 0; ic < c; ++ic)
+          out.at(in, ic, ih, iw) = x.at(in, ih, iw, ic);
+  return out;
+}
+
+template <typename T>
+Tensor<T> nchw_to_nhwc(const Tensor<T>& x) {
+  IWG_CHECK(x.rank() == 4);
+  const auto n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor<T> out({n, h, w, c});
+  for (std::int64_t in = 0; in < n; ++in)
+    for (std::int64_t ic = 0; ic < c; ++ic)
+      for (std::int64_t ih = 0; ih < h; ++ih)
+        for (std::int64_t iw = 0; iw < w; ++iw)
+          out.at(in, ih, iw, ic) = x.at(in, ic, ih, iw);
+  return out;
+}
+
+template <typename T>
+Tensor<T> transpose_filter_to_fhwio(const Tensor<T>& w) {
+  IWG_CHECK(w.rank() == 4);
+  const auto oc = w.dim(0), fh = w.dim(1), fw = w.dim(2), ic = w.dim(3);
+  Tensor<T> out({fh, fw, ic, oc});
+  for (std::int64_t o = 0; o < oc; ++o)
+    for (std::int64_t h = 0; h < fh; ++h)
+      for (std::int64_t x = 0; x < fw; ++x)
+        for (std::int64_t i = 0; i < ic; ++i)
+          out.at(h, x, i, o) = w.at(o, h, x, i);
+  return out;
+}
+
+template <typename T>
+Tensor<T> transpose_filter_to_fhwio_rot180(const Tensor<T>& w) {
+  IWG_CHECK(w.rank() == 4);
+  const auto oc = w.dim(0), fh = w.dim(1), fw = w.dim(2), ic = w.dim(3);
+  Tensor<T> out({fh, fw, ic, oc});
+  for (std::int64_t o = 0; o < oc; ++o)
+    for (std::int64_t h = 0; h < fh; ++h)
+      for (std::int64_t x = 0; x < fw; ++x)
+        for (std::int64_t i = 0; i < ic; ++i)
+          out.at(fh - 1 - h, fw - 1 - x, i, o) = w.at(o, h, x, i);
+  return out;
+}
+
+template <typename T>
+Tensor<T> deconv_filter(const Tensor<T>& w) {
+  IWG_CHECK(w.rank() == 4);
+  const auto oc = w.dim(0), fh = w.dim(1), fw = w.dim(2), ic = w.dim(3);
+  // Result: filter of shape IC(out) × FH × FW × OC(in), spatially rotated.
+  Tensor<T> out({ic, fh, fw, oc});
+  for (std::int64_t o = 0; o < oc; ++o)
+    for (std::int64_t h = 0; h < fh; ++h)
+      for (std::int64_t x = 0; x < fw; ++x)
+        for (std::int64_t i = 0; i < ic; ++i)
+          out.at(i, fh - 1 - h, fw - 1 - x, o) = w.at(o, h, x, i);
+  return out;
+}
+
+}  // namespace iwg

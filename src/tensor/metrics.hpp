@@ -1,0 +1,91 @@
+// Error metrics used by Experiment 2 (accuracy analysis, Table 3 / Fig. 10).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace iwg {
+
+/// Average relative error of `got` against FP64 truth, the paper's accuracy
+/// metric (§6.2.1). Elements with |truth| below eps are compared absolutely.
+double average_relative_error(const TensorF& got, const TensorD& truth,
+                              double eps = 1e-30);
+
+/// Per-element relative errors (for the Figure-10 histogram).
+std::vector<double> relative_errors(const TensorF& got, const TensorD& truth,
+                                    double eps = 1e-30);
+
+/// Max |a-b| over all elements; tensors must be the same shape.
+double max_abs_diff(const TensorF& a, const TensorF& b);
+
+/// Max |a-b| / (1 + |b|); robust to magnitude for FP32-vs-FP32 checks.
+double max_rel_diff(const TensorF& a, const TensorF& b);
+
+/// Histogram helper: counts of values in [edges[i], edges[i+1]).
+std::vector<std::int64_t> histogram(const std::vector<double>& values,
+                                    const std::vector<double>& edges);
+
+// ---------------------------------------------------------------------------
+
+inline double average_relative_error(const TensorF& got, const TensorD& truth,
+                                     double eps) {
+  IWG_CHECK(got.size() == truth.size());
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    const double t = truth[i];
+    const double d = std::abs(static_cast<double>(got[i]) - t);
+    sum += std::abs(t) > eps ? d / std::abs(t) : d;
+  }
+  return sum / static_cast<double>(got.size());
+}
+
+inline std::vector<double> relative_errors(const TensorF& got,
+                                           const TensorD& truth, double eps) {
+  IWG_CHECK(got.size() == truth.size());
+  std::vector<double> out(static_cast<std::size_t>(got.size()));
+  for (std::int64_t i = 0; i < got.size(); ++i) {
+    const double t = truth[i];
+    const double d = std::abs(static_cast<double>(got[i]) - t);
+    out[static_cast<std::size_t>(i)] =
+        std::abs(t) > eps ? d / std::abs(t) : d;
+  }
+  return out;
+}
+
+inline double max_abs_diff(const TensorF& a, const TensorF& b) {
+  IWG_CHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
+
+inline double max_rel_diff(const TensorF& a, const TensorF& b) {
+  IWG_CHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(static_cast<double>(a[i]) - b[i]);
+    m = std::max(m, d / (1.0 + std::abs(static_cast<double>(b[i]))));
+  }
+  return m;
+}
+
+inline std::vector<std::int64_t> histogram(const std::vector<double>& values,
+                                           const std::vector<double>& edges) {
+  IWG_CHECK(edges.size() >= 2);
+  std::vector<std::int64_t> counts(edges.size() - 1, 0);
+  for (double v : values) {
+    for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+      if (v >= edges[i] && v < edges[i + 1]) {
+        ++counts[i];
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace iwg

@@ -1,0 +1,135 @@
+// Dense row-major tensors (rank ≤ 4) used throughout the library.
+//
+// Convolution tensors follow the paper's conventions (Table 1):
+//   ifms    X : N × IH × IW × IC           (NHWC)
+//   filters W : OC × FH × FW × IC
+//   ofms    Y : N × OH × OW × OC           (NHWC)
+// NCHW variants are produced by the layout converters in layout.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace iwg {
+
+/// Owning dense tensor of element type T (float for compute, double for the
+/// FP64 reference path). Row-major; rank between 1 and 5 (rank 5 serves the
+/// §4.2 N-D extension's N,D,H,W,C volumes).
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::initializer_list<std::int64_t> dims) {
+    reset(std::vector<std::int64_t>(dims));
+  }
+  explicit Tensor(const std::vector<std::int64_t>& dims) { reset(dims); }
+
+  void reset(const std::vector<std::int64_t>& dims) {
+    IWG_CHECK_MSG(!dims.empty() && dims.size() <= 5, "tensor rank must be 1-5");
+    rank_ = static_cast<int>(dims.size());
+    std::int64_t total = 1;
+    for (int i = 0; i < rank_; ++i) {
+      IWG_CHECK_MSG(dims[i] > 0, "tensor dims must be positive");
+      dims_[i] = dims[i];
+      total *= dims[i];
+    }
+    for (int i = rank_; i < 5; ++i) dims_[i] = 1;
+    data_.assign(static_cast<std::size_t>(total), T{});
+    strides_[rank_ - 1] = 1;
+    for (int i = rank_ - 2; i >= 0; --i) strides_[i] = strides_[i + 1] * dims_[i + 1];
+    for (int i = rank_; i < 5; ++i) strides_[i] = 1;
+  }
+
+  int rank() const { return rank_; }
+  std::int64_t dim(int i) const { return dims_[i]; }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 4-D accessors (unused trailing indices must be 0 for lower ranks).
+  T& at(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d) {
+    return data_[static_cast<std::size_t>(offset(a, b, c, d))];
+  }
+  const T& at(std::int64_t a, std::int64_t b, std::int64_t c,
+              std::int64_t d) const {
+    return data_[static_cast<std::size_t>(offset(a, b, c, d))];
+  }
+
+  /// 5-D accessors (rank-5 tensors only).
+  T& at5(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d,
+         std::int64_t e) {
+    return data_[static_cast<std::size_t>(offset5(a, b, c, d, e))];
+  }
+  const T& at5(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d,
+               std::int64_t e) const {
+    return data_[static_cast<std::size_t>(offset5(a, b, c, d, e))];
+  }
+
+  std::int64_t offset(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d) const {
+    return a * strides_[0] + b * strides_[1] + c * strides_[2] + d * strides_[3];
+  }
+  std::int64_t offset5(std::int64_t a, std::int64_t b, std::int64_t c,
+                       std::int64_t d, std::int64_t e) const {
+    return a * strides_[0] + b * strides_[1] + c * strides_[2] +
+           d * strides_[3] + e * strides_[4];
+  }
+
+  bool same_shape(const Tensor& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int i = 0; i < rank_; ++i)
+      if (dims_[i] != o.dims_[i]) return false;
+    return true;
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  void fill_uniform(Rng& rng, T lo, T hi) {
+    for (auto& v : data_) {
+      if constexpr (std::is_same_v<T, float>) {
+        v = rng.uniform(lo, hi);
+      } else {
+        v = static_cast<T>(rng.uniform_double(static_cast<double>(lo),
+                                              static_cast<double>(hi)));
+      }
+    }
+  }
+
+  /// Element-wise copy converting precision (e.g. float → double reference).
+  template <typename U>
+  Tensor<U> cast() const {
+    std::vector<std::int64_t> dims(dims_.begin(), dims_.begin() + rank_);
+    Tensor<U> out(dims);
+    for (std::int64_t i = 0; i < size(); ++i)
+      out[i] = static_cast<U>(data_[static_cast<std::size_t>(i)]);
+    return out;
+  }
+
+ private:
+  int rank_ = 0;
+  std::array<std::int64_t, 5> dims_{1, 1, 1, 1, 1};
+  std::array<std::int64_t, 5> strides_{1, 1, 1, 1, 1};
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorD = Tensor<double>;
+
+}  // namespace iwg

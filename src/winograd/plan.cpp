@@ -1,0 +1,258 @@
+#include "winograd/plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace iwg {
+
+std::vector<Rational> winograd_points(int alpha) {
+  IWG_CHECK_MSG(alpha >= 2 && alpha <= 16, "alpha must be in [2, 16]");
+  // 0, then ±k and ±1/k interleaved: 1, −1, 2, −2, 1/2, −1/2, 3, −3, ...
+  std::vector<Rational> pts;
+  pts.emplace_back(0);
+  for (int k = 1; static_cast<int>(pts.size()) < alpha - 1; ++k) {
+    pts.emplace_back(k);
+    if (static_cast<int>(pts.size()) == alpha - 1) break;
+    pts.emplace_back(-k);
+    if (static_cast<int>(pts.size()) == alpha - 1) break;
+    if (k > 1) {
+      pts.emplace_back(Rational(1, k));
+      if (static_cast<int>(pts.size()) == alpha - 1) break;
+      pts.emplace_back(Rational(-1, k));
+      if (static_cast<int>(pts.size()) == alpha - 1) break;
+    }
+  }
+  return pts;
+}
+
+namespace {
+
+// Lagrange normalizer N_t = Π_{k≠t} (p_t − p_k). The paper's Figure-5 scaling
+// uses 1/N_t for every nonzero point and +1 for the point 0 (whose N is −1
+// for these point sets); the sign difference is absorbed into D^T by the
+// exact solve below, which reproduces Figure 5 byte for byte.
+Rational lagrange_scale(const std::vector<Rational>& pts, int t) {
+  Rational n(1);
+  for (int k = 0; k < static_cast<int>(pts.size()); ++k) {
+    if (k == t) continue;
+    n *= pts[t] - pts[k];
+  }
+  if (pts[t].is_zero()) return n.abs().reciprocal();
+  return n.reciprocal();
+}
+
+}  // namespace
+
+WinogradPlan make_plan(int n, int r) {
+  IWG_CHECK_MSG(n >= 1, "F(n,r) needs n >= 1");
+  IWG_CHECK_MSG(r >= 2, "F(n,r) needs r >= 2");
+  const int alpha = n + r - 1;
+  IWG_CHECK_MSG(alpha <= 16, "state count n+r-1 must be <= 16");
+
+  const std::vector<Rational> pts = winograd_points(alpha);
+
+  WinogradPlan plan;
+  plan.n = n;
+  plan.r = r;
+  plan.alpha = alpha;
+
+  // A^T[i][t] = p_t^i, last column handles the point at infinity.
+  plan.at = RationalMatrix(n, alpha);
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < alpha - 1; ++t) plan.at.at(i, t) = pts[t].pow(i);
+    plan.at.at(i, alpha - 1) = Rational(i == n - 1 ? 1 : 0);
+  }
+
+  // G[t][j] = scale_t · p_t^j, infinity row selects the top filter tap.
+  plan.g = RationalMatrix(alpha, r);
+  for (int t = 0; t < alpha - 1; ++t) {
+    const Rational s = lagrange_scale(pts, t);
+    for (int j = 0; j < r; ++j) plan.g.at(t, j) = s * pts[t].pow(j);
+  }
+  for (int j = 0; j < r; ++j)
+    plan.g.at(alpha - 1, j) = Rational(j == r - 1 ? 1 : 0);
+
+  // Solve the bilinear identity for D^T:
+  //   Σ_t A^T[i][t]·G[t][j] · D^T[t][k] = δ[k == i+j]  for all i, j, k.
+  RationalMatrix c(n * r, alpha);
+  RationalMatrix e(n * r, alpha);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < r; ++j) {
+      const int row = i * r + j;
+      for (int t = 0; t < alpha; ++t) c.at(row, t) = plan.at.at(i, t) * plan.g.at(t, j);
+      e.at(row, i + j) = Rational(1);
+    }
+  }
+  plan.bt = solve_exact(c, e);
+
+  IWG_CHECK_MSG(verify_plan_exact(plan), "winograd plan failed verification");
+
+  plan.at_f = plan.at.to_float();
+  plan.g_f = plan.g.to_float();
+  plan.bt_f = plan.bt.to_float();
+  plan.at_d = plan.at.to_double();
+  plan.g_d = plan.g.to_double();
+  plan.bt_d = plan.bt.to_double();
+  return plan;
+}
+
+const WinogradPlan& get_plan(int n, int r) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, WinogradPlan> cache;
+  std::lock_guard lock(mu);
+  auto it = cache.find({n, r});
+  if (it == cache.end()) {
+    it = cache.emplace(std::make_pair(n, r), make_plan(n, r)).first;
+  }
+  return it->second;
+}
+
+bool verify_plan_exact(const WinogradPlan& plan) {
+  for (int i = 0; i < plan.n; ++i) {
+    for (int j = 0; j < plan.r; ++j) {
+      for (int k = 0; k < plan.alpha; ++k) {
+        Rational sum(0);
+        for (int t = 0; t < plan.alpha; ++t) {
+          sum += plan.at.at(i, t) * plan.g.at(t, j) * plan.bt.at(t, k);
+        }
+        const Rational want(k == i + j ? 1 : 0);
+        if (!(sum == want)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int, int>> find_row_pairs(const RationalMatrix& m) {
+  std::vector<std::pair<int, int>> pairs;
+  int u = 0;
+  while (u + 1 < m.rows()) {
+    bool is_pair = true;
+    bool nontrivial = false;  // require at least one nonzero entry
+    for (int j = 0; j < m.cols(); ++j) {
+      const Rational want = (j % 2 == 0) ? m.at(u, j) : -m.at(u, j);
+      if (!(m.at(u + 1, j) == want)) {
+        is_pair = false;
+        break;
+      }
+      if (!m.at(u, j).is_zero()) nontrivial = true;
+    }
+    if (is_pair && nontrivial) {
+      pairs.emplace_back(u, u + 1);
+      u += 2;
+    } else {
+      u += 1;
+    }
+  }
+  return pairs;
+}
+
+namespace {
+bool is_free_multiplier(float v) { return v == 0.0f || v == 1.0f || v == -1.0f; }
+}  // namespace
+
+TransformEval::TransformEval(int rows, int cols, std::vector<float> m,
+                             bool paired)
+    : rows_(rows), cols_(cols), m_(std::move(m)), in_pair_(rows, false) {
+  IWG_CHECK(static_cast<int>(m_.size()) == rows_ * cols_);
+  if (paired) {
+    // Recover ± pairs from the float matrix (exact for these plans: every
+    // entry is a dyadic-or-small rational that round-trips through float
+    // comparisons consistently because both rows hold bit-identical values).
+    int u = 0;
+    while (u + 1 < rows_) {
+      bool is_pair = true;
+      bool nontrivial = false;
+      for (int j = 0; j < cols_; ++j) {
+        const float a = m_[static_cast<std::size_t>(u) * cols_ + j];
+        const float b = m_[static_cast<std::size_t>(u + 1) * cols_ + j];
+        const float want = (j % 2 == 0) ? a : -a;
+        if (b != want) {
+          is_pair = false;
+          break;
+        }
+        if (a != 0.0f) nontrivial = true;
+      }
+      if (is_pair && nontrivial) {
+        pairs_.emplace_back(u, u + 1);
+        in_pair_[static_cast<std::size_t>(u)] = true;
+        in_pair_[static_cast<std::size_t>(u + 1)] = true;
+        u += 2;
+      } else {
+        u += 1;
+      }
+    }
+  }
+
+  // Count the FP32 work one apply() performs.
+  for (int i = 0; i < rows_; ++i) {
+    if (paired && in_pair_[static_cast<std::size_t>(i)] && i > 0 &&
+        in_pair_[static_cast<std::size_t>(i - 1)]) {
+      // Second row of a pair: only E−O (one add), no multiplications.
+      bool second = false;
+      for (auto& [a, b] : pairs_) {
+        if (b == i) second = true;
+      }
+      if (second) {
+        add_count_ += 1;
+        continue;
+      }
+    }
+    int terms = 0;
+    for (int j = 0; j < cols_; ++j) {
+      const float v = m_[static_cast<std::size_t>(i) * cols_ + j];
+      if (v == 0.0f) continue;
+      ++terms;
+      if (!is_free_multiplier(v)) ++mul_count_;
+    }
+    if (terms > 0) add_count_ += terms - 1;
+    if (paired && in_pair_[static_cast<std::size_t>(i)]) add_count_ += 1;  // E+O
+  }
+}
+
+void TransformEval::apply(const float* x, int xs, float* y, int ys) const {
+  if (pairs_.empty()) {
+    for (int i = 0; i < rows_; ++i) {
+      float acc = 0.0f;
+      const float* row = &m_[static_cast<std::size_t>(i) * cols_];
+      for (int j = 0; j < cols_; ++j) acc += row[j] * x[j * xs];
+      y[i * ys] = acc;
+    }
+    return;
+  }
+  int i = 0;
+  std::size_t pair_idx = 0;
+  while (i < rows_) {
+    const bool starts_pair =
+        pair_idx < pairs_.size() && pairs_[pair_idx].first == i;
+    const float* row = &m_[static_cast<std::size_t>(i) * cols_];
+    if (starts_pair) {
+      // y_u = E + O, y_{u+1} = E − O with E/O the even/odd column sums —
+      // the shared products are exactly the §5.3 simplification.
+      float even = 0.0f;
+      float odd = 0.0f;
+      for (int j = 0; j < cols_; ++j) {
+        const float p = row[j] * x[j * xs];
+        if (j % 2 == 0) {
+          even += p;
+        } else {
+          odd += p;
+        }
+      }
+      y[i * ys] = even + odd;
+      y[(i + 1) * ys] = even - odd;
+      i += 2;
+      ++pair_idx;
+    } else {
+      float acc = 0.0f;
+      for (int j = 0; j < cols_; ++j) acc += row[j] * x[j * xs];
+      y[i * ys] = acc;
+      i += 1;
+    }
+  }
+}
+
+}  // namespace iwg

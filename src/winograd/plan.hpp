@@ -1,0 +1,99 @@
+// Winograd F(n, r) transform plans (the 1-D minimal filtering algorithms the
+// paper composes into Im2col-Winograd).
+//
+// A plan holds the three transform matrices in the paper's notation
+// (Figure 5):
+//   A^T ∈ R^{n×α}   output transform        Y = A^T M
+//   G   ∈ R^{α×r}   filter transform        ĝ = G w
+//   D^T ∈ R^{α×α}   input transform         d̂ = D^T d
+// with α = n + r − 1 and the identity  y = A^T [ (G w) ⊙ (D^T d) ]  holding
+// *exactly* over the rationals, where y is the length-n "valid" correlation
+// of the length-α input d with the length-r filter w.
+//
+// Construction (Cook–Toom): interpolation points 0, 1, −1, 2, −2, 1/2, −1/2,
+// 3, −3, 1/3, −1/3, 4, −4, 1/4, −1/4 plus the point at infinity (§5.3). A^T
+// and G follow the Vandermonde/Lagrange pattern visible in Figure 5; D^T is
+// then the unique solution of the bilinear identity, obtained by exact
+// Gaussian elimination. The over-determined solve doubles as a proof of
+// exactness: inconsistency would throw.
+#pragma once
+
+#include <vector>
+
+#include "common/rational.hpp"
+#include "winograd/rational_matrix.hpp"
+
+namespace iwg {
+
+/// The α−1 finite interpolation points used for state count α (§5.3).
+std::vector<Rational> winograd_points(int alpha);
+
+/// One F(n, r) algorithm: exact matrices plus FP32/FP64 copies.
+struct WinogradPlan {
+  int n = 0;      ///< outputs per tile
+  int r = 0;      ///< filter width
+  int alpha = 0;  ///< state count n + r − 1
+
+  RationalMatrix at;  ///< n × α
+  RationalMatrix g;   ///< α × r
+  RationalMatrix bt;  ///< α × α  (the paper's D^T)
+
+  // Flat row-major copies for compute paths.
+  std::vector<float> at_f, g_f, bt_f;
+  std::vector<double> at_d, g_d, bt_d;
+
+  /// Theoretical multiplication reduction Φ = n·r / α (§6.1.2).
+  double acceleration() const {
+    return static_cast<double>(n) * r / static_cast<double>(alpha);
+  }
+};
+
+/// Build F(n, r). Requires 1 ≤ n, 2 ≤ r, n + r − 1 ≤ 16. Throws on failure.
+WinogradPlan make_plan(int n, int r);
+
+/// Cached access (thread-safe).
+const WinogradPlan& get_plan(int n, int r);
+
+/// Exhaustive exact verification of the bilinear identity
+/// Σ_t A^T[i][t]·G[t][j]·D^T[t][k] == δ[k == i+j] — true for every plan
+/// make_plan returns; exposed so tests can assert it independently.
+bool verify_plan_exact(const WinogradPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Transform evaluation.
+
+/// Evaluates y = M x for a flat row-major float matrix, optionally using the
+/// even/odd row-pairing simplification of §5.3: consecutive rows for points
+/// ±a share all their multiplications (equal entries at even columns,
+/// opposite at odd columns), cutting multiplications roughly in half.
+class TransformEval {
+ public:
+  TransformEval(int rows, int cols, std::vector<float> m, bool paired);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool paired() const { return !pairs_.empty(); }
+
+  /// y[i·ys] = Σ_j M[i][j] · x[j·xs]
+  void apply(const float* x, int xs, float* y, int ys) const;
+
+  /// FP32 multiplications one apply() performs (zeros and ±1 entries free).
+  int mul_count() const { return mul_count_; }
+  /// FP32 additions one apply() performs.
+  int add_count() const { return add_count_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> m_;
+  std::vector<std::pair<int, int>> pairs_;  // (row u, row u+1) ± pairs
+  std::vector<bool> in_pair_;
+  int mul_count_ = 0;
+  int add_count_ = 0;
+};
+
+/// Detect §5.3 row pairs of a rational matrix: rows (u, u+1) with
+/// M[u+1][j] == (−1)^j · M[u][j] for all j and row u not already paired.
+std::vector<std::pair<int, int>> find_row_pairs(const RationalMatrix& m);
+
+}  // namespace iwg

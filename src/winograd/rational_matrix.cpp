@@ -1,0 +1,112 @@
+#include "winograd/rational_matrix.hpp"
+
+#include <string>
+
+namespace iwg {
+
+RationalMatrix RationalMatrix::transposed() const {
+  RationalMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+RationalMatrix RationalMatrix::operator*(const RationalMatrix& o) const {
+  IWG_CHECK(cols_ == o.rows_);
+  RationalMatrix out(rows_, o.cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int k = 0; k < cols_; ++k) {
+      if (at(r, k).is_zero()) continue;
+      for (int c = 0; c < o.cols_; ++c)
+        out.at(r, c) += at(r, k) * o.at(k, c);
+    }
+  return out;
+}
+
+bool RationalMatrix::operator==(const RationalMatrix& o) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) return false;
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      if (!(at(r, c) == o.at(r, c))) return false;
+  return true;
+}
+
+std::vector<float> RationalMatrix::to_float() const {
+  std::vector<float> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) out[i] = data_[i].to_float();
+  return out;
+}
+
+std::vector<double> RationalMatrix::to_double() const {
+  std::vector<double> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) out[i] = data_[i].to_double();
+  return out;
+}
+
+std::string RationalMatrix::to_string() const {
+  std::string s;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      s += at(r, c).to_string();
+      s += c + 1 < cols_ ? ' ' : '\n';
+    }
+  }
+  return s;
+}
+
+RationalMatrix solve_exact(const RationalMatrix& c, const RationalMatrix& e) {
+  IWG_CHECK(c.rows() == e.rows());
+  IWG_CHECK_MSG(c.rows() >= c.cols(), "underdetermined system");
+  const int m = c.rows();
+  const int n = c.cols();
+  const int k = e.cols();
+
+  // Augmented matrix [C | E], eliminated in place.
+  RationalMatrix a(m, n + k);
+  for (int r = 0; r < m; ++r) {
+    for (int j = 0; j < n; ++j) a.at(r, j) = c.at(r, j);
+    for (int j = 0; j < k; ++j) a.at(r, n + j) = e.at(r, j);
+  }
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    int pivot = -1;
+    for (int r = col; r < m; ++r) {
+      if (!a.at(r, col).is_zero()) {
+        pivot = r;
+        break;
+      }
+    }
+    IWG_CHECK_MSG(pivot >= 0, "matrix is rank deficient at column " +
+                                  std::to_string(col));
+    if (pivot != col) {
+      for (int j = 0; j < n + k; ++j) std::swap(a.at(pivot, j), a.at(col, j));
+    }
+    // Normalize the pivot row.
+    const Rational inv = a.at(col, col).reciprocal();
+    for (int j = col; j < n + k; ++j) a.at(col, j) *= inv;
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < m; ++r) {
+      if (r == col || a.at(r, col).is_zero()) continue;
+      const Rational f = a.at(r, col);
+      for (int j = col; j < n + k; ++j) a.at(r, j) -= f * a.at(col, j);
+    }
+  }
+
+  // Rows below n must now be identically zero — this is the exactness proof
+  // for the overdetermined part of the bilinear system.
+  for (int r = n; r < m; ++r) {
+    for (int j = 0; j < n + k; ++j) {
+      IWG_CHECK_MSG(a.at(r, j).is_zero(),
+                    "inconsistent overdetermined system (row " +
+                        std::to_string(r) + ")");
+    }
+  }
+
+  RationalMatrix x(n, k);
+  for (int r = 0; r < n; ++r)
+    for (int j = 0; j < k; ++j) x.at(r, j) = a.at(r, n + j);
+  return x;
+}
+
+}  // namespace iwg

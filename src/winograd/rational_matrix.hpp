@@ -1,0 +1,53 @@
+// Small dense matrices over exact rationals.
+//
+// Only used at plan-construction time (matrices are at most 72×16), so
+// clarity beats speed: plain Gaussian elimination with exact pivoting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rational.hpp"
+
+namespace iwg {
+
+/// Row-major dense matrix of Rational.
+class RationalMatrix {
+ public:
+  RationalMatrix() = default;
+  RationalMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Rational& at(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const Rational& at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  RationalMatrix transposed() const;
+  RationalMatrix operator*(const RationalMatrix& o) const;
+  bool operator==(const RationalMatrix& o) const;
+
+  /// Convert to a flat row-major float matrix.
+  std::vector<float> to_float() const;
+  std::vector<double> to_double() const;
+
+  std::string to_string() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Rational> data_;
+};
+
+/// Solve C · X = E exactly for X, where C is (m×n) with m ≥ n and full column
+/// rank, and E is (m×k). Overdetermined rows must be consistent — the solver
+/// verifies this exactly and throws otherwise (that check is what proves the
+/// generated Winograd algorithm is exact, not approximate).
+RationalMatrix solve_exact(const RationalMatrix& c, const RationalMatrix& e);
+
+}  // namespace iwg

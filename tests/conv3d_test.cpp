@@ -1,0 +1,135 @@
+// Tests of the §4.2 N-D extension: 3-D Im2col-Winograd vs direct 3-D
+// convolution across filter sizes, paddings, and boundary cases.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/conv3d.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::core {
+namespace {
+
+TensorF rand5(std::initializer_list<std::int64_t> dims, unsigned seed) {
+  Rng rng(seed);
+  TensorF t(dims);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+struct C3dCase {
+  std::int64_t fw;
+  std::int64_t iw;
+  std::int64_t fd, fh;
+  std::int64_t pad_w;
+  const char* label;
+};
+
+class Conv3dSweep : public ::testing::TestWithParam<C3dCase> {};
+
+TEST_P(Conv3dSweep, GammaMatchesDirect) {
+  const C3dCase& c = GetParam();
+  Conv3dShape s;
+  s.n = 2;
+  s.id = 4;
+  s.ih = 5;
+  s.iw = c.iw;
+  s.ic = 3;
+  s.oc = 4;
+  s.fd = c.fd;
+  s.fh = c.fh;
+  s.fw = c.fw;
+  s.pd = c.fd / 2;
+  s.ph = c.fh / 2;
+  s.pw = c.pad_w;
+  s.validate();
+  const TensorF x = rand5({s.n, s.id, s.ih, s.iw, s.ic}, 5);
+  const TensorF w = rand5({s.oc, s.fd, s.fh, s.fw, s.ic}, 6);
+  const TensorF want = conv3d_direct(x, w, s);
+  const TensorF got = conv3d(x, w, s);
+  ASSERT_TRUE(got.same_shape(want));
+  const double tol = c.fw >= 8 ? 5e-3 : 2e-4;
+  EXPECT_LT(max_rel_diff(got, want), tol) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv3dSweep,
+    ::testing::Values(C3dCase{3, 13, 3, 3, 1, "f3_boundary"},
+                      C3dCase{3, 12, 3, 3, 1, "f3_exact"},
+                      C3dCase{2, 15, 2, 2, 0, "f2"},
+                      C3dCase{5, 9, 3, 5, 2, "f5_mixed_dims"},
+                      C3dCase{7, 8, 1, 1, 3, "f7_rod_filter"},
+                      C3dCase{9, 16, 2, 3, 4, "f9_alpha16"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Conv3d, OutputVolumeDims) {
+  Conv3dShape s;
+  s.n = 1;
+  s.id = 6;
+  s.ih = 7;
+  s.iw = 8;
+  s.ic = 2;
+  s.oc = 3;
+  s.fd = 3;
+  s.fh = 3;
+  s.fw = 3;
+  s.pd = 0;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+  EXPECT_EQ(s.od(), 4);
+  EXPECT_EQ(s.oh(), 7);
+  EXPECT_EQ(s.ow(), 8);
+}
+
+TEST(Conv3d, DegeneratesToConv2dWhenDepthIsOne) {
+  // fd = id = 1: the 3-D engine must agree with the 2-D direct reference.
+  Conv3dShape s;
+  s.n = 1;
+  s.id = 1;
+  s.ih = 6;
+  s.iw = 12;
+  s.ic = 3;
+  s.oc = 4;
+  s.fd = 1;
+  s.fh = 3;
+  s.fw = 3;
+  s.pd = 0;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+  const TensorF x = rand5({1, 1, 6, 12, 3}, 7);
+  const TensorF w = rand5({4, 1, 3, 3, 3}, 8);
+  const TensorF got = conv3d(x, w, s);
+  const TensorF want = conv3d_direct(x, w, s);
+  EXPECT_LT(max_rel_diff(got, want), 1e-4);
+}
+
+TEST(Conv3d, LargeFilterWidthFallsBackToGemm) {
+  Conv3dShape s;
+  s.n = 1;
+  s.id = 3;
+  s.ih = 3;
+  s.iw = 14;
+  s.ic = 2;
+  s.oc = 2;
+  s.fd = 1;
+  s.fh = 1;
+  s.fw = 11;
+  s.pd = 0;
+  s.ph = 0;
+  s.pw = 5;
+  s.validate();
+  const TensorF x = rand5({1, 3, 3, 14, 2}, 9);
+  const TensorF w = rand5({2, 1, 1, 11, 2}, 10);
+  EXPECT_LT(max_rel_diff(conv3d(x, w, s), conv3d_direct(x, w, s)), 1e-4);
+}
+
+TEST(Conv3d, RejectsBadShapes) {
+  Conv3dShape s;
+  s.iw = 2;
+  s.fw = 5;
+  EXPECT_THROW(s.validate(), Error);
+}
+
+}  // namespace
+}  // namespace iwg::core

@@ -1,0 +1,179 @@
+// Breadth coverage: exhaustive exactness of the plan generator over every
+// (n, r) with n + r − 1 ≤ 16, deep-filter Γ configurations, simulator
+// counter identities, and framework corners.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/conv_api.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(PlanExhaustive, EveryStateCountIsExact) {
+  // The generator must produce an exactly-verifying algorithm for every
+  // (n, r) pair up to the paper's α ≤ 16 ceiling — including the Γ16(2,15)
+  // extreme §4.2 mentions. verify_plan_exact checks the full bilinear
+  // identity over the rationals.
+  int built = 0;
+  for (int r = 2; r <= 15; ++r) {
+    for (int n = 1; n + r - 1 <= 16; ++n) {
+      const WinogradPlan plan = make_plan(n, r);
+      EXPECT_TRUE(verify_plan_exact(plan)) << "F(" << n << "," << r << ")";
+      ++built;
+    }
+  }
+  EXPECT_GE(built, 90);  // 14 + 13 + … — the whole triangle
+}
+
+TEST(PlanExhaustive, AccelerationSymmetricAboutMidpoint) {
+  // §6.1.2: Φ(r) = nr/α is symmetric about (α+1)/2 for fixed α.
+  for (int alpha : {8, 16}) {
+    for (int r = 2; r <= alpha - 1; ++r) {
+      const int n = alpha + 1 - r;
+      EXPECT_DOUBLE_EQ(get_plan(n, r).acceleration(),
+                       get_plan(r, n).acceleration())
+          << alpha << "," << r;
+    }
+  }
+}
+
+TEST(GammaDeepFilters, TallFilterHeights) {
+  // FH up to 9 with a Γ16 width: the fh loop of Algorithm 1/2 at depth.
+  ConvShape s;
+  s.n = 1;
+  s.ih = 11;
+  s.iw = 10;
+  s.ic = 3;
+  s.oc = 4;
+  s.fh = 9;
+  s.fw = 9;
+  s.ph = 4;
+  s.pw = 4;
+  s.validate();
+  Rng rng(1);
+  TensorF x({1, 11, 10, 3});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  TensorF w({4, 9, 9, 3});
+  w.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF want = ref::conv2d_direct(x, w, s);
+  EXPECT_LT(max_rel_diff(core::conv2d(x, w, s), want), 1e-2);
+  const auto plan = core::plan_single(s, core::GammaConfig::make(16, 8, 9));
+  EXPECT_LT(max_rel_diff(core::conv2d_sim(x, w, s, plan), want), 1e-2);
+}
+
+TEST(SimCounters, XLoadSectorsMatchClosedForm) {
+  // For Γ8(6,3), IC = 8, every input-tile element load is a warp request of
+  // 8 channels × 4 tiles = 4 sectors when all tiles are interior. Measure a
+  // single-block launch and check the X-site traffic is sector-efficient.
+  ConvShape s;
+  s.n = 1;
+  s.ih = 3;
+  s.iw = 36;  // interior-heavy row, OW = 36
+  s.ic = 8;
+  s.oc = 64;
+  s.fh = 1;
+  s.fw = 3;
+  s.ph = 0;
+  s.pw = 1;
+  s.validate();
+  sim::GmemBuf xb(static_cast<float*>(nullptr), s.n * s.ih * s.iw * s.ic,
+                  true);
+  sim::GmemBuf wb(static_cast<float*>(nullptr), s.oc * s.fh * s.fw * s.ic);
+  sim::GmemBuf yb(static_cast<float*>(nullptr), s.n * s.oh() * s.ow() * s.oc);
+  core::GammaKernel k(core::GammaConfig::make(8, 6, 3), s,
+                      core::ConvDir::kForward, xb, wb, yb, 0, 36);
+  const auto st = core::run_gamma(k, /*counting=*/true);
+  // Load efficiency ≥ 40 % overall (X loads near-perfect, filter loads at
+  // 64-bit granularity) and every counter populated.
+  EXPECT_GT(st.gld_efficiency(), 0.4);
+  EXPECT_GT(st.gld_requests, 0);
+  EXPECT_GT(st.smem_st_requests, 0);
+  EXPECT_GT(st.smem_ld_requests, 0);
+  EXPECT_GT(st.gst_requests, 0);
+  EXPECT_GT(st.fma, 0);
+  EXPECT_GT(st.alu, 0);
+  EXPECT_GT(st.barriers, 0);
+}
+
+TEST(SimCounters, FmaCountMatchesAlgorithm) {
+  // Executed outer-product FMAs per block = chunks · threads · BK · 64;
+  // transforms add the per-plan counts. Verify the total is within the
+  // analytic window for a single-block launch.
+  ConvShape s;
+  s.n = 1;
+  s.ih = 1;
+  s.iw = 8;
+  s.ic = 8;
+  s.oc = 64;
+  s.fh = 1;
+  s.fw = 3;
+  s.ph = 0;
+  s.pw = 1;
+  s.validate();
+  sim::GmemBuf xb(static_cast<float*>(nullptr), 64, true);
+  sim::GmemBuf wb(static_cast<float*>(nullptr), 64 * 3 * 8);
+  sim::GmemBuf yb(static_cast<float*>(nullptr), 6 * 64);
+  core::GammaKernel k(core::GammaConfig::make(8, 6, 3), s,
+                      core::ConvDir::kForward, xb, wb, yb, 0, 6);
+  const auto st = core::run_gamma(k, true);
+  const std::int64_t op_fmas = 256ll * 8 * 64;  // 1 chunk
+  EXPECT_GE(st.fma, op_fmas);
+  EXPECT_LT(st.fma, op_fmas * 2);  // transforms are the only extra source
+}
+
+TEST(NnExtra, Vgg16x7UsesLargeFiltersInFirstFour) {
+  nn::ModelConfig mc;
+  mc.image_size = 16;
+  mc.base_channels = 4;
+  nn::Model x7 = nn::make_vgg(16, mc, 3, 7);
+  nn::Model x3 = nn::make_vgg(16, mc, 3);
+  // 7×7 on the first four convs adds (49−9)·weights on those layers.
+  EXPECT_GT(x7.param_count(), x3.param_count());
+  Rng rng(3);
+  TensorF x({1, 16, 16, 3});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF y = x7.forward(x, false);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(NnExtra, EvaluateHandlesPartialTail) {
+  const auto ds = data::make_cifar_like(20, 9, 8);
+  nn::ModelConfig mc;
+  mc.image_size = 8;
+  mc.base_channels = 4;
+  nn::Model m = nn::make_vgg(16, mc);
+  // batch 16 over 20 images: only one full batch is evaluated; accuracy is
+  // still a valid fraction.
+  const double acc = nn::evaluate(m, ds, 16);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(DataExtra, IlsvrcLikeClassCount) {
+  const auto ds = data::make_ilsvrc_like(40, 5, 8, 20);
+  EXPECT_EQ(ds.classes, 20);
+  std::int64_t max_label = 0;
+  for (auto l : ds.labels) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label, 19);
+}
+
+TEST(DataExtra, DifferentSeedsDifferentImages) {
+  const auto a = data::make_cifar_like(20, 1, 8);
+  const auto b = data::make_cifar_like(20, 2, 8);
+  std::int64_t same = 0;
+  for (std::int64_t i = 0; i < a.images.size(); ++i) {
+    same += a.images[i] == b.images[i];
+  }
+  // Clamping to [−1, 1] saturates many pixels identically, so only require
+  // a substantial fraction of pixels to differ.
+  EXPECT_LT(same, a.images.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace iwg

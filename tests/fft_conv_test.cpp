@@ -1,0 +1,138 @@
+// Tests of the FFT substrate: transform properties and FFT convolution
+// against the direct reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/fft_conv.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::ref {
+namespace {
+
+using Cvec = std::vector<std::complex<double>>;
+
+TEST(Fft, ImpulseTransformsToOnes) {
+  Cvec d(8, {0.0, 0.0});
+  d[0] = {1.0, 0.0};
+  fft_inplace(d, false);
+  for (const auto& v : d) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  Rng rng(5);
+  Cvec d(64);
+  for (auto& v : d) v = {rng.uniform_double(-1, 1), rng.uniform_double(-1, 1)};
+  Cvec orig = d;
+  fft_inplace(d, false);
+  fft_inplace(d, true);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(d[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(7);
+  Cvec d(32);
+  double time_energy = 0.0;
+  for (auto& v : d) {
+    v = {rng.uniform_double(-1, 1), 0.0};
+    time_energy += std::norm(v);
+  }
+  fft_inplace(d, false);
+  double freq_energy = 0.0;
+  for (const auto& v : d) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 32.0, time_energy, 1e-9);
+}
+
+TEST(Fft, LinearityAndShiftTheorem) {
+  // FFT(a·x) == a·FFT(x); single-bin input transforms to a phase ramp.
+  Cvec d(16, {0.0, 0.0});
+  d[1] = {1.0, 0.0};
+  fft_inplace(d, false);
+  for (std::size_t k = 0; k < 16; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) / 16.0;
+    EXPECT_NEAR(d[k].real(), std::cos(ang), 1e-12);
+    EXPECT_NEAR(d[k].imag(), std::sin(ang), 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  Cvec d(12);
+  EXPECT_THROW(fft_inplace(d, false), Error);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(17), 32);
+  EXPECT_EQ(next_pow2(64), 64);
+}
+
+class FftConvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftConvSweep, MatchesDirect) {
+  const int r = GetParam();
+  ConvShape s;
+  s.n = 2;
+  s.ih = 10;
+  s.iw = 13;
+  s.ic = 3;
+  s.oc = 4;
+  s.fh = r;
+  s.fw = r;
+  s.ph = r / 2;
+  s.pw = r / 2;
+  s.validate();
+  Rng rng(100 + static_cast<unsigned>(r));
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  w.fill_uniform(rng, -1.0f, 1.0f);
+  const auto res = conv2d_fft(x, w, s);
+  EXPECT_LT(max_rel_diff(res.y, conv2d_direct(x, w, s)), 1e-5) << "r=" << r;
+  EXPECT_EQ(res.workspace_bytes, fft_conv_workspace_bytes(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterSizes, FftConvSweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 9));
+
+TEST(FftConv, NoPaddingAndAsymmetric) {
+  for (auto [ph, pw] : {std::pair<int, int>{0, 0}, {0, 2}, {3, 1}}) {
+    ConvShape s;
+    s.n = 1;
+    s.ih = 9;
+    s.iw = 8;
+    s.ic = 2;
+    s.oc = 2;
+    s.fh = 4;
+    s.fw = 4;
+    s.ph = ph;
+    s.pw = pw;
+    s.validate();
+    Rng rng(9);
+    TensorF x({1, 9, 8, 2});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    TensorF w({2, 4, 4, 2});
+    w.fill_uniform(rng, -1.0f, 1.0f);
+    EXPECT_LT(max_rel_diff(conv2d_fft(x, w, s).y, conv2d_direct(x, w, s)),
+              1e-5)
+        << ph << "," << pw;
+  }
+}
+
+TEST(FftConv, WorkspaceGrowsWithChannels) {
+  ConvShape a = ConvShape::from_ofms(1, 16, 16, 16, 3);
+  ConvShape b = ConvShape::from_ofms(1, 16, 16, 64, 3);
+  EXPECT_GT(fft_conv_workspace_bytes(b), fft_conv_workspace_bytes(a));
+}
+
+}  // namespace
+}  // namespace iwg::ref

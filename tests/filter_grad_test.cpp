@@ -1,0 +1,102 @@
+// Tests of the Winograd weight-gradient extension: must match the direct
+// filter-gradient for every filter width, padding, and ragged OW.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/gamma_host.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::core {
+namespace {
+
+TensorF rand_tensor(std::initializer_list<std::int64_t> dims, unsigned seed) {
+  Rng rng(seed);
+  TensorF t(dims);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+class FilterGradSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterGradSweep, MatchesDirect) {
+  const int r = GetParam();
+  ConvShape s;
+  s.n = 2;
+  s.ih = 9;
+  s.iw = 13;  // OW not a multiple of the tile size: zero-padded tail tiles
+  s.ic = 3;
+  s.oc = 4;
+  s.fh = r;
+  s.fw = r;
+  s.ph = r / 2;
+  s.pw = r / 2;
+  s.validate();
+  const TensorF x = rand_tensor({s.n, s.ih, s.iw, s.ic}, 21);
+  TensorF dy = rand_tensor({s.n, s.oh(), s.ow(), s.oc}, 22);
+  const TensorF want = ref::conv2d_filter_grad_direct(x, dy, s);
+  const TensorF got = conv2d_filter_grad_winograd(x, dy, s);
+  ASSERT_TRUE(got.same_shape(want));
+  EXPECT_LT(max_rel_diff(got, want), r >= 8 ? 2e-2 : 2e-3) << "r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(FilterWidths, FilterGradSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9));
+
+TEST(FilterGrad, NoPadding) {
+  ConvShape s;
+  s.n = 1;
+  s.ih = 8;
+  s.iw = 12;
+  s.ic = 2;
+  s.oc = 3;
+  s.fh = 3;
+  s.fw = 3;
+  s.ph = 0;
+  s.pw = 0;
+  s.validate();
+  const TensorF x = rand_tensor({1, 8, 12, 2}, 31);
+  TensorF dy = rand_tensor({1, s.oh(), s.ow(), 3}, 32);
+  EXPECT_LT(max_rel_diff(conv2d_filter_grad_winograd(x, dy, s),
+                         ref::conv2d_filter_grad_direct(x, dy, s)),
+            1e-3);
+}
+
+TEST(FilterGrad, RectangularFilter) {
+  ConvShape s;
+  s.n = 1;
+  s.ih = 10;
+  s.iw = 11;
+  s.ic = 2;
+  s.oc = 2;
+  s.fh = 5;
+  s.fw = 3;
+  s.ph = 2;
+  s.pw = 1;
+  s.validate();
+  const TensorF x = rand_tensor({1, 10, 11, 2}, 41);
+  TensorF dy = rand_tensor({1, s.oh(), s.ow(), 2}, 42);
+  EXPECT_LT(max_rel_diff(conv2d_filter_grad_winograd(x, dy, s),
+                         ref::conv2d_filter_grad_direct(x, dy, s)),
+            1e-3);
+}
+
+TEST(FilterGrad, RejectsUnsupportedWidths) {
+  ConvShape s;
+  s.n = 1;
+  s.ih = 4;
+  s.iw = 14;
+  s.ic = 1;
+  s.oc = 1;
+  s.fh = 1;
+  s.fw = 11;
+  s.ph = 0;
+  s.pw = 5;
+  s.validate();
+  TensorF x({1, 4, 14, 1});
+  TensorF dy({1, s.oh(), s.ow(), 1});
+  EXPECT_THROW(conv2d_filter_grad_winograd(x, dy, s), Error);
+}
+
+}  // namespace
+}  // namespace iwg::core

@@ -1,0 +1,134 @@
+// Randomized property sweep: for many random geometries, the full public
+// conv2d/deconv2d path (boundary planning + Γ host kernels + GEMM tail)
+// must match direct convolution, and repeated runs must be bit-identical
+// (determinism).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/conv_api.hpp"
+#include "tensor/layout.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::core {
+namespace {
+
+ConvShape random_shape(Rng& rng) {
+  ConvShape s;
+  s.fw = 2 + static_cast<std::int64_t>(rng.below(8));  // 2..9
+  s.fh = 1 + static_cast<std::int64_t>(rng.below(4));
+  s.n = 1 + static_cast<std::int64_t>(rng.below(3));
+  s.ic = 1 + static_cast<std::int64_t>(rng.below(9));
+  s.oc = 1 + static_cast<std::int64_t>(rng.below(9));
+  s.ph = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(s.fh)));
+  s.pw = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(s.fw)));
+  s.ih = s.fh + static_cast<std::int64_t>(rng.below(10));
+  s.iw = s.fw + static_cast<std::int64_t>(rng.below(24));
+  // Ensure non-empty output.
+  while (s.oh() < 1) ++s.ih;
+  while (s.ow() < 1) ++s.iw;
+  s.validate();
+  return s;
+}
+
+TEST(FuzzConv, ForwardMatchesDirectOnRandomGeometries) {
+  Rng rng(20240812);
+  int worst_r = 0;
+  double worst = 0.0;
+  for (int trial = 0; trial < 48; ++trial) {
+    const ConvShape s = random_shape(rng);
+    Rng data(1000 + static_cast<unsigned>(trial));
+    TensorF x({s.n, s.ih, s.iw, s.ic});
+    x.fill_uniform(data, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const TensorF want = ref::conv2d_direct(x, w, s);
+    const TensorF got = conv2d(x, w, s);
+    const double d = max_rel_diff(got, want);
+    const double tol = s.fw >= 7 ? 1e-2 : 5e-4;  // r >= 7 plans use alpha = 16
+    EXPECT_LT(d, tol) << "trial " << trial << " shape " << s.to_string();
+    if (d > worst) {
+      worst = d;
+      worst_r = static_cast<int>(s.fw);
+    }
+  }
+  // The worst deviation should come from the α = 16 kernels if anywhere.
+  if (worst > 5e-4) {
+    EXPECT_GE(worst_r, 7);
+  }
+}
+
+TEST(FuzzConv, BackwardMatchesDirectOnRandomGeometries) {
+  Rng rng(777);
+  for (int trial = 0; trial < 24; ++trial) {
+    const ConvShape s = random_shape(rng);
+    Rng data(2000 + static_cast<unsigned>(trial));
+    TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+    dy.fill_uniform(data, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const TensorF want = ref::deconv2d_direct(dy, w, s);
+    const TensorF got = deconv2d(dy, w, s);
+    ASSERT_TRUE(got.same_shape(want)) << s.to_string();
+    const double tol = s.fw >= 7 ? 1e-2 : 5e-4;  // r >= 7 plans use alpha = 16
+    EXPECT_LT(max_rel_diff(got, want), tol)
+        << "trial " << trial << " shape " << s.to_string();
+  }
+}
+
+TEST(FuzzConv, DeterministicAcrossRuns) {
+  Rng rng(99);
+  const ConvShape s = random_shape(rng);
+  Rng data(42);
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  x.fill_uniform(data, -1.0f, 1.0f);
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  w.fill_uniform(data, -1.0f, 1.0f);
+  const TensorF a = conv2d(x, w, s);
+  const TensorF b = conv2d(x, w, s);
+  for (std::int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FuzzConv, SimCountingDoesNotChangeResults) {
+  // Counter collection must be observation-only.
+  ConvShape s;
+  s.n = 1;
+  s.ih = 5;
+  s.iw = 12;
+  s.ic = 8;
+  s.oc = 16;
+  s.fh = 3;
+  s.fw = 3;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+  Rng data(5);
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  x.fill_uniform(data, -1.0f, 1.0f);
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  w.fill_uniform(data, -1.0f, 1.0f);
+  const auto plan = plan_single(s, GammaConfig::make(8, 6, 3));
+
+  const TensorF y1 = conv2d_sim(x, w, s, plan);
+  // Re-run the Γ segment with counters enabled.
+  const TensorF wt = transpose_filter_to_fhwio(w);
+  TensorF y2({s.n, s.oh(), s.ow(), s.oc});
+  sim::GmemBuf xb(x.data(), x.size(), true);
+  sim::GmemBuf wb(wt.data(), wt.size());
+  sim::GmemBuf yb(y2.data(), y2.size());
+  GammaKernel k(plan[0].cfg, s, ConvDir::kForward, xb, wb, yb, 0,
+                plan[0].ow_len);
+  sim::launch_all(k, k.grid(), /*counting=*/true);
+  for (std::int64_t i = 0; i < s.n * s.oh(); ++i) {
+    for (std::int64_t wcol = 0; wcol < plan[0].ow_len; ++wcol) {
+      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
+        const std::int64_t hi = i % s.oh();
+        const std::int64_t ni = i / s.oh();
+        EXPECT_EQ(y1.at(ni, hi, wcol, oc), y2.at(ni, hi, wcol, oc));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iwg::core

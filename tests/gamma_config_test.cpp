@@ -1,0 +1,191 @@
+// Tests of the Γ kernel configurations (§5.1/§5.4/§5.6 constants) and the
+// §5.5 boundary planner.
+#include <gtest/gtest.h>
+
+#include "core/gamma_config.hpp"
+
+namespace iwg::core {
+namespace {
+
+TEST(GammaConfig, PaperBlockGeometry) {
+  // §5.1: BN×BM = 64×64 (α=4), 64×32 (α=8), 32×32 (α=16); BK = 8;
+  // 16×16 threads; 64 accumulators per thread.
+  const GammaConfig g4 = GammaConfig::make(4, 2, 3);
+  EXPECT_EQ(g4.bn, 64);
+  EXPECT_EQ(g4.bm, 64);
+  EXPECT_EQ(g4.bk, 8);
+  EXPECT_EQ(g4.threads(), 256);
+  EXPECT_EQ(g4.accumulators_per_thread(), 64);
+  EXPECT_TRUE(g4.double_buffer);
+
+  const GammaConfig g8 = GammaConfig::make(8, 6, 3);
+  EXPECT_EQ(g8.bn, 64);
+  EXPECT_EQ(g8.bm, 32);
+  EXPECT_EQ(g8.accumulators_per_thread(), 64);
+  EXPECT_TRUE(g8.double_buffer);
+  EXPECT_TRUE(g8.swizzle_ds);  // §5.2: Γ8's Ds cannot be padded
+
+  const GammaConfig g16 = GammaConfig::make(16, 8, 9);
+  EXPECT_EQ(g16.bn, 32);
+  EXPECT_EQ(g16.bm, 32);
+  EXPECT_FALSE(g16.double_buffer);
+  EXPECT_FALSE(g16.swizzle_ds);  // padded instead
+}
+
+TEST(GammaConfig, SmemBudgets) {
+  // §5.1: a block needs 4α(BN+BM)BK bytes (single buffer); α ∈ {4,8}
+  // double-buffer within the 49152-byte limit; Γ16 leaves 16384 bytes free
+  // (§5.6) and c64 uses the full maximum.
+  EXPECT_EQ(GammaConfig::make(8, 6, 3).smem_bytes(), 49152);
+  const GammaConfig g16 = GammaConfig::make(16, 8, 9);
+  EXPECT_LE(g16.smem_bytes(), 49152 - 14000);
+  const GammaConfig c64 = GammaConfig::make(16, 8, 9, Variant::kC64);
+  EXPECT_EQ(c64.smem_bytes(), 49152);
+  EXPECT_LE(GammaConfig::make(4, 2, 3).smem_bytes(), 49152);
+}
+
+TEST(GammaConfig, RuseGeometry) {
+  // §5.4: 16×8 threads, twice the accumulators, 8×(16×8) outer products.
+  const GammaConfig r8 = GammaConfig::make(8, 4, 5, Variant::kRuse);
+  EXPECT_EQ(r8.threads(), 128);
+  EXPECT_EQ(r8.accumulators_per_thread(), 128);
+  EXPECT_EQ(r8.a_len, 8);
+  EXPECT_EQ(r8.b_len, 16);
+  EXPECT_EQ(r8.input_tiles_per_thread, 2);
+  EXPECT_GT(r8.regs_per_thread(),
+            GammaConfig::make(8, 4, 5).regs_per_thread());
+}
+
+TEST(GammaConfig, C64Geometry) {
+  const GammaConfig c = GammaConfig::make(16, 10, 7, Variant::kC64);
+  EXPECT_EQ(c.bn, 64);
+  EXPECT_EQ(c.bm, 32);
+  EXPECT_EQ(c.threads(), 256);
+  EXPECT_EQ(c.accumulators_per_thread(), 128);
+}
+
+TEST(GammaConfig, ArithmeticIntensityFormulas) {
+  // §5.6 worked example: Γc64_16(8,9) = 15.06, 47.1% over Γ16(8,9) = 10.24,
+  // 23.5% over Γruse_16(8,9) = 12.19.
+  EXPECT_NEAR(GammaConfig::make(16, 8, 9).arithmetic_intensity(), 10.24, 0.01);
+  EXPECT_NEAR(GammaConfig::make(16, 8, 9, Variant::kRuse).arithmetic_intensity(),
+              12.19, 0.01);
+  EXPECT_NEAR(GammaConfig::make(16, 8, 9, Variant::kC64).arithmetic_intensity(),
+              15.06, 0.01);
+}
+
+TEST(GammaConfig, RuseProfitabilityRule) {
+  // §5.4: profitable iff (r−1)/α ≥ 0.4375 — i.e. the variants the paper
+  // ships: Γruse8(4,5), (3,6), (2,7), Γruse16(9,8), (8,9).
+  EXPECT_TRUE(GammaConfig::ruse_profitable(8, 5));
+  EXPECT_TRUE(GammaConfig::ruse_profitable(8, 6));
+  EXPECT_TRUE(GammaConfig::ruse_profitable(8, 7));
+  EXPECT_TRUE(GammaConfig::ruse_profitable(16, 8));
+  EXPECT_TRUE(GammaConfig::ruse_profitable(16, 9));
+  EXPECT_FALSE(GammaConfig::ruse_profitable(8, 4));
+  EXPECT_FALSE(GammaConfig::ruse_profitable(8, 3));
+  EXPECT_FALSE(GammaConfig::ruse_profitable(16, 7));
+}
+
+TEST(GammaConfig, InvalidConfigsRejected) {
+  EXPECT_THROW(GammaConfig::make(8, 5, 3), Error);   // n+r−1 ≠ α
+  EXPECT_THROW(GammaConfig::make(12, 6, 7), Error);  // α not in {4,8,16}
+  EXPECT_THROW(GammaConfig::make(8, 1, 8), Error);   // n < 2
+  EXPECT_THROW(GammaConfig::make(8, 4, 5, Variant::kC64), Error);
+  EXPECT_THROW(GammaConfig::make(4, 2, 3, Variant::kRuse), Error);
+}
+
+TEST(GammaConfig, Names) {
+  EXPECT_EQ(GammaConfig::make(8, 6, 3).name(), "gamma8(6,3)");
+  EXPECT_EQ(GammaConfig::make(16, 8, 9, Variant::kC64).name(),
+            "gamma16_c64(8,9)");
+  EXPECT_EQ(GammaConfig::make(8, 4, 5, Variant::kRuse).name(),
+            "gamma8_ruse(4,5)");
+}
+
+// ---------------------------------------------------------------------------
+// Boundary planner (§5.5).
+
+void check_plan_covers(const std::vector<Segment>& plan, std::int64_t ow) {
+  std::int64_t pos = 0;
+  for (const Segment& s : plan) {
+    EXPECT_EQ(s.ow_start, pos) << "gap or overlap";
+    EXPECT_GT(s.ow_len, 0);
+    if (!s.is_gemm) {
+      const std::int64_t gran =
+          static_cast<std::int64_t>(s.cfg.n) *
+          (s.cfg.variant == Variant::kRuse ? 2 : 1);
+      EXPECT_EQ(s.ow_len % gran, 0);
+    }
+    pos += s.ow_len;
+  }
+  EXPECT_EQ(pos, ow);
+}
+
+TEST(BoundaryPlanner, CoversEveryWidthForEveryFilter) {
+  for (int r = 2; r <= 9; ++r) {
+    for (std::int64_t ow = 1; ow <= 40; ++ow) {
+      check_plan_covers(plan_boundary(ow, r, true, true), ow);
+      check_plan_covers(plan_boundary(ow, r, false, false), ow);
+    }
+  }
+}
+
+TEST(BoundaryPlanner, PaperFigure7Example) {
+  // FW = 3, Figure 7: Γ8(6,3) takes the largest part divisible by 6, the
+  // Γ4 kernel takes the remainder's multiple of 2, GEMM the rest.
+  const auto plan = plan_boundary(23, 3, true, false);
+  ASSERT_GE(plan.size(), 2u);
+  EXPECT_FALSE(plan[0].is_gemm);
+  EXPECT_EQ(plan[0].cfg.alpha, 8);
+  EXPECT_EQ(plan[0].cfg.n, 6);
+  EXPECT_EQ(plan[0].ow_len, 18);
+  EXPECT_FALSE(plan[1].is_gemm);
+  EXPECT_EQ(plan[1].cfg.alpha, 4);
+  EXPECT_EQ(plan[1].ow_len, 4);
+  EXPECT_TRUE(plan.back().is_gemm);
+  EXPECT_EQ(plan.back().ow_len, 1);
+}
+
+TEST(BoundaryPlanner, ExactCoverNeedsNoGemm) {
+  const auto plan = plan_boundary(24, 3, true, false);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_FALSE(plan[0].is_gemm);
+  EXPECT_EQ(plan[0].ow_len, 24);
+}
+
+TEST(BoundaryPlanner, TinyWidthFallsBackToGemm) {
+  const auto plan = plan_boundary(1, 9, true, false);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].is_gemm);
+}
+
+TEST(BoundaryPlanner, RuseOutranksBaseWhenProfitable) {
+  const auto plan = plan_boundary(32, 5, /*allow_ruse=*/true, false);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan[0].cfg.variant, Variant::kRuse);
+  const auto plan2 = plan_boundary(32, 5, /*allow_ruse=*/false, false);
+  EXPECT_EQ(plan2[0].cfg.variant, Variant::kBase);
+}
+
+TEST(BoundaryPlanner, C64PreferredForLargeFilters) {
+  const auto plan = plan_boundary(40, 7, true, /*allow_c64=*/true);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan[0].cfg.variant, Variant::kC64);
+  EXPECT_EQ(plan[0].cfg.alpha, 16);
+}
+
+TEST(BoundaryPlanner, PriorityListsUsePaperKernels) {
+  // r=7 chain includes Γ16(10,7) then Γ8(2,7).
+  const auto list = kernel_priority(7, true, false);
+  ASSERT_GE(list.size(), 2u);
+  EXPECT_EQ(list[0].alpha, 16);
+  EXPECT_EQ(list[0].n, 10);
+  EXPECT_EQ(list.back().alpha, 8);
+  EXPECT_EQ(list.back().n, 2);
+  EXPECT_THROW(kernel_priority(10, true, false), Error);
+  EXPECT_THROW(kernel_priority(1, true, false), Error);
+}
+
+}  // namespace
+}  // namespace iwg::core

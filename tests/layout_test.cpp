@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/layout.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(Layout, NhwcNchwRoundTrip) {
+  Rng rng(5);
+  TensorF x({2, 3, 4, 5});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF back = nchw_to_nhwc(nhwc_to_nchw(x));
+  ASSERT_TRUE(back.same_shape(x));
+  for (std::int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+TEST(Layout, NhwcToNchwMapsIndices) {
+  TensorF x({1, 2, 2, 3});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const TensorF y = nhwc_to_nchw(x);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(y.at(0, 0, 0, 0), x.at(0, 0, 0, 0));
+  EXPECT_EQ(y.at(0, 2, 1, 1), x.at(0, 1, 1, 2));
+  EXPECT_EQ(y.at(0, 1, 0, 1), x.at(0, 0, 1, 1));
+}
+
+TEST(Layout, FilterTransposeToFhwio) {
+  TensorF w({2, 3, 3, 4});  // OC,FH,FW,IC
+  for (std::int64_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  const TensorF t = transpose_filter_to_fhwio(w);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(3), 2);
+  for (std::int64_t o = 0; o < 2; ++o)
+    for (std::int64_t h = 0; h < 3; ++h)
+      for (std::int64_t x = 0; x < 3; ++x)
+        for (std::int64_t i = 0; i < 4; ++i)
+          EXPECT_EQ(t.at(h, x, i, o), w.at(o, h, x, i));
+}
+
+TEST(Layout, FilterTransposeRot180) {
+  TensorF w({1, 3, 3, 1});
+  for (std::int64_t i = 0; i < 9; ++i) w[i] = static_cast<float>(i);
+  const TensorF t = transpose_filter_to_fhwio_rot180(w);
+  // Element (0,0) of the rotated filter is element (2,2) of the original.
+  EXPECT_EQ(t.at(0, 0, 0, 0), w.at(0, 2, 2, 0));
+  EXPECT_EQ(t.at(2, 2, 0, 0), w.at(0, 0, 0, 0));
+  EXPECT_EQ(t.at(1, 1, 0, 0), w.at(0, 1, 1, 0));
+  EXPECT_EQ(t.at(0, 2, 0, 0), w.at(0, 2, 0, 0));
+}
+
+TEST(Layout, DeconvFilterSwapsChannelsAndRotates) {
+  TensorF w({2, 3, 3, 4});  // OC,FH,FW,IC
+  Rng rng(9);
+  w.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF d = deconv_filter(w);
+  EXPECT_EQ(d.dim(0), 4);  // IC becomes the output-channel axis
+  EXPECT_EQ(d.dim(3), 2);
+  for (std::int64_t o = 0; o < 2; ++o)
+    for (std::int64_t h = 0; h < 3; ++h)
+      for (std::int64_t x = 0; x < 3; ++x)
+        for (std::int64_t i = 0; i < 4; ++i)
+          EXPECT_EQ(d.at(i, 2 - h, 2 - x, o), w.at(o, h, x, i));
+}
+
+TEST(Layout, DoubleRotationIsIdentity) {
+  TensorF w({2, 5, 5, 3});
+  Rng rng(11);
+  w.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF once = transpose_filter_to_fhwio_rot180(w);
+  const TensorF plain = transpose_filter_to_fhwio(w);
+  // Rotating the rotated transposed filter recovers the plain transpose.
+  for (std::int64_t h = 0; h < 5; ++h)
+    for (std::int64_t x = 0; x < 5; ++x)
+      for (std::int64_t i = 0; i < 3; ++i)
+        for (std::int64_t o = 0; o < 2; ++o)
+          EXPECT_EQ(once.at(4 - h, 4 - x, i, o), plain.at(h, x, i, o));
+}
+
+}  // namespace
+}  // namespace iwg

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "tensor/metrics.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(Metrics, AverageRelativeErrorZeroForExactMatch) {
+  TensorF a({4});
+  TensorD b({4});
+  for (int i = 0; i < 4; ++i) {
+    a[i] = static_cast<float>(i + 1);
+    b[i] = i + 1;
+  }
+  EXPECT_DOUBLE_EQ(average_relative_error(a, b), 0.0);
+}
+
+TEST(Metrics, AverageRelativeErrorSimpleCase) {
+  TensorF a({2});
+  TensorD b({2});
+  a[0] = 1.1f;
+  b[0] = 1.0;
+  a[1] = 2.0f;
+  b[1] = 2.0;
+  EXPECT_NEAR(average_relative_error(a, b), 0.05, 1e-6);
+}
+
+TEST(Metrics, RelativeErrorsNearZeroTruthUseAbsolute) {
+  TensorF a({1});
+  TensorD b({1});
+  a[0] = 1e-3f;
+  b[0] = 0.0;
+  const auto errs = relative_errors(a, b);
+  EXPECT_NEAR(errs[0], 1e-3, 1e-9);
+}
+
+TEST(Metrics, MaxAbsAndRelDiff) {
+  TensorF a({3}), b({3});
+  a[0] = 1.0f; b[0] = 1.0f;
+  a[1] = 2.0f; b[1] = 2.5f;
+  a[2] = -1.0f; b[2] = -1.25f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_NEAR(max_rel_diff(a, b), 0.5 / 3.5, 1e-12);
+}
+
+TEST(Metrics, HistogramBucketsValues) {
+  const std::vector<double> vals = {0.05, 0.15, 0.15, 0.25, 0.95, 1.5};
+  const std::vector<double> edges = {0.0, 0.1, 0.2, 0.3, 1.0};
+  const auto h = histogram(vals, edges);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[1], 2);
+  EXPECT_EQ(h[2], 1);
+  EXPECT_EQ(h[3], 1);  // 1.5 falls outside all buckets and is dropped
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  TensorF a({3});
+  TensorD b({4});
+  EXPECT_THROW(average_relative_error(a, b), Error);
+}
+
+}  // namespace
+}  // namespace iwg

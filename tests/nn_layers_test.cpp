@@ -1,0 +1,280 @@
+// Gradient checks (finite differences) for every layer, plus semantic unit
+// tests. Gradcheck validates both the layer backward rules and, for Conv2D,
+// the full Winograd forward/backward/filter-grad stack end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+
+namespace iwg::nn {
+namespace {
+
+/// Scalar objective: sum of elementwise weighted outputs (weights fixed so
+/// the objective is smooth and generic).
+float objective(const TensorF& y) {
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    s += y[i] * (0.1f + 0.01f * static_cast<float>(i % 17));
+  }
+  return s;
+}
+
+TensorF objective_grad(const TensorF& y) {
+  TensorF g = y;
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    g[i] = 0.1f + 0.01f * static_cast<float>(i % 17);
+  }
+  return g;
+}
+
+/// Check dL/dx and dL/dparams of `layer` at input `x` by central differences.
+/// `allowed_outliers` absorbs finite-difference breakdown at ReLU kinks
+/// (the perturbation flips an activation sign and the two-sided difference
+/// no longer measures the one-sided derivative backward uses).
+void gradcheck(Layer& layer, TensorF x, float tol = 2e-2f,
+               int max_checks = 24, int allowed_outliers = 0) {
+  int outliers = 0;
+  const TensorF y = layer.forward(x, /*train=*/true);
+  const TensorF dy = objective_grad(y);
+  for (Param* p : layer.params()) p->zero_grad();
+  const TensorF dx = layer.backward(dy);
+
+  const float eps = 3e-3f;
+  // Input gradient.
+  Rng pick(99);
+  for (int k = 0; k < max_checks; ++k) {
+    const std::int64_t i =
+        static_cast<std::int64_t>(pick.below(static_cast<std::uint64_t>(x.size())));
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const float lp = objective(layer.forward(x, true));
+    x[i] = saved - eps;
+    const float lm = objective(layer.forward(x, true));
+    x[i] = saved;
+    const float want = (lp - lm) / (2 * eps);
+    if (std::abs(dx[i] - want) > tol * (1.0f + std::abs(want))) {
+      ++outliers;
+      EXPECT_LE(outliers, allowed_outliers) << "input grad at " << i << ": "
+                                            << dx[i] << " vs " << want;
+    }
+  }
+  // Parameter gradients (re-run forward to restore caches).
+  layer.forward(x, true);
+  for (Param* p : layer.params()) {
+    for (int k = 0; k < max_checks / 2; ++k) {
+      const std::int64_t i = static_cast<std::int64_t>(
+          pick.below(static_cast<std::uint64_t>(p->value.size())));
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float lp = objective(layer.forward(x, true));
+      p->value[i] = saved - eps;
+      const float lm = objective(layer.forward(x, true));
+      p->value[i] = saved;
+      const float want = (lp - lm) / (2 * eps);
+      if (std::abs(p->grad[i] - want) > tol * (1.0f + std::abs(want))) {
+        ++outliers;
+        EXPECT_LE(outliers, allowed_outliers)
+            << p->name << " grad at " << i << ": " << p->grad[i] << " vs "
+            << want;
+      }
+    }
+  }
+}
+
+TensorF rand_input(std::initializer_list<std::int64_t> dims, unsigned seed) {
+  Rng rng(seed);
+  TensorF t(dims);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+TEST(NnGradcheck, Conv2DWinogradUnitStride) {
+  Rng rng(1);
+  Conv2D conv(3, 4, 3, 1, 1, ConvEngine::kWinograd, rng);
+  gradcheck(conv, rand_input({2, 6, 7, 3}, 2));
+}
+
+TEST(NnGradcheck, Conv2DGemmUnitStride) {
+  Rng rng(3);
+  Conv2D conv(3, 4, 3, 1, 1, ConvEngine::kGemm, rng);
+  gradcheck(conv, rand_input({2, 6, 7, 3}, 4));
+}
+
+TEST(NnGradcheck, Conv2DWinograd5x5) {
+  Rng rng(5);
+  Conv2D conv(2, 3, 5, 1, 2, ConvEngine::kWinograd, rng);
+  gradcheck(conv, rand_input({1, 8, 9, 2}, 6));
+}
+
+TEST(NnGradcheck, Conv2DStride2) {
+  Rng rng(7);
+  Conv2D conv(3, 4, 3, 2, 1, ConvEngine::kWinograd, rng);
+  gradcheck(conv, rand_input({2, 8, 8, 3}, 8));
+}
+
+TEST(NnGradcheck, Conv2DPointwise) {
+  Rng rng(9);
+  Conv2D conv(4, 5, 1, 1, 0, ConvEngine::kWinograd, rng);
+  gradcheck(conv, rand_input({2, 4, 4, 4}, 10));
+}
+
+TEST(NnGradcheck, BatchNorm) {
+  BatchNorm2D bn(5);
+  gradcheck(bn, rand_input({3, 4, 4, 5}, 11), 3e-2f, 24, 1);
+}
+
+TEST(NnGradcheck, LeakyReLU) {
+  LeakyReLU relu;
+  gradcheck(relu, rand_input({2, 4, 4, 3}, 12));
+}
+
+TEST(NnGradcheck, MaxPool) {
+  MaxPool2x2 pool;
+  gradcheck(pool, rand_input({2, 6, 6, 3}, 13));
+}
+
+TEST(NnGradcheck, GlobalAvgPool) {
+  GlobalAvgPool pool;
+  gradcheck(pool, rand_input({2, 4, 4, 3}, 14));
+}
+
+TEST(NnGradcheck, Linear) {
+  Rng rng(15);
+  Linear lin(12, 7, rng);
+  gradcheck(lin, rand_input({4, 12}, 16));
+}
+
+TEST(NnGradcheck, ResidualBlockIdentity) {
+  Rng rng(17);
+  ResidualBlock block(4, 4, 1, ConvEngine::kWinograd, rng);
+  gradcheck(block, rand_input({1, 6, 6, 4}, 18), 3e-2f, 24, 4);
+}
+
+TEST(NnGradcheck, ResidualBlockProjection) {
+  Rng rng(19);
+  ResidualBlock block(3, 6, 2, ConvEngine::kWinograd, rng);
+  gradcheck(block, rand_input({1, 8, 8, 3}, 20), 3e-2f, 24, 4);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(NnLayers, LeakyReLUForwardValues) {
+  LeakyReLU relu(0.01f);
+  TensorF x({4});
+  x[0] = -2.0f;
+  x[1] = 0.0f;
+  x[2] = 3.0f;
+  x[3] = -0.5f;
+  const TensorF y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -0.02f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], -0.005f);
+}
+
+TEST(NnLayers, MaxPoolSelectsMaximum) {
+  MaxPool2x2 pool;
+  TensorF x({1, 2, 2, 1});
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = -1.0f;
+  x[3] = 2.0f;
+  const TensorF y = pool.forward(x, true);
+  EXPECT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  TensorF dy({1, 1, 1, 1});
+  dy[0] = 3.0f;
+  const TensorF dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[1], 3.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(NnLayers, BatchNormNormalizesTrainingBatch) {
+  BatchNorm2D bn(2);
+  Rng rng(31);
+  TensorF x({4, 3, 3, 2});
+  x.fill_uniform(rng, 3.0f, 9.0f);
+  const TensorF y = bn.forward(x, true);
+  // Per-channel mean ≈ 0, var ≈ 1.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    const std::int64_t m = y.size() / 2;
+    for (std::int64_t i = 0; i < m; ++i) mean += y[i * 2 + c];
+    mean /= static_cast<double>(m);
+    for (std::int64_t i = 0; i < m; ++i) {
+      var += (y[i * 2 + c] - mean) * (y[i * 2 + c] - mean);
+    }
+    var /= static_cast<double>(m);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(NnLayers, BatchNormEvalUsesRunningStats) {
+  BatchNorm2D bn(1);
+  Rng rng(33);
+  TensorF x({8, 2, 2, 1});
+  x.fill_uniform(rng, 4.0f, 6.0f);
+  for (int i = 0; i < 150; ++i) bn.forward(x, true);  // converge running stats
+  const TensorF y = bn.forward(x, false);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < y.size(); ++i) mean += y[i];
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+}
+
+TEST(NnLayers, KaimingUniformBounds) {
+  Rng rng(35);
+  TensorF w({64, 3, 3, 16});
+  kaiming_uniform(w, 3 * 3 * 16, rng);
+  const float bound = std::sqrt(6.0f / (3 * 3 * 16));
+  float mx = 0.0f;
+  for (std::int64_t i = 0; i < w.size(); ++i) mx = std::max(mx, std::abs(w[i]));
+  EXPECT_LE(mx, bound);
+  EXPECT_GT(mx, bound * 0.9f);  // actually fills the range
+}
+
+TEST(NnLoss, SoftmaxCrossEntropyKnownValues) {
+  TensorF logits({2, 3});
+  logits[0] = 10.0f;  // sample 0 strongly predicts class 0
+  logits[1] = 0.0f;
+  logits[2] = 0.0f;
+  logits[3] = 0.0f;  // sample 1 uniform
+  logits[4] = 0.0f;
+  logits[5] = 0.0f;
+  const LossResult res = softmax_cross_entropy(logits, {0, 1});
+  EXPECT_NEAR(res.loss, 0.5f * (0.000091f + std::log(3.0f)), 1e-3f);
+  EXPECT_EQ(res.correct, 1);  // argmax of uniform row is class 0 ≠ 1
+  // Gradient rows sum to zero.
+  for (int i = 0; i < 2; ++i) {
+    float s = 0.0f;
+    for (int j = 0; j < 3; ++j) s += res.dlogits[i * 3 + j];
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(NnLoss, GradMatchesFiniteDifference) {
+  Rng rng(37);
+  TensorF logits({3, 4});
+  logits.fill_uniform(rng, -2.0f, 2.0f);
+  const std::vector<std::int64_t> labels = {1, 3, 0};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    TensorF lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float want = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2 * eps);
+    EXPECT_NEAR(res.dlogits[i], want, 2e-3f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace iwg::nn

@@ -1,0 +1,131 @@
+// Tests of the exact linear-algebra helper behind the D^T solve.
+#include <gtest/gtest.h>
+
+#include "winograd/rational_matrix.hpp"
+
+namespace iwg {
+namespace {
+
+RationalMatrix identity(int n) {
+  RationalMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = Rational(1);
+  return m;
+}
+
+TEST(RationalMatrix, MultiplyIdentity) {
+  RationalMatrix a(2, 3);
+  a.at(0, 0) = Rational(1, 2);
+  a.at(0, 2) = Rational(-3);
+  a.at(1, 1) = Rational(7, 5);
+  const RationalMatrix r = a * identity(3);
+  EXPECT_TRUE(r == a);
+}
+
+TEST(RationalMatrix, MultiplyKnownProduct) {
+  RationalMatrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = Rational(1, 2);
+  b.at(1, 1) = Rational(1, 4);
+  const RationalMatrix c = a * b;
+  EXPECT_EQ(c.at(0, 0), Rational(1, 2));
+  EXPECT_EQ(c.at(0, 1), Rational(1, 2));
+  EXPECT_EQ(c.at(1, 0), Rational(3, 2));
+  EXPECT_EQ(c.at(1, 1), Rational(1));
+}
+
+TEST(RationalMatrix, TransposeRoundTrip) {
+  RationalMatrix a(2, 3);
+  a.at(0, 1) = Rational(5, 7);
+  a.at(1, 2) = Rational(-2);
+  const RationalMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.at(1, 0), Rational(5, 7));
+  EXPECT_TRUE(t.transposed() == a);
+}
+
+TEST(RationalMatrix, SolveSquareSystem) {
+  // [2 1; 1 3] x = [5; 10]  →  x = [1; 3]
+  RationalMatrix c(2, 2), e(2, 1);
+  c.at(0, 0) = 2;
+  c.at(0, 1) = 1;
+  c.at(1, 0) = 1;
+  c.at(1, 1) = 3;
+  e.at(0, 0) = 5;
+  e.at(1, 0) = 10;
+  const RationalMatrix x = solve_exact(c, e);
+  EXPECT_EQ(x.at(0, 0), Rational(1));
+  EXPECT_EQ(x.at(1, 0), Rational(3));
+}
+
+TEST(RationalMatrix, SolveConsistentOverdetermined) {
+  // Third row is the sum of the first two: consistent.
+  RationalMatrix c(3, 2), e(3, 1);
+  c.at(0, 0) = 1;
+  c.at(1, 1) = 1;
+  c.at(2, 0) = 1;
+  c.at(2, 1) = 1;
+  e.at(0, 0) = Rational(1, 3);
+  e.at(1, 0) = Rational(2, 3);
+  e.at(2, 0) = Rational(1);
+  const RationalMatrix x = solve_exact(c, e);
+  EXPECT_EQ(x.at(0, 0), Rational(1, 3));
+  EXPECT_EQ(x.at(1, 0), Rational(2, 3));
+}
+
+TEST(RationalMatrix, SolveInconsistentThrows) {
+  RationalMatrix c(3, 2), e(3, 1);
+  c.at(0, 0) = 1;
+  c.at(1, 1) = 1;
+  c.at(2, 0) = 1;
+  c.at(2, 1) = 1;
+  e.at(0, 0) = 1;
+  e.at(1, 0) = 1;
+  e.at(2, 0) = 3;  // should be 2
+  EXPECT_THROW(solve_exact(c, e), Error);
+}
+
+TEST(RationalMatrix, SolveRankDeficientThrows) {
+  RationalMatrix c(2, 2), e(2, 1);
+  c.at(0, 0) = 1;
+  c.at(0, 1) = 2;
+  c.at(1, 0) = 2;
+  c.at(1, 1) = 4;  // rank 1
+  e.at(0, 0) = 1;
+  e.at(1, 0) = 2;
+  EXPECT_THROW(solve_exact(c, e), Error);
+}
+
+TEST(RationalMatrix, SolveUnderdeterminedThrows) {
+  RationalMatrix c(1, 2), e(1, 1);
+  c.at(0, 0) = 1;
+  EXPECT_THROW(solve_exact(c, e), Error);
+}
+
+TEST(RationalMatrix, PivotingHandlesZeroLead) {
+  // First pivot position is zero; solver must swap rows.
+  RationalMatrix c(2, 2), e(2, 1);
+  c.at(0, 1) = 1;
+  c.at(1, 0) = 1;
+  e.at(0, 0) = 7;
+  e.at(1, 0) = 9;
+  const RationalMatrix x = solve_exact(c, e);
+  EXPECT_EQ(x.at(0, 0), Rational(9));
+  EXPECT_EQ(x.at(1, 0), Rational(7));
+}
+
+TEST(RationalMatrix, ToFloatAndString) {
+  RationalMatrix a(1, 2);
+  a.at(0, 0) = Rational(1, 4);
+  a.at(0, 1) = Rational(-21, 4);
+  const auto f = a.to_float();
+  EXPECT_FLOAT_EQ(f[0], 0.25f);
+  EXPECT_FLOAT_EQ(f[1], -5.25f);
+  EXPECT_EQ(a.to_string(), "1/4 -21/4\n");
+}
+
+}  // namespace
+}  // namespace iwg

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/rational.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(Rational, NormalizationAndEquality) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(1, -2));
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+  EXPECT_EQ(Rational(6, 3), Rational(2));
+  EXPECT_TRUE(Rational(1, 2).den() == 2);
+  EXPECT_TRUE(Rational(1, -2).num() == -1);  // denominator kept positive
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+  EXPECT_EQ(-Rational(5, 7), Rational(-5, 7));
+  Rational a(3, 4);
+  a += Rational(1, 4);
+  EXPECT_EQ(a, Rational(1));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(7, 7) <=> Rational(1), std::strong_ordering::equal);
+}
+
+TEST(Rational, PowAndReciprocal) {
+  EXPECT_EQ(Rational(2).pow(10), Rational(1024));
+  EXPECT_EQ(Rational(1, 2).pow(6), Rational(1, 64));
+  EXPECT_EQ(Rational(3).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2).pow(-3), Rational(1, 8));
+  EXPECT_EQ(Rational(-3, 5).reciprocal(), Rational(-5, 3));
+  EXPECT_THROW(Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, AbsAndZero) {
+  EXPECT_EQ(Rational(-5, 3).abs(), Rational(5, 3));
+  EXPECT_TRUE(Rational(0).is_zero());
+  EXPECT_FALSE(Rational(1, 100).is_zero());
+}
+
+TEST(Rational, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(21, 4).to_double(), 5.25);
+  EXPECT_DOUBLE_EQ(Rational(-1, 450).to_double(), -1.0 / 450.0);
+  EXPECT_EQ(Rational(21, 4).to_string(), "21/4");
+  EXPECT_EQ(Rational(-7).to_string(), "-7");
+  EXPECT_EQ(Rational(0).to_string(), "0");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), Error);
+}
+
+TEST(Rational, LargePaperEntriesExact) {
+  // Entries of the α = 16 matrices stay exactly representable.
+  const Rational big(268435456, 160810650);
+  EXPECT_EQ(big * Rational(160810650, 268435456), Rational(1));
+  const Rational d16(539803, 576);
+  EXPECT_EQ((d16 - d16), Rational(0));
+}
+
+}  // namespace
+}  // namespace iwg

@@ -1,0 +1,206 @@
+// Cross-validation of the reference convolution implementations: direct,
+// im2col+GEMM (explicit and implicit), fused 2-D Winograd, deconvolution,
+// and filter gradients must all agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/im2col_gemm.hpp"
+#include "reference/winograd2d.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg {
+namespace {
+
+struct Case {
+  ConvShape s;
+  const char* name;
+};
+
+TensorF random_input(const ConvShape& s, unsigned seed) {
+  Rng rng(seed);
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  return x;
+}
+
+TensorF random_filter(const ConvShape& s, unsigned seed) {
+  Rng rng(seed * 31 + 7);
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  w.fill_uniform(rng, -1.0f, 1.0f);
+  return w;
+}
+
+class RefConvSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RefConvSweep, Im2colGemmMatchesDirect) {
+  const ConvShape& s = GetParam().s;
+  const TensorF x = random_input(s, 1);
+  const TensorF w = random_filter(s, 1);
+  const TensorF direct = ref::conv2d_direct(x, w, s);
+  const TensorF gemm = ref::conv2d_im2col_gemm(x, w, s);
+  EXPECT_LT(max_rel_diff(gemm, direct), 1e-5) << GetParam().name;
+}
+
+TEST_P(RefConvSweep, ImplicitGemmMatchesDirect) {
+  const ConvShape& s = GetParam().s;
+  const TensorF x = random_input(s, 2);
+  const TensorF w = random_filter(s, 2);
+  const TensorF direct = ref::conv2d_direct(x, w, s);
+  const TensorF gemm = ref::conv2d_implicit_gemm(x, w, s);
+  EXPECT_LT(max_rel_diff(gemm, direct), 1e-5) << GetParam().name;
+}
+
+TEST_P(RefConvSweep, Fp64AgreesWithFp32Closely) {
+  const ConvShape& s = GetParam().s;
+  const TensorF x = random_input(s, 3);
+  const TensorF w = random_filter(s, 3);
+  const TensorF f32 = ref::conv2d_direct(x, w, s);
+  const TensorD f64 = ref::conv2d_direct_fp64(x, w, s);
+  EXPECT_LT(average_relative_error(f32, f64), 1e-4) << GetParam().name;
+}
+
+TEST_P(RefConvSweep, DeconvMatchesDirectTransposed) {
+  const ConvShape& s = GetParam().s;
+  Rng rng(17);
+  TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+  dy.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF w = random_filter(s, 4);
+  const TensorF a = ref::deconv2d_direct(dy, w, s);
+  const TensorF b = ref::deconv2d_implicit_gemm(dy, w, s);
+  ASSERT_TRUE(a.same_shape(b));
+  EXPECT_LT(max_rel_diff(a, b), 1e-5) << GetParam().name;
+}
+
+TEST_P(RefConvSweep, FilterGradGemmMatchesDirect) {
+  const ConvShape& s = GetParam().s;
+  const TensorF x = random_input(s, 5);
+  Rng rng(23);
+  TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+  dy.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF a = ref::conv2d_filter_grad_direct(x, dy, s);
+  const TensorF b = ref::conv2d_filter_grad_gemm(x, dy, s);
+  EXPECT_LT(max_rel_diff(a, b), 2e-5) << GetParam().name;
+}
+
+std::vector<Case> cases() {
+  return {
+      {{.n = 1, .ih = 6, .iw = 6, .ic = 3, .oc = 4, .fh = 3, .fw = 3, .ph = 1, .pw = 1}, "pad3x3"},
+      {{.n = 2, .ih = 7, .iw = 9, .ic = 5, .oc = 3, .fh = 3, .fw = 3, .ph = 0, .pw = 0}, "nopad3x3"},
+      {{.n = 1, .ih = 10, .iw = 10, .ic = 2, .oc = 2, .fh = 5, .fw = 5, .ph = 2, .pw = 2}, "pad5x5"},
+      {{.n = 2, .ih = 9, .iw = 11, .ic = 4, .oc = 6, .fh = 2, .fw = 2, .ph = 0, .pw = 0}, "f2x2"},
+      {{.n = 1, .ih = 12, .iw = 8, .ic = 3, .oc = 5, .fh = 7, .fw = 7, .ph = 3, .pw = 3}, "pad7x7"},
+      {{.n = 1, .ih = 11, .iw = 13, .ic = 2, .oc = 3, .fh = 9, .fw = 9, .ph = 4, .pw = 4}, "pad9x9"},
+      {{.n = 3, .ih = 5, .iw = 5, .ic = 8, .oc = 8, .fh = 1, .fw = 1, .ph = 0, .pw = 0}, "pointwise"},
+      {{.n = 1, .ih = 8, .iw = 8, .ic = 1, .oc = 1, .fh = 4, .fw = 4, .ph = 1, .pw = 2}, "asym_pad"},
+      {{.n = 2, .ih = 6, .iw = 14, .ic = 3, .oc = 2, .fh = 3, .fw = 6, .ph = 1, .pw = 2}, "rect_filter"},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RefConvSweep, ::testing::ValuesIn(cases()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(RefConv, Winograd2dMatchesDirect3x3) {
+  for (std::int64_t ow : {8, 9, 10}) {  // even, odd (boundary tile), even
+    ConvShape s{.n = 2, .ih = ow, .iw = ow, .ic = 4, .oc = 5, .fh = 3,
+                .fw = 3, .ph = 1, .pw = 1};
+    const TensorF x = random_input(s, 6);
+    const TensorF w = random_filter(s, 6);
+    const TensorF direct = ref::conv2d_direct(x, w, s);
+    const TensorF wino = ref::conv2d_winograd2d_f2x2_3x3(x, w, s);
+    EXPECT_LT(max_rel_diff(wino, direct), 1e-4) << "ow=" << ow;
+  }
+}
+
+TEST(RefConv, Winograd2dRejectsNon3x3) {
+  ConvShape s{.n = 1, .ih = 8, .iw = 8, .ic = 1, .oc = 1, .fh = 5, .fw = 5,
+              .ph = 2, .pw = 2};
+  TensorF x({1, 8, 8, 1});
+  TensorF w({1, 5, 5, 1});
+  EXPECT_THROW(ref::conv2d_winograd2d_f2x2_3x3(x, w, s), Error);
+}
+
+TEST(RefConv, Tf32RoundProperties) {
+  EXPECT_EQ(ref::tf32_round(0.0f), 0.0f);
+  EXPECT_EQ(ref::tf32_round(1.0f), 1.0f);      // exactly representable
+  EXPECT_EQ(ref::tf32_round(-2.5f), -2.5f);
+  // 1 + 2^-11 rounds back to 1 in a 10-bit mantissa.
+  EXPECT_EQ(ref::tf32_round(1.0f + 0x1.0p-11f), 1.0f);
+  // 1 + 2^-9 survives.
+  EXPECT_EQ(ref::tf32_round(1.0f + 0x1.0p-9f), 1.0f + 0x1.0p-9f);
+  // Rounding error bounded by 2^-11 relative.
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-10.0f, 10.0f);
+    EXPECT_NEAR(ref::tf32_round(v), v, std::abs(v) * 0x1.0p-10f);
+  }
+}
+
+TEST(RefConv, Tf32GemmLessAccurateThanFp32Gemm) {
+  // The cuDNN-numerics emulation must sit between FP32 GEMM and garbage.
+  ConvShape s{.n = 1, .ih = 10, .iw = 10, .ic = 64, .oc = 4, .fh = 3,
+              .fw = 3, .ph = 1, .pw = 1};
+  Rng rng(17);
+  TensorF x({1, 10, 10, 64});
+  x.fill_uniform(rng, 1.0f, 2.0f);
+  TensorF w({4, 3, 3, 64});
+  w.fill_uniform(rng, 1.0f, 2.0f);
+  const TensorD truth = ref::conv2d_direct_fp64(x, w, s);
+  const double err32 =
+      average_relative_error(ref::conv2d_im2col_gemm(x, w, s), truth);
+  const double err_tf =
+      average_relative_error(ref::conv2d_im2col_gemm_tf32(x, w, s), truth);
+  EXPECT_GT(err_tf, err32 * 3.0);
+  EXPECT_LT(err_tf, 1e-3);  // still a valid convolution
+}
+
+TEST(RefConv, StridedGemmMatchesManualSubsampling) {
+  // Stride-2 output must equal the stride-1 output subsampled at even
+  // positions when (IH − FH) is even and padding is 0.
+  ConvShape s{.n = 1, .ih = 9, .iw = 9, .ic = 3, .oc = 2, .fh = 3, .fw = 3,
+              .ph = 0, .pw = 0};
+  const TensorF x = random_input(s, 7);
+  const TensorF w = random_filter(s, 7);
+  const TensorF full = ref::conv2d_direct(x, w, s);
+  const TensorF strided = ref::conv2d_implicit_gemm_strided(x, w, s, 2, 2);
+  EXPECT_EQ(strided.dim(1), 4);
+  EXPECT_EQ(strided.dim(2), 4);
+  for (std::int64_t h = 0; h < 4; ++h)
+    for (std::int64_t wo = 0; wo < 4; ++wo)
+      for (std::int64_t oc = 0; oc < 2; ++oc)
+        EXPECT_NEAR(strided.at(0, h, wo, oc), full.at(0, 2 * h, 2 * wo, oc),
+                    1e-5f);
+}
+
+TEST(RefConv, Im2colMatrixShapeAndContent) {
+  ConvShape s{.n = 1, .ih = 3, .iw = 3, .ic = 2, .oc = 1, .fh = 2, .fw = 2,
+              .ph = 0, .pw = 0};
+  TensorF x({1, 3, 3, 2});
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const TensorF b = ref::im2col(x, s);
+  EXPECT_EQ(b.dim(0), 4);  // 2×2 outputs
+  EXPECT_EQ(b.dim(1), 8);  // 2·2·2
+  // First row = patch at (0,0): x(0,0,·), x(0,1,·), x(1,0,·), x(1,1,·).
+  EXPECT_EQ(b.at(0, 0, 0, 0), x.at(0, 0, 0, 0));
+  EXPECT_EQ(b.at(0, 2, 0, 0), x.at(0, 0, 1, 0));
+  EXPECT_EQ(b.at(0, 4, 0, 0), x.at(0, 1, 0, 0));
+  EXPECT_EQ(b.at(0, 7, 0, 0), x.at(0, 1, 1, 1));
+}
+
+TEST(RefConv, PaddingZerosAppearInIm2col) {
+  ConvShape s{.n = 1, .ih = 2, .iw = 2, .ic = 1, .oc = 1, .fh = 3, .fw = 3,
+              .ph = 1, .pw = 1};
+  TensorF x({1, 2, 2, 1});
+  x.fill(1.0f);
+  const TensorF b = ref::im2col(x, s);
+  // Top-left output patch: 5 of 9 taps fall in padding.
+  int zeros = 0;
+  for (std::int64_t k = 0; k < 9; ++k) zeros += b.at(0, k, 0, 0) == 0.0f;
+  EXPECT_EQ(zeros, 5);
+}
+
+}  // namespace
+}  // namespace iwg

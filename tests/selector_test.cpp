@@ -1,0 +1,62 @@
+// Tests of the algorithm selector (cuDNN-find analogue).
+#include <gtest/gtest.h>
+
+#include "core/selector.hpp"
+
+namespace iwg::core {
+namespace {
+
+TEST(Selector, PicksWinogradForLargeFilters) {
+  const ConvShape s = ConvShape::from_ofms(16, 32, 32, 64, 5);
+  const auto choice = select_algorithm(s, sim::DeviceProfile::rtx3060ti());
+  EXPECT_TRUE(choice.use_winograd);
+  EXPECT_GT(choice.est_gflops, choice.gemm_gflops);
+  EXPECT_FALSE(choice.plan.empty());
+}
+
+TEST(Selector, FallsBackToGemmOutsideSupportedWidths) {
+  ConvShape s;
+  s.n = 4;
+  s.ih = 16;
+  s.iw = 16;
+  s.ic = 16;
+  s.oc = 16;
+  s.fh = 1;
+  s.fw = 1;
+  s.ph = 0;
+  s.pw = 0;
+  s.validate();
+  const auto choice = select_algorithm(s, sim::DeviceProfile::rtx3060ti());
+  EXPECT_FALSE(choice.use_winograd);
+  EXPECT_TRUE(choice.plan.empty());
+  EXPECT_GT(choice.est_gflops, 0.0);
+}
+
+TEST(Selector, ConsidersC64ForWideChannels) {
+  const ConvShape s = ConvShape::from_ofms(16, 32, 32, 128, 9);
+  const auto choice = select_algorithm(s, sim::DeviceProfile::rtx3060ti());
+  EXPECT_TRUE(choice.use_winograd);
+  // The winning plan should lead with a Γ16 kernel (c64 or base).
+  ASSERT_FALSE(choice.plan.empty());
+  EXPECT_EQ(choice.plan[0].cfg.alpha, 16);
+}
+
+TEST(Selector, CacheReturnsSameObject) {
+  const ConvShape s = ConvShape::from_ofms(8, 16, 16, 64, 3);
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  const AlgoChoice& a = select_algorithm_cached(s, dev);
+  const AlgoChoice& b = select_algorithm_cached(s, dev);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Selector, DeviceIsPartOfCacheKey) {
+  const ConvShape s = ConvShape::from_ofms(8, 16, 16, 64, 3);
+  const AlgoChoice& a =
+      select_algorithm_cached(s, sim::DeviceProfile::rtx3060ti());
+  const AlgoChoice& b =
+      select_algorithm_cached(s, sim::DeviceProfile::rtx4090());
+  EXPECT_NE(&a, &b);
+}
+
+}  // namespace
+}  // namespace iwg::core

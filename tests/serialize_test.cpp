@@ -1,0 +1,70 @@
+// Weight-file round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace iwg::nn {
+namespace {
+
+ModelConfig tiny_config(unsigned seed) {
+  ModelConfig mc;
+  mc.image_size = 8;
+  mc.base_channels = 4;
+  mc.seed = seed;
+  return mc;
+}
+
+TEST(Serialize, RoundTripRestoresWeightsExactly) {
+  Model a = make_vgg(16, tiny_config(1));
+  Model b = make_vgg(16, tiny_config(2));  // different init
+  const std::string path = "/tmp/iwg_weights_test.bin";
+  const std::int64_t bytes = save_weights(a, path);
+  EXPECT_GT(bytes, a.param_bytes());  // header + names on top of data
+  load_weights(b, path);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+    for (std::int64_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedModelPredictsIdentically) {
+  Model a = make_vgg(16, tiny_config(3));
+  Model b = make_vgg(16, tiny_config(4));
+  const std::string path = "/tmp/iwg_weights_test2.bin";
+  save_weights(a, path);
+  load_weights(b, path);
+  const auto ds = data::make_cifar_like(16, 5, 8);
+  std::vector<std::int64_t> labels;
+  const TensorF x = ds.batch(0, 8, labels);
+  const TensorF ya = a.forward(x, false);
+  const TensorF yb = b.forward(x, false);
+  for (std::int64_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MismatchedArchitectureRejected) {
+  Model a = make_vgg(16, tiny_config(6));
+  Model b = make_vgg(19, tiny_config(6));
+  const std::string path = "/tmp/iwg_weights_test3.bin";
+  save_weights(a, path);
+  EXPECT_THROW(load_weights(b, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileRejected) {
+  Model a = make_vgg(16, tiny_config(7));
+  EXPECT_THROW(load_weights(a, "/tmp/does_not_exist_iwg.bin"), Error);
+}
+
+}  // namespace
+}  // namespace iwg::nn

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(257, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::int64_t) { ++calls; });
+  pool.parallel_for(-5, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::int64_t i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolStillRuns) {
+  ThreadPool pool(0u + 0);  // explicit zero workers would pick hw_concurrency;
+  // instead verify the global wrapper works regardless of pool size.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(50, [&](std::int64_t i) { sum += i + round; });
+    EXPECT_EQ(sum.load(), 50 * 49 / 2 + 50 * round);
+  }
+}
+
+TEST(ThreadPool, LargeIterationCount) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(10000, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace iwg

@@ -1,0 +1,109 @@
+// Tests of the §5.3 paired transform evaluator: identical math to the naive
+// matvec (up to FP32 association), roughly half the multiplications.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg {
+namespace {
+
+class PairedEval : public ::testing::TestWithParam<int> {};  // param = alpha
+
+TEST_P(PairedEval, MatchesNaiveOnInputTransform) {
+  const int alpha = GetParam();
+  const int r = 3 <= alpha - 1 ? 3 : 2;
+  const WinogradPlan& plan = get_plan(alpha + 1 - r, r);
+  TransformEval naive(alpha, alpha, plan.bt_f, /*paired=*/false);
+  TransformEval paired(alpha, alpha, plan.bt_f, /*paired=*/true);
+  EXPECT_TRUE(paired.paired());
+  EXPECT_FALSE(naive.paired());
+
+  Rng rng(100 + static_cast<unsigned>(alpha));
+  std::vector<float> x(static_cast<std::size_t>(alpha));
+  std::vector<float> y1(static_cast<std::size_t>(alpha));
+  std::vector<float> y2(static_cast<std::size_t>(alpha));
+  for (int trial = 0; trial < 10; ++trial) {
+    for (auto& v : x) v = rng.uniform(-2.0f, 2.0f);
+    naive.apply(x.data(), 1, y1.data(), 1);
+    paired.apply(x.data(), 1, y2.data(), 1);
+    for (int i = 0; i < alpha; ++i) {
+      EXPECT_NEAR(y1[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)],
+                  1e-2f * (1.0f + std::abs(y1[static_cast<std::size_t>(i)])))
+          << "alpha=" << alpha << " row " << i;
+    }
+  }
+}
+
+TEST_P(PairedEval, RoughlyHalvesMultiplications) {
+  const int alpha = GetParam();
+  const int r = 3 <= alpha - 1 ? 3 : 2;
+  const WinogradPlan& plan = get_plan(alpha + 1 - r, r);
+  TransformEval naive(alpha, alpha, plan.bt_f, false);
+  TransformEval paired(alpha, alpha, plan.bt_f, true);
+  // §5.3: "reducing the number of necessary multiplications by nearly half".
+  // (For α = 4 the input transform is multiplication-free to begin with.)
+  EXPECT_LE(paired.mul_count(),
+            std::max(naive.mul_count() - 1, naive.mul_count() / 2));
+  if (alpha >= 8) {
+    EXPECT_LE(paired.mul_count(), naive.mul_count() * 6 / 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PairedEval, ::testing::Values(4, 8, 16));
+
+TEST(TransformEval, StridedAccess) {
+  const WinogradPlan& plan = get_plan(6, 3);
+  TransformEval eval(8, 8, plan.bt_f, true);
+  std::vector<float> x(8 * 3, 0.0f);
+  std::vector<float> y(8 * 2, -1.0f);
+  for (int i = 0; i < 8; ++i) x[static_cast<std::size_t>(i * 3)] = static_cast<float>(i);
+  eval.apply(x.data(), 3, y.data(), 2);
+
+  std::vector<float> xc(8);
+  std::vector<float> yc(8);
+  for (int i = 0; i < 8; ++i) xc[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  TransformEval dense(8, 8, plan.bt_f, true);
+  dense.apply(xc.data(), 1, yc.data(), 1);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(y[static_cast<std::size_t>(i * 2)], yc[static_cast<std::size_t>(i)]);
+}
+
+TEST(TransformEval, FilterTransformPairsDetected) {
+  const WinogradPlan& plan = get_plan(2, 7);
+  TransformEval eval(8, 7, plan.g_f, true);
+  EXPECT_TRUE(eval.paired());
+  // Identity-free rows: G entries like −2/9 all count as multiplications.
+  EXPECT_GT(eval.mul_count(), 0);
+}
+
+TEST(TransformEval, CountsForClassicF23) {
+  // D(4)^T is all 0/±1: the input transform of F(2,3) needs no
+  // multiplications at all — the textbook result.
+  const WinogradPlan& plan = get_plan(2, 3);
+  TransformEval eval(4, 4, plan.bt_f, false);
+  EXPECT_EQ(eval.mul_count(), 0);
+  EXPECT_EQ(eval.add_count(), 4);  // one add per row
+}
+
+TEST(TransformEval, OutputMatchesDoublePrecision) {
+  const WinogradPlan& plan = get_plan(4, 5);
+  TransformEval eval(8, 8, plan.bt_f, true);
+  Rng rng(77);
+  std::vector<float> x(8);
+  std::vector<float> y(8);
+  for (auto& v : x) v = rng.uniform(1.0f, 2.0f);
+  eval.apply(x.data(), 1, y.data(), 1);
+  for (int i = 0; i < 8; ++i) {
+    double want = 0.0;
+    for (int k = 0; k < 8; ++k)
+      want += plan.bt_d[static_cast<std::size_t>(i * 8 + k)] * x[static_cast<std::size_t>(k)];
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], want,
+                1e-4 * (1.0 + std::abs(want)));
+  }
+}
+
+}  // namespace
+}  // namespace iwg

@@ -1,0 +1,68 @@
+// Validation of the fused 2-D Winograd baseline kernel (cuDNN stand-in).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/wino2d_kernel.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::core {
+namespace {
+
+TensorF rand_tensor(std::initializer_list<std::int64_t> dims, unsigned seed) {
+  Rng rng(seed);
+  TensorF t(dims);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+struct W2dCase {
+  std::int64_t n, hw, ic, oc, ph;
+  const char* label;
+};
+
+class Wino2dSweep : public ::testing::TestWithParam<W2dCase> {};
+
+TEST_P(Wino2dSweep, MatchesDirect) {
+  const W2dCase& c = GetParam();
+  ConvShape s{.n = c.n, .ih = c.hw, .iw = c.hw, .ic = c.ic, .oc = c.oc,
+              .fh = 3, .fw = 3, .ph = c.ph, .pw = c.ph};
+  s.validate();
+  const TensorF x = rand_tensor({s.n, s.ih, s.iw, s.ic}, 3);
+  const TensorF w = rand_tensor({s.oc, 3, 3, s.ic}, 4);
+  const TensorF want = ref::conv2d_direct(x, w, s);
+  const TensorF got = conv2d_wino2d_sim(x, w, s);
+  EXPECT_LT(max_rel_diff(got, want), 2e-4) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Wino2dSweep,
+    ::testing::Values(W2dCase{1, 8, 8, 32, 1, "full_block"},
+                      W2dCase{2, 7, 4, 10, 1, "odd_output_partial"},
+                      W2dCase{1, 6, 8, 32, 0, "no_padding"},
+                      W2dCase{1, 10, 12, 40, 1, "multi_block"},
+                      W2dCase{3, 5, 3, 5, 1, "tiny_multi_batch"}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Wino2d, RejectsNon3x3) {
+  ConvShape s{.n = 1, .ih = 8, .iw = 8, .ic = 4, .oc = 4, .fh = 5, .fw = 5,
+              .ph = 2, .pw = 2};
+  sim::GmemBuf b(static_cast<float*>(nullptr), 1024, true);
+  EXPECT_THROW(Winograd2dKernel(s, b, b, b), Error);
+}
+
+TEST(Wino2d, ProfileProducesEstimate) {
+  ConvShape s = ConvShape::from_ofms(8, 16, 16, 64, 3);
+  sim::GmemBuf xb(static_cast<float*>(nullptr), s.n * s.ih * s.iw * s.ic,
+                  true);
+  sim::GmemBuf wb(static_cast<float*>(nullptr), s.oc * 9 * s.ic);
+  sim::GmemBuf yb(static_cast<float*>(nullptr), s.n * s.oh() * s.ow() * s.oc);
+  Winograd2dKernel k(s, xb, wb, yb);
+  const auto est = profile_wino2d(k, sim::DeviceProfile::rtx3060ti(),
+                                  s.flops(), 1e6);
+  EXPECT_GT(est.gflops, 0.0);
+  EXPECT_GT(est.time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace iwg::core

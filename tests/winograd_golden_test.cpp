@@ -1,0 +1,191 @@
+// Golden tests: the generated transform matrices must reproduce the paper's
+// Figure 5 exactly (A(4,3), G(4,3), D(4); A(8,7), G(8,7), D(8); spot entries
+// of the α=16 matrices).
+#include <gtest/gtest.h>
+
+#include "winograd/plan.hpp"
+
+namespace iwg {
+namespace {
+
+RationalMatrix from_rows(int rows, int cols,
+                         const std::vector<std::vector<Rational>>& v) {
+  RationalMatrix m(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) m.at(r, c) = v[r][c];
+  return m;
+}
+
+Rational q(long long n, long long d) { return Rational(n, d); }
+
+TEST(WinogradGolden, Alpha4_AT) {
+  // Figure 5: A(4,3)^T — three outputs from F(3, 2).
+  const auto& plan = get_plan(3, 2);
+  const auto want = from_rows(3, 4,
+                              {{1, 1, 1, 0},  //
+                               {0, 1, -1, 0},
+                               {0, 1, 1, 1}});
+  EXPECT_TRUE(plan.at == want) << "got:\n"
+                               << plan.at.to_string() << "want:\n"
+                               << want.to_string();
+}
+
+TEST(WinogradGolden, Alpha4_G) {
+  // Figure 5: G(4,3) — the F(2,3) filter transform.
+  const auto& plan = get_plan(2, 3);
+  const auto want = from_rows(4, 3,
+                              {{1, 0, 0},
+                               {q(1, 2), q(1, 2), q(1, 2)},
+                               {q(1, 2), q(-1, 2), q(1, 2)},
+                               {0, 0, 1}});
+  EXPECT_TRUE(plan.g == want) << "got:\n"
+                              << plan.g.to_string() << "want:\n"
+                              << want.to_string();
+}
+
+TEST(WinogradGolden, Alpha4_DT) {
+  const auto& plan = get_plan(2, 3);
+  const auto want = from_rows(4, 4,
+                              {{1, 0, -1, 0},
+                               {0, 1, 1, 0},
+                               {0, -1, 1, 0},
+                               {0, -1, 0, 1}});
+  EXPECT_TRUE(plan.bt == want) << "got:\n"
+                               << plan.bt.to_string() << "want:\n"
+                               << want.to_string();
+}
+
+TEST(WinogradGolden, Alpha8_AT) {
+  // Figure 5: A(8,7)^T — F(7, 2).
+  const auto& plan = get_plan(7, 2);
+  const auto want = from_rows(
+      7, 8,
+      {{1, 1, 1, 1, 1, 1, 1, 0},
+       {0, 1, -1, 2, -2, q(1, 2), q(-1, 2), 0},
+       {0, 1, 1, 4, 4, q(1, 4), q(1, 4), 0},
+       {0, 1, -1, 8, -8, q(1, 8), q(-1, 8), 0},
+       {0, 1, 1, 16, 16, q(1, 16), q(1, 16), 0},
+       {0, 1, -1, 32, -32, q(1, 32), q(-1, 32), 0},
+       {0, 1, 1, 64, 64, q(1, 64), q(1, 64), 1}});
+  EXPECT_TRUE(plan.at == want) << "got:\n"
+                               << plan.at.to_string() << "want:\n"
+                               << want.to_string();
+}
+
+TEST(WinogradGolden, Alpha8_G) {
+  // Figure 5: G(8,7) — F(2, 7) filter transform.
+  const auto& plan = get_plan(2, 7);
+  const auto want = from_rows(
+      8, 7,
+      {{1, 0, 0, 0, 0, 0, 0},
+       {q(-2, 9), q(-2, 9), q(-2, 9), q(-2, 9), q(-2, 9), q(-2, 9), q(-2, 9)},
+       {q(-2, 9), q(2, 9), q(-2, 9), q(2, 9), q(-2, 9), q(2, 9), q(-2, 9)},
+       {q(1, 90), q(2, 90), q(4, 90), q(8, 90), q(16, 90), q(32, 90),
+        q(64, 90)},
+       {q(1, 90), q(-2, 90), q(4, 90), q(-8, 90), q(16, 90), q(-32, 90),
+        q(64, 90)},
+       {q(64, 90), q(32, 90), q(16, 90), q(8, 90), q(4, 90), q(2, 90),
+        q(1, 90)},
+       {q(64, 90), q(-32, 90), q(16, 90), q(-8, 90), q(4, 90), q(-2, 90),
+        q(1, 90)},
+       {0, 0, 0, 0, 0, 0, 1}});
+  EXPECT_TRUE(plan.g == want) << "got:\n"
+                              << plan.g.to_string() << "want:\n"
+                              << want.to_string();
+}
+
+TEST(WinogradGolden, Alpha8_DT) {
+  // Figure 5: D(8)^T — the classic F(6,3)-family input transform with the
+  // ±21/4, ±17/4, ±5/2 pattern.
+  const auto& plan = get_plan(6, 3);
+  const auto want = from_rows(
+      8, 8,
+      {{1, 0, q(-21, 4), 0, q(21, 4), 0, -1, 0},
+       {0, 1, 1, q(-17, 4), q(-17, 4), 1, 1, 0},
+       {0, -1, 1, q(17, 4), q(-17, 4), -1, 1, 0},
+       {0, q(1, 2), q(1, 4), q(-5, 2), q(-5, 4), 2, 1, 0},
+       {0, q(-1, 2), q(1, 4), q(5, 2), q(-5, 4), -2, 1, 0},
+       {0, 2, 4, q(-5, 2), -5, q(1, 2), 1, 0},
+       {0, -2, 4, q(5, 2), -5, q(-1, 2), 1, 0},
+       {0, -1, 0, q(21, 4), 0, q(-21, 4), 0, 1}});
+  EXPECT_TRUE(plan.bt == want) << "got:\n"
+                               << plan.bt.to_string() << "want:\n"
+                               << want.to_string();
+}
+
+TEST(WinogradGolden, DTDependsOnlyOnAlpha) {
+  // The paper writes D(α): the input transform is shared by every (n, r)
+  // split with the same state count.
+  EXPECT_TRUE(get_plan(6, 3).bt == get_plan(3, 6).bt);
+  EXPECT_TRUE(get_plan(6, 3).bt == get_plan(2, 7).bt);
+  EXPECT_TRUE(get_plan(6, 3).bt == get_plan(4, 5).bt);
+  EXPECT_TRUE(get_plan(2, 3).bt == get_plan(3, 2).bt);
+  EXPECT_TRUE(get_plan(8, 9).bt == get_plan(9, 8).bt);
+  EXPECT_TRUE(get_plan(8, 9).bt == get_plan(10, 7).bt);
+}
+
+TEST(WinogradGolden, Alpha16_SpotChecks) {
+  // Figure 5 spot entries for the α = 16 matrices.
+  const auto& plan = get_plan(8, 9);
+  // D(16)^T row 0: 1, 0, −4381/144, 0, 164597/576, 0, −539803/576, 0, ...
+  EXPECT_EQ(plan.bt.at(0, 0), Rational(1));
+  EXPECT_EQ(plan.bt.at(0, 2), q(-4381, 144));
+  EXPECT_EQ(plan.bt.at(0, 4), q(164597, 576));
+  EXPECT_EQ(plan.bt.at(0, 6), q(-539803, 576));
+  EXPECT_EQ(plan.bt.at(0, 8), q(539803, 576));
+  EXPECT_EQ(plan.bt.at(0, 10), q(-164597, 576));
+  EXPECT_EQ(plan.bt.at(0, 12), q(4381, 144));
+  EXPECT_EQ(plan.bt.at(0, 14), Rational(-1));
+  EXPECT_EQ(plan.bt.at(0, 15), Rational(0));
+  // D(16)^T row 1 starts 0, 1, 1, −4237/144, −4237/144, 147649/576, ...
+  EXPECT_EQ(plan.bt.at(1, 3), q(-4237, 144));
+  EXPECT_EQ(plan.bt.at(1, 5), q(147649, 576));
+  // Last row mirrors the first.
+  EXPECT_EQ(plan.bt.at(15, 3), q(4381, 144));
+  EXPECT_EQ(plan.bt.at(15, 15), Rational(1));
+
+  // G(16,15) of F(2,15): row for point 1 is all −1/450; row for point 2 is
+  // 2^j/165375 scaled by 2 (i.e. 2·2^j/165375 starting at 2/165375).
+  const auto& g16 = get_plan(2, 15).g;
+  for (int j = 0; j < 15; ++j) {
+    EXPECT_EQ(g16.at(1, j), q(-1, 450)) << j;
+  }
+  EXPECT_EQ(g16.at(3, 0), q(2, 165375));
+  EXPECT_EQ(g16.at(3, 14), q(32768, 165375));
+  EXPECT_EQ(g16.at(7, 0), q(-1, 3503500));
+  EXPECT_EQ(g16.at(7, 14), q(-4782969, 3503500));
+  EXPECT_EQ(g16.at(11, 0), q(1, 160810650));
+  EXPECT_EQ(g16.at(11, 14), q(268435456, 160810650));
+
+  // A(16,15)^T of F(15,2): second row enumerates the points.
+  const auto& a16 = get_plan(15, 2).at;
+  const Rational pts[15] = {0,        1,        -1,      2,       -2,
+                            q(1, 2),  q(-1, 2), 3,       -3,      q(1, 3),
+                            q(-1, 3), 4,        -4,      q(1, 4), q(-1, 4)};
+  for (int t = 0; t < 15; ++t) EXPECT_EQ(a16.at(1, t), pts[t]) << t;
+  EXPECT_EQ(a16.at(14, 11), Rational(268435456));  // 4^14
+  EXPECT_EQ(a16.at(14, 15), Rational(1));
+}
+
+TEST(WinogradGolden, RowPairsMatchSection53) {
+  // §5.3: rows (2k+1, 2k+2) — 0-indexed — of D^T and G form ± pairs.
+  const auto pairs8 = find_row_pairs(get_plan(6, 3).bt);
+  ASSERT_EQ(pairs8.size(), 3u);
+  EXPECT_EQ(pairs8[0], (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(pairs8[1], (std::pair<int, int>{3, 4}));
+  EXPECT_EQ(pairs8[2], (std::pair<int, int>{5, 6}));
+
+  const auto pairs16 = find_row_pairs(get_plan(8, 9).bt);
+  ASSERT_EQ(pairs16.size(), 7u);
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_EQ(pairs16[static_cast<std::size_t>(k)],
+              (std::pair<int, int>{2 * k + 1, 2 * k + 2}));
+  }
+
+  const auto gpairs = find_row_pairs(get_plan(2, 7).g);
+  ASSERT_EQ(gpairs.size(), 3u);
+  EXPECT_EQ(gpairs[0], (std::pair<int, int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace iwg

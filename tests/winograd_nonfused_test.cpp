@@ -1,0 +1,87 @@
+// The non-fused baseline must compute the same convolution as the fused
+// engine, and its workspace accounting must match the closed form.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "reference/direct_conv.hpp"
+#include "reference/winograd_nonfused.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::ref {
+namespace {
+
+TEST(NonFused, MatchesDirectForGamma8Splits) {
+  for (auto [n, r] : {std::pair<int, int>{6, 3}, {4, 5}, {2, 7}}) {
+    ConvShape s;
+    s.n = 2;
+    s.ih = 6;
+    s.iw = 2 * n - 2 * (r / 2) + r - 1;
+    s.ic = 4;
+    s.oc = 5;
+    s.fh = 3;
+    s.fw = r;
+    s.ph = 1;
+    s.pw = r / 2;
+    s.validate();
+    ASSERT_EQ(s.ow() % n, 0);
+    Rng rng(1);
+    TensorF x({s.n, s.ih, s.iw, s.ic});
+    x.fill_uniform(rng, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(rng, -1.0f, 1.0f);
+    const auto res = conv2d_winograd_nonfused(x, w, s, n, r);
+    EXPECT_LT(max_rel_diff(res.y, conv2d_direct(x, w, s)), 2e-4)
+        << n << "," << r;
+    EXPECT_EQ(res.workspace_bytes, winograd_nonfused_workspace_bytes(s, n, r));
+    EXPECT_GT(res.workspace_bytes, 0);
+  }
+}
+
+TEST(NonFused, WorkspaceClosedForm) {
+  // α·FH·IC·OC + α·GM·FH·IC + α·GM·OC floats (GM = N·OH·OW/n).
+  ConvShape s;
+  s.n = 2;
+  s.ih = 8;
+  s.iw = 12;
+  s.ic = 8;
+  s.oc = 16;
+  s.fh = 3;
+  s.fw = 3;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+  const std::int64_t gm = 2 * 8 * (12 / 6);
+  const std::int64_t want =
+      4 * (8 * 3 * 8 * 16 + 8ll * gm * 3 * 8 + 8ll * gm * 16);
+  EXPECT_EQ(winograd_nonfused_workspace_bytes(s, 6, 3), want);
+}
+
+TEST(NonFused, WorkspaceGrowsWithAlphaAndVolume) {
+  const ConvShape big = ConvShape::from_ofms(64, 64, 64, 64, 3);
+  const ConvShape small = ConvShape::from_ofms(8, 16, 18, 64, 3);
+  EXPECT_GT(winograd_nonfused_workspace_bytes(big, 6, 3),
+            winograd_nonfused_workspace_bytes(small, 6, 3));
+  // The fused kernels use zero global workspace by construction — the
+  // non-fused organization at paper scale needs hundreds of megabytes.
+  EXPECT_GT(winograd_nonfused_workspace_bytes(big, 6, 3), 100ll << 20);
+}
+
+TEST(NonFused, RejectsRaggedWidth) {
+  ConvShape s;
+  s.n = 1;
+  s.ih = 6;
+  s.iw = 7;
+  s.ic = 1;
+  s.oc = 1;
+  s.fh = 3;
+  s.fw = 3;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+  TensorF x({1, 6, 7, 1});
+  TensorF w({1, 3, 3, 1});
+  EXPECT_THROW(conv2d_winograd_nonfused(x, w, s, 6, 3), Error);
+}
+
+}  // namespace
+}  // namespace iwg::ref

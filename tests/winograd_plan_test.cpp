@@ -1,0 +1,155 @@
+// Property tests of the Winograd plan generator: every plan with
+// n + r − 1 ≤ 16 computes 1-D correlation exactly (rationals) and accurately
+// (FP32/FP64).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "winograd/plan.hpp"
+
+namespace iwg {
+namespace {
+
+class PlanSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlanSweep, ExactBilinearIdentity) {
+  const auto [n, r] = GetParam();
+  const WinogradPlan plan = make_plan(n, r);
+  EXPECT_EQ(plan.alpha, n + r - 1);
+  EXPECT_TRUE(verify_plan_exact(plan));
+}
+
+TEST_P(PlanSweep, RationalConvolutionMatchesDirect) {
+  const auto [n, r] = GetParam();
+  const WinogradPlan& plan = get_plan(n, r);
+  const int alpha = plan.alpha;
+
+  // Deterministic small-rational inputs.
+  std::vector<Rational> d(static_cast<std::size_t>(alpha));
+  std::vector<Rational> w(static_cast<std::size_t>(r));
+  for (int i = 0; i < alpha; ++i) d[static_cast<std::size_t>(i)] = Rational(2 * i - 3, 1 + (i % 3));
+  for (int j = 0; j < r; ++j) w[static_cast<std::size_t>(j)] = Rational(j + 1, 2 + (j % 2));
+
+  // ĝ = G w, d̂ = D^T d, m = ĝ ⊙ d̂, y = A^T m.
+  std::vector<Rational> ghat(static_cast<std::size_t>(alpha));
+  std::vector<Rational> dhat(static_cast<std::size_t>(alpha));
+  for (int t = 0; t < alpha; ++t) {
+    Rational a(0), b(0);
+    for (int j = 0; j < r; ++j) a += plan.g.at(t, j) * w[static_cast<std::size_t>(j)];
+    for (int k = 0; k < alpha; ++k) b += plan.bt.at(t, k) * d[static_cast<std::size_t>(k)];
+    ghat[static_cast<std::size_t>(t)] = a;
+    dhat[static_cast<std::size_t>(t)] = b;
+  }
+  for (int i = 0; i < n; ++i) {
+    Rational y(0);
+    for (int t = 0; t < alpha; ++t)
+      y += plan.at.at(i, t) * ghat[static_cast<std::size_t>(t)] *
+           dhat[static_cast<std::size_t>(t)];
+    Rational want(0);
+    for (int j = 0; j < r; ++j) want += w[static_cast<std::size_t>(j)] * d[static_cast<std::size_t>(i + j)];
+    EXPECT_EQ(y, want) << "output " << i << " of F(" << n << "," << r << ")";
+  }
+}
+
+TEST_P(PlanSweep, Fp32ConvolutionIsAccurate) {
+  const auto [n, r] = GetParam();
+  const WinogradPlan& plan = get_plan(n, r);
+  const int alpha = plan.alpha;
+  Rng rng(1234 + static_cast<unsigned>(n * 100 + r));
+
+  // Tolerance grows with α: the α=16 matrices have entries spanning ~1e8 in
+  // magnitude, which is exactly the accuracy effect §6.2.2 describes.
+  const double tol = alpha <= 4 ? 1e-6 : (alpha <= 8 ? 1e-5 : 2e-3);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> d(static_cast<std::size_t>(alpha));
+    std::vector<float> w(static_cast<std::size_t>(r));
+    for (auto& v : d) v = rng.uniform(1.0f, 2.0f);
+    for (auto& v : w) v = rng.uniform(1.0f, 2.0f);
+
+    std::vector<float> ghat(static_cast<std::size_t>(alpha), 0.0f);
+    std::vector<float> dhat(static_cast<std::size_t>(alpha), 0.0f);
+    for (int t = 0; t < alpha; ++t) {
+      for (int j = 0; j < r; ++j)
+        ghat[static_cast<std::size_t>(t)] +=
+            plan.g_f[static_cast<std::size_t>(t * r + j)] * w[static_cast<std::size_t>(j)];
+      for (int k = 0; k < alpha; ++k)
+        dhat[static_cast<std::size_t>(t)] +=
+            plan.bt_f[static_cast<std::size_t>(t * alpha + k)] * d[static_cast<std::size_t>(k)];
+    }
+    for (int i = 0; i < n; ++i) {
+      float y = 0.0f;
+      for (int t = 0; t < alpha; ++t)
+        y += plan.at_f[static_cast<std::size_t>(i * alpha + t)] *
+             ghat[static_cast<std::size_t>(t)] * dhat[static_cast<std::size_t>(t)];
+      double want = 0.0;
+      for (int j = 0; j < r; ++j)
+        want += static_cast<double>(w[static_cast<std::size_t>(j)]) * d[static_cast<std::size_t>(i + j)];
+      EXPECT_NEAR(y, want, tol * std::abs(want))
+          << "F(" << n << "," << r << ") output " << i;
+    }
+  }
+}
+
+// All (n, r) splits the paper's kernels use, plus the extremes of §4.2
+// (Γ4(3,2)…Γ4(2,3), Γ8(7,2)…Γ8(2,7), Γ16(15,2)…Γ16(2,15)).
+std::vector<std::tuple<int, int>> all_splits() {
+  std::vector<std::tuple<int, int>> v;
+  for (int alpha : {4, 8, 16}) {
+    for (int r = 2; r <= alpha - 1; ++r) v.emplace_back(alpha + 1 - r, r);
+  }
+  // A few non-power-of-two state counts to prove generator generality.
+  v.emplace_back(2, 2);   // α = 3
+  v.emplace_back(4, 3);   // α = 6
+  v.emplace_back(5, 5);   // α = 9
+  v.emplace_back(6, 7);   // α = 12
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSplits, PlanSweep,
+                         ::testing::ValuesIn(all_splits()),
+                         [](const auto& info) {
+                           return "F" + std::to_string(std::get<0>(info.param)) +
+                                  "_" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(WinogradPlan, RejectsInvalidArguments) {
+  EXPECT_THROW(make_plan(0, 3), Error);
+  EXPECT_THROW(make_plan(2, 1), Error);
+  EXPECT_THROW(make_plan(10, 8), Error);  // α = 17
+}
+
+TEST(WinogradPlan, AccelerationMatchesPaperExamples) {
+  // §4.2: both F(2×2,3×3) (per dimension F(2,3)) and Γ8(6,3) reduce
+  // multiplications to 1/2.25.
+  EXPECT_DOUBLE_EQ(get_plan(2, 3).acceleration(), 1.5);  // 1.5² = 2.25 in 2-D
+  EXPECT_DOUBLE_EQ(get_plan(6, 3).acceleration(), 2.25);
+  // §6.1.2: Φ maxima — Γ8 at r ∈ {4,5}: 20/8 = 2.5; Γ16 at r ∈ {8,9}: 4.5.
+  EXPECT_DOUBLE_EQ(get_plan(5, 4).acceleration(), 2.5);
+  EXPECT_DOUBLE_EQ(get_plan(4, 5).acceleration(), 2.5);
+  EXPECT_DOUBLE_EQ(get_plan(8, 9).acceleration(), 4.5);
+  EXPECT_DOUBLE_EQ(get_plan(9, 8).acceleration(), 4.5);
+  EXPECT_DOUBLE_EQ(get_plan(10, 7).acceleration(), 70.0 / 16.0);
+}
+
+TEST(WinogradPlan, PointsAreDistinct) {
+  for (int alpha : {4, 8, 16}) {
+    const auto pts = winograd_points(alpha);
+    ASSERT_EQ(static_cast<int>(pts.size()), alpha - 1);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      for (std::size_t j = i + 1; j < pts.size(); ++j)
+        EXPECT_FALSE(pts[i] == pts[j]) << i << "," << j;
+  }
+}
+
+TEST(WinogradPlan, CacheReturnsSameObject) {
+  const WinogradPlan& a = get_plan(6, 3);
+  const WinogradPlan& b = get_plan(6, 3);
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace iwg
