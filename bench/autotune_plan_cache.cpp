@@ -1,0 +1,93 @@
+// Autotuner vs heuristic bench: for the Table-2 layer shapes, how much
+// modeled throughput does the exhaustive candidate search recover over the
+// (r-1)/alpha >= 0.4375 priority-chain heuristic, and what does the search
+// cost in tuning time? Also reports the warm-cache amortization: the same
+// sweep served entirely from the PlanCache.
+//
+//   build/bench/autotune_plan_cache        full sweep (samples = 4)
+//   IWG_BENCH_FAST=1 ...                   trimmed shapes, samples = 1
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "core/plan_cache.hpp"
+#include "core/selector.hpp"
+
+int main() {
+  using namespace iwg;
+  const bool fast = bench::fast_mode();
+  const int samples = fast ? 1 : 4;
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+
+  struct Shape {
+    const char* name;
+    std::int64_t hw, ic, oc;
+    int r;
+  };
+  std::vector<Shape> shapes = {
+      {"56x56 c64 r3", 56, 64, 64, 3},    {"28x28 c128 r3", 28, 128, 128, 3},
+      {"14x14 c256 r5", 14, 256, 256, 5}, {"14x14 c256 r6", 14, 256, 256, 6},
+      {"7x7 c512 r7", 7, 512, 512, 7},    {"7x7 c512 r9", 7, 512, 512, 9},
+  };
+  if (fast) shapes.resize(3);
+
+  core::PlanCache cache(/*capacity=*/64, /*num_shards=*/2);
+  double tuned_sum = 0.0, heur_sum = 0.0;
+
+  std::printf("%-15s %9s %9s %8s %5s %5s  %s\n", "shape", "tuned GF",
+              "heur GF", "gain", "cand", "prof", "tuned chain");
+  for (const auto& sh : shapes) {
+    ConvShape s;
+    s.n = 16;
+    s.ih = sh.hw;
+    s.iw = sh.hw;
+    s.ic = sh.ic;
+    s.oc = sh.oc;
+    s.fh = sh.r;
+    s.fw = sh.r;
+    s.ph = sh.r / 2;
+    s.pw = sh.r / 2;
+    s.validate();
+
+    const auto tuned = cache.get_or_tune(s, dev, samples);
+    const auto heur = core::heuristic_choice(s);
+    const auto heur_rep =
+        core::profile_conv2d(s, dev, heur.executable_plan(s), samples);
+    tuned_sum += tuned.est_gflops;
+    heur_sum += heur_rep.gflops;
+    std::printf("%-15s %9.0f %9.0f %7.2fx %5d %5d  %s\n", sh.name,
+                tuned.est_gflops, heur_rep.gflops,
+                heur_rep.gflops > 0.0 ? tuned.est_gflops / heur_rep.gflops
+                                      : 0.0,
+                tuned.candidates_enumerated, tuned.candidates_profiled,
+                tuned.description.c_str());
+  }
+  const auto cold = cache.stats();
+  std::printf("\ngeomean-ish gain (sum ratio): %.3fx, tuning time %.3f s\n",
+              heur_sum > 0.0 ? tuned_sum / heur_sum : 0.0,
+              cold.tuning_time_s);
+
+  // Warm pass: the whole sweep again, now amortized by the cache.
+  Timer warm_timer;
+  for (const auto& sh : shapes) {
+    ConvShape s;
+    s.n = 16;
+    s.ih = sh.hw;
+    s.iw = sh.hw;
+    s.ic = sh.ic;
+    s.oc = sh.oc;
+    s.fh = sh.r;
+    s.fw = sh.r;
+    s.ph = sh.r / 2;
+    s.pw = sh.r / 2;
+    s.validate();
+    cache.get_or_tune(s, dev, samples);
+  }
+  const auto warm = cache.stats();
+  std::printf("warm pass: %lld/%lld hits in %.4f s (cold tuning was %.3f s)\n",
+              static_cast<long long>(warm.hits - cold.hits),
+              static_cast<long long>(warm.lookups - cold.lookups),
+              warm_timer.seconds(), cold.tuning_time_s);
+  return 0;
+}

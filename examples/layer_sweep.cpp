@@ -4,15 +4,23 @@
 // framework integrator (§5.7) would use to decide where Im2col-Winograd
 // pays off.
 //
-//   build/examples/layer_sweep
+// The sweep runs through a PlanCache backed by a plan DB on disk: the first
+// run autotunes every layer and saves the results; later runs load the DB
+// and serve every layer from cache (100% hits, zero tuning time), the
+// cuDNN-find "find once, deploy many" flow.
+//
+//   build/examples/layer_sweep [plan-db-path]    (default: layer_sweep.plandb)
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "core/conv_api.hpp"
+#include "core/plan_cache.hpp"
 #include "core/selector.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iwg;
   struct LayerShape {
     const char* name;
@@ -28,9 +36,27 @@ int main() {
       {"conv5_x5", 8, 512, 512, 5}, {"conv5_x7", 8, 512, 512, 7},
   };
   const auto dev = sim::DeviceProfile::rtx3060ti();
+  const std::string db_path = argc > 1 ? argv[1] : "layer_sweep.plandb";
+  const int samples = 2;
 
-  std::printf("%-10s %-18s %-28s %9s %9s %8s  %s\n", "layer", "shape",
-              "chain", "wino GF", "gemm GF", "speedup", "selector pick");
+  core::PlanCache cache(/*capacity=*/256, /*num_shards=*/4);
+  if (std::ifstream(db_path).good()) {
+    try {
+      const auto loaded = cache.load(db_path);
+      std::printf("loaded %lld tuned plans from %s\n\n",
+                  static_cast<long long>(loaded), db_path.c_str());
+    } catch (const std::exception& e) {
+      // A corrupt or version-mismatched DB is not fatal: re-tune from
+      // scratch and overwrite it on the way out.
+      std::printf("ignoring unreadable plan DB %s (%s)\n\n", db_path.c_str(),
+                  e.what());
+      cache.clear();
+    }
+  }
+
+  Timer sweep_timer;
+  std::printf("%-10s %-18s %9s %9s %8s %5s %5s  %s\n", "layer", "shape",
+              "wino GF", "gemm GF", "speedup", "cand", "prof", "tuned chain");
   for (const auto& l : layers) {
     ConvShape s;
     s.n = 16;
@@ -44,25 +70,41 @@ int main() {
     s.pw = l.r / 2;
     s.validate();
 
-    core::ConvOptions opts;
-    opts.allow_c64 = true;
-    const auto plan = core::plan_for(s, opts);
-    std::string chain;
-    for (const auto& seg : plan) {
-      chain += seg.is_gemm ? "gemm" : seg.cfg.name();
-      chain += " ";
-    }
-    const auto wino = core::profile_conv2d(s, dev, plan, 4);
-    const auto gemm =
-        core::profile_gemm_conv2d(s, dev, core::GemmLayout::kNHWC, 4);
-    const auto& choice = core::select_algorithm_cached(s, dev, 4);
+    const auto choice = cache.get_or_tune(s, dev, samples);
     char shape_buf[32];
     std::snprintf(shape_buf, sizeof(shape_buf), "%lldx%lld %lld->%lld",
                   static_cast<long long>(l.hw), static_cast<long long>(l.hw),
                   static_cast<long long>(l.ic), static_cast<long long>(l.oc));
-    std::printf("%-10s %-18s %-28s %9.0f %9.0f %7.2fx  %s\n", l.name,
-                shape_buf, chain.c_str(), wino.gflops, gemm.gflops,
-                wino.gflops / gemm.gflops, choice.description.c_str());
+    std::printf("%-10s %-18s %9.0f %9.0f %7.2fx %5d %5d  %s\n", l.name,
+                shape_buf, choice.est_gflops, choice.gemm_gflops,
+                choice.gemm_gflops > 0.0
+                    ? choice.est_gflops / choice.gemm_gflops
+                    : 0.0,
+                choice.candidates_enumerated, choice.candidates_profiled,
+                choice.description.c_str());
+  }
+  const double sweep_s = sweep_timer.seconds();
+
+  const auto st = cache.stats();
+  std::printf(
+      "\ncache: %lld lookups, %lld hits, %lld misses (%.0f%% hit rate), "
+      "%lld entries\n",
+      static_cast<long long>(st.lookups), static_cast<long long>(st.hits),
+      static_cast<long long>(st.misses),
+      st.lookups > 0 ? 100.0 * static_cast<double>(st.hits) /
+                           static_cast<double>(st.lookups)
+                     : 0.0,
+      static_cast<long long>(st.entries));
+  std::printf("tuning time %.3f s of %.3f s sweep\n", st.tuning_time_s,
+              sweep_s);
+
+  try {
+    const auto saved = cache.save(db_path);
+    std::printf("saved %lld tuned plans to %s\n",
+                static_cast<long long>(saved), db_path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("could not save plan DB: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

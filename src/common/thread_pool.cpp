@@ -50,13 +50,20 @@ void ThreadPool::parallel_for(std::int64_t count,
 
   // Dynamic chunking: each claim takes one index; fn bodies here are coarse
   // (a whole simulator block or row tile), so per-index overhead is fine.
+  //
+  // The wait below is on *iterations completed*, not on helper tasks
+  // finishing: helper tasks that never get claimed (because every worker is
+  // itself blocked inside a nested parallel_for — the autotuner tunes from
+  // pool workers) run late, claim nothing, and exit. That makes nested
+  // parallel_for deadlock-free; all shared state is heap-owned so late
+  // tasks touch nothing of the caller's stack.
   auto next = std::make_shared<std::atomic<std::int64_t>>(0);
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  auto completed = std::make_shared<std::atomic<std::int64_t>>(0);
   auto first_error = std::make_shared<std::atomic<bool>>(false);
   auto error = std::make_shared<std::exception_ptr>();
   auto error_mu = std::make_shared<std::mutex>();
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  auto done_mu = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
 
   auto run_chunk = [=]() {
     for (;;) {
@@ -70,30 +77,27 @@ void ThreadPool::parallel_for(std::int64_t count,
           *error = std::current_exception();
         }
       }
+      if (completed->fetch_add(1) + 1 == count) {
+        std::lock_guard done_lock(*done_mu);
+        done_cv->notify_all();
+      }
     }
   };
 
   const unsigned helpers =
       static_cast<unsigned>(std::min<std::int64_t>(parties - 1, count));
-  pending->store(static_cast<int>(helpers));
   {
     std::lock_guard lock(mu_);
     for (unsigned i = 0; i < helpers; ++i) {
-      tasks_.push(Task{[=, &done_mu, &done_cv] {
-        run_chunk();
-        if (pending->fetch_sub(1) == 1) {
-          std::lock_guard done_lock(done_mu);
-          done_cv.notify_all();
-        }
-      }});
+      tasks_.push(Task{run_chunk});
     }
   }
   cv_.notify_all();
 
   run_chunk();  // calling thread participates
   {
-    std::unique_lock lock(done_mu);
-    done_cv.wait(lock, [&] { return pending->load() == 0; });
+    std::unique_lock lock(*done_mu);
+    done_cv->wait(lock, [&] { return completed->load() >= count; });
   }
   if (first_error->load()) std::rethrow_exception(*error);
 }

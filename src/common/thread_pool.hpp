@@ -30,7 +30,10 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count), distributing chunks across the pool and
   /// the calling thread. Blocks until all iterations complete. Exceptions
-  /// from fn propagate to the caller (first one wins).
+  /// from fn propagate to the caller (first one wins). Safe to call from
+  /// inside pool workers (nested parallel_for): the caller waits on
+  /// iteration completion, never on queued helper tasks, so saturated
+  /// workers cannot deadlock each other.
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t)>& fn);
 

@@ -60,6 +60,11 @@ TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
   return conv2d_gamma_host(x, w, s, plan_for(s, opts));
 }
 
+TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
+               const std::vector<Segment>& plan) {
+  return conv2d_gamma_host(x, w, s, plan);
+}
+
 TensorF conv2d_nchw(const TensorF& x_nchw, const TensorF& w,
                     const ConvShape& s, const ConvOptions& opts) {
   const TensorF x = nchw_to_nhwc(x_nchw);

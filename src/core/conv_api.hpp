@@ -35,6 +35,11 @@ std::vector<Segment> plan_single(const ConvShape& s, const GammaConfig& primary)
 TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
                const ConvOptions& opts = {});
 
+/// Same, but executing an explicit boundary plan (e.g. a tuned plan from
+/// the selector/plan-cache subsystem) instead of the default priorities.
+TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
+               const std::vector<Segment>& plan);
+
 /// Backward-data / transposed convolution, NHWC, host engine.
 TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,
                  const ConvOptions& opts = {});

@@ -165,14 +165,14 @@ std::vector<GammaConfig> kernel_priority(int r, bool allow_ruse,
   return list;
 }
 
-std::vector<Segment> plan_boundary(std::int64_t ow, int r, bool allow_ruse,
-                                   bool allow_c64) {
+std::vector<Segment> plan_chain(std::int64_t ow,
+                                const std::vector<GammaConfig>& kernels) {
   IWG_CHECK(ow > 0);
   std::vector<Segment> segments;
   std::int64_t start = 0;
   std::int64_t remaining = ow;
 
-  for (const GammaConfig& cfg : kernel_priority(r, allow_ruse, allow_c64)) {
+  for (const GammaConfig& cfg : kernels) {
     // Ruse kernels process adjacent tile pairs as a unit, so their segment
     // granularity is 2n; everything else covers multiples of n.
     const std::int64_t gran =
@@ -199,6 +199,11 @@ std::vector<Segment> plan_boundary(std::int64_t ow, int r, bool allow_ruse,
     segments.push_back(seg);
   }
   return segments;
+}
+
+std::vector<Segment> plan_boundary(std::int64_t ow, int r, bool allow_ruse,
+                                   bool allow_c64) {
+  return plan_chain(ow, kernel_priority(r, allow_ruse, allow_c64));
 }
 
 }  // namespace iwg::core

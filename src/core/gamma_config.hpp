@@ -71,6 +71,10 @@ struct GammaConfig {
   /// kRuse needs α ∈ {8, 16}.
   static GammaConfig make(int alpha, int n, int r,
                           Variant variant = Variant::kBase);
+
+  /// All fields are derived deterministically from (alpha, n, r, variant) by
+  /// make(), so memberwise equality is identity of the kernel choice.
+  friend bool operator==(const GammaConfig&, const GammaConfig&) = default;
 };
 
 // ---------------------------------------------------------------------------
@@ -82,6 +86,10 @@ struct Segment {
   GammaConfig cfg;            ///< valid when !is_gemm
   std::int64_t ow_start = 0;  ///< first output column of the segment
   std::int64_t ow_len = 0;    ///< columns covered (multiple of cfg.n)
+
+  /// GEMM segments always carry a default-constructed cfg (both the planner
+  /// and the plan-DB loader leave it untouched), so defaulted equality holds.
+  friend bool operator==(const Segment&, const Segment&) = default;
 };
 
 /// Split [0, OW) across the priority list of kernels for filter width r:
@@ -98,5 +106,13 @@ std::vector<Segment> plan_boundary(std::int64_t ow, int r,
 /// The paper's kernel priority list for a filter width (fastest first).
 std::vector<GammaConfig> kernel_priority(int r, bool allow_ruse,
                                          bool allow_c64);
+
+/// Split [0, OW) across an explicit kernel sequence: each kernel takes the
+/// largest granularity-divisible prefix of what remains, and implicit GEMM
+/// covers the tail. This is the primitive behind plan_boundary; the
+/// autotuning selector uses it to search arbitrary chains, not just the
+/// paper's priority list.
+std::vector<Segment> plan_chain(std::int64_t ow,
+                                const std::vector<GammaConfig>& kernels);
 
 }  // namespace iwg::core

@@ -1,0 +1,118 @@
+// Autotuned-plan cache — the serving-path side of the selector.
+//
+// select_algorithm (selector.hpp) is the expensive "find" step; PlanCache
+// amortizes it across invocations the way cuDNN-find results are cached by
+// frameworks. Keys are structs (full ConvShape + device name + samples
+// fidelity — a low-fidelity answer must never serve a high-fidelity query),
+// storage is sharded under per-shard mutexes with LRU eviction at a
+// configurable capacity, and hit/miss/eviction/tuning-time counters are
+// exposed via stats(). The cache serializes to a versioned text plan DB
+// (same magic + version + strict-check conventions as nn/serialize) so a
+// "find once, deploy many" flow works: tune in one process, load the DB in
+// another, and every lookup hits with zero tuning time.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/selector.hpp"
+
+namespace iwg::core {
+
+/// Full identity of a tuning result.
+struct PlanKey {
+  ConvShape shape;
+  std::string device;
+  int samples = 4;  ///< profiling fidelity — part of the key
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+/// Counters aggregated over all shards. hits + misses == lookups always
+/// holds exactly (each counter is updated under the owning shard's mutex).
+struct CacheStats {
+  std::int64_t lookups = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t entries = 0;
+  double tuning_time_s = 0.0;  ///< wall time spent inside select_algorithm
+};
+
+class PlanCache {
+ public:
+  /// `capacity` bounds resident entries across the whole cache; it is split
+  /// evenly across `num_shards` (LRU order is exact per shard, approximate
+  /// globally — construct with num_shards = 1 for exact global LRU).
+  explicit PlanCache(std::int64_t capacity = 1024, int num_shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Cached lookup; on miss runs select_algorithm (outside any lock — a
+  /// concurrent miss on the same key may tune twice; the results are
+  /// identical and the first insert wins) and caches the result.
+  AlgoChoice get_or_tune(const ConvShape& s, const sim::DeviceProfile& dev,
+                         int samples = 4, const TuningBudget& budget = {});
+
+  /// Lookup only (counts a hit or a miss; refreshes LRU position on hit).
+  std::optional<AlgoChoice> lookup(const PlanKey& key);
+
+  /// Insert or refresh (does not count as a lookup). Evicts the shard's LRU
+  /// tail when over capacity.
+  void insert(const PlanKey& key, const AlgoChoice& choice);
+
+  /// Drop all entries. Counters are preserved (they describe the lifetime of
+  /// the cache, not its current contents).
+  void clear();
+
+  CacheStats stats() const;
+  std::int64_t size() const;
+  std::int64_t capacity() const { return capacity_; }
+
+  /// Serialize every entry to a versioned text plan DB in canonical (sorted)
+  /// order — saving, loading, and saving again is byte-identical. Returns
+  /// the number of entries written.
+  std::int64_t save(const std::string& path) const;
+
+  /// Merge entries from a plan DB produced by save(). Throws on bad magic,
+  /// unsupported version, or malformed entries.
+  std::int64_t load(const std::string& path);
+
+  /// Process-wide cache used by select_algorithm_cached.
+  static PlanCache& global();
+
+ private:
+  struct Entry {
+    PlanKey key;
+    AlgoChoice choice;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<PlanKey, std::list<Entry>::iterator, PlanKeyHash> index;
+    std::int64_t lookups = 0;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    double tuning_time_s = 0.0;
+  };
+
+  Shard& shard_for(const PlanKey& key);
+  void insert_locked(Shard& shard, const PlanKey& key,
+                     const AlgoChoice& choice);
+
+  std::int64_t capacity_;
+  std::int64_t shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace iwg::core

@@ -1,44 +1,170 @@
 #include "core/selector.hpp"
 
-#include <map>
-#include <mutex>
+#include <algorithm>
+#include <set>
 #include <sstream>
+
+#include "core/plan_cache.hpp"
 
 namespace iwg::core {
 
-AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
-                            int samples) {
+namespace {
+
+/// The Γ families (α values) the paper's kernels admit for a filter width.
+std::vector<int> alphas_for(int r) {
+  switch (r) {
+    case 2:
+    case 3:
+      return {8, 4};
+    case 4:
+    case 5:
+    case 6:
+      return {8};
+    case 7:
+      return {16, 8};
+    case 8:
+    case 9:
+      return {16};
+    default:
+      return {};
+  }
+}
+
+/// Every kernel the search may place in a chain, fastest family first. The
+/// ruse variants enter regardless of the §5.4 rule — profiling decides —
+/// and c64 enters when the channels allow it.
+std::vector<GammaConfig> kernel_universe(int r, bool c64_eligible) {
+  std::vector<GammaConfig> u;
+  for (int alpha : alphas_for(r)) {
+    const int n = alpha + 1 - r;
+    if (n < 2) continue;
+    if (alpha == 16 && c64_eligible)
+      u.push_back(GammaConfig::make(alpha, n, r, Variant::kC64));
+    if (alpha >= 8) u.push_back(GammaConfig::make(alpha, n, r, Variant::kRuse));
+    u.push_back(GammaConfig::make(alpha, n, r, Variant::kBase));
+  }
+  return u;
+}
+
+std::string plan_signature(const std::vector<Segment>& plan) {
+  std::ostringstream sig;
+  for (const Segment& seg : plan) {
+    if (seg.is_gemm) {
+      sig << "G:" << seg.ow_start << ':' << seg.ow_len << ';';
+    } else {
+      sig << seg.cfg.alpha << ':' << seg.cfg.n << ':' << seg.cfg.r << ':'
+          << variant_name(seg.cfg.variant) << ':' << seg.ow_start << ':'
+          << seg.ow_len << ';';
+    }
+  }
+  return sig.str();
+}
+
+std::string plan_label(const std::vector<Segment>& plan) {
+  std::string label;
+  for (const Segment& seg : plan) {
+    if (!label.empty()) label += "+";
+    label += seg.is_gemm ? "gemm" : seg.cfg.name();
+  }
+  return label;
+}
+
+bool is_pure_gemm(const std::vector<Segment>& plan) {
+  return plan.size() == 1 && plan[0].is_gemm;
+}
+
+}  // namespace
+
+std::vector<Segment> AlgoChoice::executable_plan(const ConvShape& s) const {
+  if (use_winograd && !plan.empty()) return plan;
+  Segment seg;
+  seg.is_gemm = true;
+  seg.ow_start = 0;
+  seg.ow_len = s.ow();
+  return {seg};
+}
+
+std::vector<PlanCandidate> enumerate_candidates(const ConvShape& s) {
   s.validate();
+  std::vector<PlanCandidate> out;
+  if (s.fw < 2 || s.fw > 9) return out;
+
+  const int r = static_cast<int>(s.fw);
+  const bool c64_eligible = s.ic % 64 == 0 && s.oc % 64 == 0;
+  std::set<std::string> seen;
+  const auto consider = [&](std::vector<Segment> plan, std::string label) {
+    if (plan.empty() || is_pure_gemm(plan)) return;
+    if (!seen.insert(plan_signature(plan)).second) return;
+    out.push_back(PlanCandidate{std::move(plan), std::move(label)});
+  };
+
+  // The heuristic priority chain leads so that a tight budget still profiles
+  // the plan the rule-based fallback would pick.
+  {
+    auto plan = plan_boundary(s.ow(), r, /*allow_ruse=*/true, c64_eligible);
+    consider(std::move(plan), "priority chain");
+  }
+
+  // Per-segment search: a chain over every subset of the kernel universe,
+  // kept in fastest-first order (the executor only needs coverage, and the
+  // greedy prefix rule makes each subset a distinct boundary strategy).
+  const auto universe = kernel_universe(r, c64_eligible);
+  const std::size_t k = universe.size();
+  for (std::size_t mask = 1; mask < (std::size_t{1} << k); ++mask) {
+    std::vector<GammaConfig> kernels;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (mask & (std::size_t{1} << i)) kernels.push_back(universe[i]);
+    }
+    auto plan = plan_chain(s.ow(), kernels);
+    auto label = plan_label(plan);
+    consider(std::move(plan), std::move(label));
+  }
+  return out;
+}
+
+AlgoChoice heuristic_choice(const ConvShape& s) {
+  s.validate();
+  AlgoChoice c;
+  c.heuristic = true;
+  if (s.fw >= 2 && s.fw <= 9) {
+    ConvOptions opts;
+    opts.allow_c64 = s.ic % 64 == 0 && s.oc % 64 == 0;
+    c.use_winograd = true;
+    c.plan = plan_for(s, opts);
+    c.description = "heuristic chain ((r-1)/alpha rule): " +
+                    plan_label(c.plan);
+  } else {
+    c.use_winograd = false;
+    c.description = "implicit GEMM (heuristic fallback)";
+  }
+  return c;
+}
+
+AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
+                            int samples, const TuningBudget& budget) {
+  s.validate();
+  if (budget.max_candidates <= 0) return heuristic_choice(s);
+
   AlgoChoice best;
   best.est_gflops = 0.0;
 
-  const auto consider = [&](const std::vector<Segment>& plan,
-                            const char* label) {
-    if (plan.empty()) return;
-    if (plan.size() == 1 && plan[0].is_gemm) return;  // GEMM handled below
-    const auto rep = profile_conv2d(s, dev, plan, samples);
+  const auto candidates = enumerate_candidates(s);
+  best.candidates_enumerated = static_cast<int>(candidates.size());
+  const int cap = std::min<int>(budget.max_candidates,
+                                static_cast<int>(candidates.size()));
+  for (int i = 0; i < cap; ++i) {
+    const auto rep = profile_conv2d(s, dev, candidates[i].plan, samples);
+    ++best.candidates_profiled;
     if (rep.gflops > best.est_gflops) {
       best.use_winograd = true;
-      best.plan = plan;
+      best.plan = candidates[i].plan;
       best.est_gflops = rep.gflops;
-      best.description = label;
-    }
-  };
-
-  if (s.fw >= 2 && s.fw <= 9) {
-    ConvOptions def;
-    consider(plan_for(s, def), "winograd (default chain)");
-    ConvOptions no_ruse;
-    no_ruse.allow_ruse = false;
-    consider(plan_for(s, no_ruse), "winograd (base kernels)");
-    if (s.ic % 64 == 0 && s.oc % 64 == 0 && s.fw >= 7) {
-      ConvOptions c64;
-      c64.allow_c64 = true;
-      consider(plan_for(s, c64), "winograd (c64 chain)");
+      best.description = "winograd " + candidates[i].label;
     }
   }
 
   const auto gemm = profile_gemm_conv2d(s, dev, GemmLayout::kNHWC, samples);
+  ++best.candidates_profiled;
   best.gemm_gflops = gemm.gflops;
   if (gemm.gflops > best.est_gflops) {
     best.use_winograd = false;
@@ -49,21 +175,10 @@ AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
   return best;
 }
 
-const AlgoChoice& select_algorithm_cached(const ConvShape& s,
-                                          const sim::DeviceProfile& dev,
-                                          int samples) {
-  static std::mutex mu;
-  static std::map<std::string, AlgoChoice> cache;
-  std::ostringstream key;
-  key << dev.name << '|' << s.n << 'x' << s.ih << 'x' << s.iw << 'x' << s.ic
-      << "->" << s.oc << 'f' << s.fh << 'x' << s.fw << 'p' << s.ph << ','
-      << s.pw;
-  std::lock_guard lock(mu);
-  auto it = cache.find(key.str());
-  if (it == cache.end()) {
-    it = cache.emplace(key.str(), select_algorithm(s, dev, samples)).first;
-  }
-  return it->second;
+AlgoChoice select_algorithm_cached(const ConvShape& s,
+                                   const sim::DeviceProfile& dev,
+                                   int samples) {
+  return PlanCache::global().get_or_tune(s, dev, samples);
 }
 
 }  // namespace iwg::core

@@ -1,13 +1,16 @@
 // Algorithm selection — the cuDNN-find analogue.
 //
-// Given a convolution geometry and a device profile, profile every candidate
-// plan (Γ variants via the §5.5 planner, plus the implicit-GEMM baseline)
-// through the analytic model and return the fastest. This is what a
-// framework integration (§5.7) would call once per layer at graph-build
-// time; results are cached per (shape, device).
+// Given a convolution geometry and a device profile, enumerate every
+// candidate plan the §5.5 planner can express for the shape — chains over
+// the admissible Γα(n,r) kernels with the ruse/c64 variant axes explored
+// per segment, single-kernel + GEMM-tail plans, and the implicit-GEMM
+// baseline — profile them through the analytic model, and return the
+// fastest. This is what a framework integration (§5.7) calls once per layer
+// at graph-build time; results live in a PlanCache (plan_cache.hpp) keyed
+// by (shape, device, fidelity) and can be persisted to a plan DB for a
+// "find once, deploy many" flow.
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,24 +18,60 @@
 
 namespace iwg::core {
 
+/// Bounds the autotuning search. `max_candidates` caps how many Winograd
+/// candidate plans are profiled per shape (the GEMM baseline is always
+/// profiled and does not count against the cap). A non-positive budget
+/// skips profiling entirely and falls back to the (r−1)/α ≥ 0.4375
+/// heuristic chain, which is always executable.
+struct TuningBudget {
+  int max_candidates = 32;
+};
+
+/// One enumerated candidate: an executable boundary plan plus a label.
+struct PlanCandidate {
+  std::vector<Segment> plan;
+  std::string label;
+};
+
 struct AlgoChoice {
   bool use_winograd = true;        ///< false → implicit GEMM wins
   std::vector<Segment> plan;       ///< winning plan (empty for GEMM)
   double est_gflops = 0.0;         ///< model estimate of the winner
   double gemm_gflops = 0.0;        ///< the baseline it beat (or lost to)
   std::string description;         ///< human-readable summary
+  int candidates_enumerated = 0;   ///< distinct plans the search considered
+  int candidates_profiled = 0;     ///< plans actually profiled (incl. GEMM)
+  bool heuristic = false;          ///< budget-exhausted rule-based pick
+
+  /// The plan to hand to an executor: the tuned chain for Winograd winners,
+  /// or a single whole-width GEMM segment otherwise.
+  std::vector<Segment> executable_plan(const ConvShape& s) const;
+
+  friend bool operator==(const AlgoChoice&, const AlgoChoice&) = default;
 };
 
-/// Profile all candidates for `s` on `dev` and return the fastest. Candidate
-/// set: default plan, ruse-disabled plan, c64-enabled plan (when channels
-/// allow), and implicit GEMM. `samples` bounds the per-candidate block
-/// sampling cost.
-AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
-                            int samples = 4);
+/// Enumerate the distinct candidate plans for `s`, deterministically ordered
+/// (heuristic priority chain first, then chains over every subset of the
+/// admissible kernel universe — both Γ8 and Γ16 families where `fw` admits
+/// both, ruse on/off regardless of the §5.4 rule, c64 when the channels
+/// allow). Pure-GEMM plans are excluded (the baseline covers them);
+/// duplicates arising from OW divisibility are removed.
+std::vector<PlanCandidate> enumerate_candidates(const ConvShape& s);
 
-/// Cached variant (thread-safe); key is the full geometry + device name.
-const AlgoChoice& select_algorithm_cached(const ConvShape& s,
-                                          const sim::DeviceProfile& dev,
-                                          int samples = 4);
+/// Rule-based choice without any profiling: the §5.5 priority chain with
+/// ruse gated by (r−1)/α ≥ 0.4375 and c64 when channels allow, or implicit
+/// GEMM outside the supported filter widths. est_gflops stays 0.
+AlgoChoice heuristic_choice(const ConvShape& s);
+
+/// Profile candidates for `s` on `dev` (bounded by `budget`) and return the
+/// fastest. `samples` bounds the per-candidate block sampling cost.
+AlgoChoice select_algorithm(const ConvShape& s, const sim::DeviceProfile& dev,
+                            int samples = 4, const TuningBudget& budget = {});
+
+/// Cached variant (thread-safe) backed by the process-global PlanCache; key
+/// is the full geometry + device name + samples fidelity.
+AlgoChoice select_algorithm_cached(const ConvShape& s,
+                                   const sim::DeviceProfile& dev,
+                                   int samples = 4);
 
 }  // namespace iwg::core

@@ -14,6 +14,13 @@
 
 #include "tensor/tensor.hpp"
 
+namespace iwg::sim {
+struct DeviceProfile;
+}
+namespace iwg::core {
+class PlanCache;
+}
+
 namespace iwg::nn {
 
 /// A trainable parameter with its gradient accumulator.
@@ -30,6 +37,26 @@ struct Param {
 /// algorithms handle the non-unit-stride cases).
 enum class ConvEngine { kWinograd, kGemm };
 
+/// NHWC activation dims used for graph-build shape propagation. Layers that
+/// flatten to 2-D keep n and fold everything into c (h = w = 1).
+struct Dims4 {
+  std::int64_t n = 1;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+  std::int64_t c = 1;
+};
+
+/// Graph-build plan pre-resolution (§5.7 "find once" at build time): walks
+/// the model with symbolic shapes so every unit-stride Winograd convolution
+/// can tune — or load — its plan from a PlanCache before the first batch.
+struct AutotuneContext {
+  const sim::DeviceProfile* dev = nullptr;  ///< required
+  core::PlanCache* cache = nullptr;         ///< nullptr → PlanCache::global()
+  int samples = 2;                          ///< profiling fidelity
+  int max_candidates = 32;                  ///< TuningBudget per layer
+  int resolved = 0;                         ///< conv layers resolved (output)
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -42,6 +69,15 @@ class Layer {
   virtual TensorF backward(const TensorF& dy) = 0;
 
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Shape propagation for graph-build pre-resolution: given input NHWC
+  /// dims, return output dims. Convolution layers additionally resolve
+  /// their execution plan through `ctx` (tuning on miss, hitting the cache
+  /// — possibly loaded from a plan DB — otherwise).
+  virtual Dims4 pretune(const Dims4& in, AutotuneContext& ctx) {
+    (void)ctx;
+    return in;
+  }
 
   /// Bytes of cached activations after the last training forward (for the
   /// Table 4/5 memory accounting).

@@ -5,6 +5,7 @@
 #include "common/thread_pool.hpp"
 #include "core/conv_api.hpp"
 #include "core/gamma_host.hpp"
+#include "core/plan_cache.hpp"
 #include "reference/direct_conv.hpp"
 #include "reference/im2col_gemm.hpp"
 
@@ -114,7 +115,11 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
                      .fw = fsize_, .ph = pad_, .pw = pad_};
   TensorF y;
   if (stride_ == 1) {
-    y = core::conv2d(x, w_.value, shape_, options_for(engine_));
+    if (tuned_ && shape_ == tuned_shape_) {
+      y = core::conv2d(x, w_.value, shape_, tuned_->executable_plan(shape_));
+    } else {
+      y = core::conv2d(x, w_.value, shape_, options_for(engine_));
+    }
   } else {
     y = ref::conv2d_implicit_gemm_strided(x, w_.value, shape_, stride_,
                                           stride_);
@@ -132,6 +137,36 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
     x_cache_ = TensorF();
   }
   return y;
+}
+
+Dims4 Conv2D::pretune(const Dims4& in, AutotuneContext& ctx) {
+  ConvShape s;
+  s.n = in.n;
+  s.ih = in.h;
+  s.iw = in.w;
+  s.ic = in.c;
+  s.oc = w_.value.dim(0);
+  s.fh = fsize_;
+  s.fw = fsize_;
+  s.ph = pad_;
+  s.pw = pad_;
+  Dims4 out;
+  out.n = in.n;
+  out.h = (in.h + 2 * pad_ - fsize_) / stride_ + 1;
+  out.w = (in.w + 2 * pad_ - fsize_) / stride_ + 1;
+  out.c = s.oc;
+  // Only unit-stride Winograd layers go through the tuned path; strided
+  // layers always run the GEMM fallback, and the kGemm engine is the
+  // baseline configuration the training experiments compare against.
+  if (stride_ == 1 && engine_ == ConvEngine::kWinograd && ctx.dev != nullptr) {
+    core::PlanCache& cache =
+        ctx.cache != nullptr ? *ctx.cache : core::PlanCache::global();
+    tuned_ = cache.get_or_tune(s, *ctx.dev, ctx.samples,
+                               core::TuningBudget{ctx.max_candidates});
+    tuned_shape_ = s;
+    ++ctx.resolved;
+  }
+  return out;
 }
 
 TensorF Conv2D::backward(const TensorF& dy) {

@@ -2,7 +2,10 @@
 // Linear.
 #pragma once
 
+#include <optional>
+
 #include "common/rng.hpp"
+#include "core/selector.hpp"
 #include "nn/layer.hpp"
 #include "tensor/conv_shape.hpp"
 
@@ -27,6 +30,15 @@ class Conv2D final : public Layer {
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::int64_t activation_bytes() const override { return x_cache_.size() * 4; }
 
+  /// Resolves this layer's plan from the context's PlanCache (unit-stride
+  /// Winograd layers only) and returns the output dims.
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override;
+
+  /// The pre-resolved choice, if pretune ran (exposed for tests/reports).
+  const std::optional<core::AlgoChoice>& tuned_choice() const {
+    return tuned_;
+  }
+
  private:
   std::string label_;
   std::int64_t fsize_, stride_, pad_;
@@ -35,6 +47,8 @@ class Conv2D final : public Layer {
   Param b_;  // OC
   TensorF x_cache_;
   ConvShape shape_;  // geometry of the last forward
+  std::optional<core::AlgoChoice> tuned_;  // pre-resolved plan
+  ConvShape tuned_shape_;                  // geometry the plan was tuned for
 };
 
 /// Batch normalization over (N, H, W) per channel, with running statistics.
@@ -82,6 +96,10 @@ class MaxPool2x2 final : public Layer {
   TensorF forward(const TensorF& x, bool train) override;
   TensorF backward(const TensorF& dy) override;
   std::int64_t activation_bytes() const override { return argmax_.size(); }
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
+    (void)ctx;
+    return Dims4{in.n, in.h / 2, in.w / 2, in.c};
+  }
 
  private:
   std::vector<std::uint8_t> argmax_;  // 0-3 winner per output element
@@ -94,6 +112,10 @@ class GlobalAvgPool final : public Layer {
   std::string name() const override { return "global_avg_pool"; }
   TensorF forward(const TensorF& x, bool train) override;
   TensorF backward(const TensorF& dy) override;
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
+    (void)ctx;
+    return Dims4{in.n, 1, 1, in.c};
+  }
 
  private:
   std::int64_t n_ = 0, h_ = 0, w_ = 0, c_ = 0;
@@ -105,6 +127,10 @@ class Flatten final : public Layer {
   std::string name() const override { return "flatten"; }
   TensorF forward(const TensorF& x, bool train) override;
   TensorF backward(const TensorF& dy) override;
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
+    (void)ctx;
+    return Dims4{in.n, 1, 1, in.h * in.w * in.c};
+  }
 
  private:
   std::int64_t n_ = 0, h_ = 0, w_ = 0, c_ = 0;
@@ -120,6 +146,10 @@ class Linear final : public Layer {
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::int64_t activation_bytes() const override { return x_cache_.size() * 4; }
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
+    (void)ctx;
+    return Dims4{in.n, 1, 1, w_.value.dim(1)};
+  }
 
  private:
   std::string label_;

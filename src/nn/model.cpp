@@ -18,6 +18,14 @@ TensorF Model::backward(const TensorF& dloss) {
   return g;
 }
 
+int Model::pretune(std::int64_t batch, std::int64_t image_size,
+                   std::int64_t channels, AutotuneContext& ctx) {
+  IWG_CHECK_MSG(ctx.dev != nullptr, "pretune needs a device profile");
+  Dims4 d{batch, image_size, image_size, channels};
+  for (auto& l : layers_) d = l->pretune(d, ctx);
+  return ctx.resolved;
+}
+
 std::vector<Param*> Model::params() {
   std::vector<Param*> out;
   for (auto& l : layers_) {
@@ -105,6 +113,14 @@ std::vector<Param*> ResidualBlock::params() {
     for (Param* p : l->params()) out.push_back(p);
   }
   return out;
+}
+
+Dims4 ResidualBlock::pretune(const Dims4& in, AutotuneContext& ctx) {
+  Dims4 d = in;
+  for (auto& l : main_) d = l->pretune(d, ctx);
+  Dims4 p = in;
+  for (auto& l : proj_) p = l->pretune(p, ctx);
+  return d;
 }
 
 std::int64_t ResidualBlock::activation_bytes() const {

@@ -22,6 +22,13 @@ class Model {
   /// Returns dL/dinput (rarely needed; gradients accumulate in params).
   TensorF backward(const TensorF& dloss);
 
+  /// Graph-build plan pre-resolution (§5.7): propagate the batch geometry
+  /// through every layer and resolve each unit-stride Winograd conv's plan
+  /// via ctx's PlanCache (load a plan DB into the cache first for a "find
+  /// once, deploy many" flow). Returns the number of conv layers resolved.
+  int pretune(std::int64_t batch, std::int64_t image_size,
+              std::int64_t channels, AutotuneContext& ctx);
+
   std::vector<Param*> params();
   std::int64_t param_count();
   std::int64_t param_bytes() { return param_count() * 4; }
@@ -49,6 +56,7 @@ class ResidualBlock final : public Layer {
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override;
   std::int64_t activation_bytes() const override;
+  Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override;
 
  private:
   std::vector<LayerPtr> main_;  // conv bn relu conv bn

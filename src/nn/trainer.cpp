@@ -16,6 +16,13 @@ TrainStats train_model(Model& model, Optimizer& opt,
   const std::int64_t steps_per_epoch = train_set.count() / cfg.batch;
   IWG_CHECK_MSG(steps_per_epoch > 0, "dataset smaller than one batch");
 
+  if (cfg.autotune != nullptr) {
+    // Pre-resolve every conv plan before the first batch so no training step
+    // pays selector time (the plans may already sit in a loaded plan DB).
+    model.pretune(cfg.batch, train_set.images.dim(1), train_set.images.dim(3),
+                  *cfg.autotune);
+  }
+
   std::int64_t step = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     Timer epoch_timer;

@@ -27,6 +27,9 @@ struct ConvShape {
   std::int64_t oh() const { return ih + 2 * ph - fh + 1; }
   std::int64_t ow() const { return iw + 2 * pw - fw + 1; }
 
+  /// Geometric identity — the plan-cache key compares full shapes.
+  friend bool operator==(const ConvShape&, const ConvShape&) = default;
+
   void validate() const {
     IWG_CHECK(n > 0 && ih > 0 && iw > 0 && ic > 0 && oc > 0);
     IWG_CHECK(fh > 0 && fw > 0 && ph >= 0 && pw >= 0);

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/conv_api.hpp"
+#include "core/selector.hpp"
 #include "tensor/layout.hpp"
 #include "reference/direct_conv.hpp"
 #include "tensor/metrics.hpp"
@@ -55,6 +56,32 @@ TEST(FuzzConv, ForwardMatchesDirectOnRandomGeometries) {
   // The worst deviation should come from the α = 16 kernels if anywhere.
   if (worst > 5e-4) {
     EXPECT_GE(worst_r, 7);
+  }
+}
+
+TEST(FuzzConv, SelectorChosenPlansMatchFp64DirectOnRandomGeometries) {
+  // Route fuzzed shapes through the autotuner: whatever plan the selector
+  // picks (winograd chain or GEMM fallback) must agree with an FP64 direct
+  // reference, so the search can never select a numerically broken plan.
+  Rng rng(31337);
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  for (int trial = 0; trial < 12; ++trial) {
+    const ConvShape s = random_shape(rng);
+    const auto choice = select_algorithm(s, dev, /*samples=*/1,
+                                         TuningBudget{8});
+    const auto plan = choice.executable_plan(s);
+    ASSERT_FALSE(plan.empty()) << s.to_string();
+    Rng data(3000 + static_cast<unsigned>(trial));
+    TensorF x({s.n, s.ih, s.iw, s.ic});
+    x.fill_uniform(data, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const TensorD want = ref::conv2d_direct_fp64(x, w, s);
+    const TensorF got = conv2d(x, w, s, plan);
+    const double tol = s.fw >= 7 ? 1e-2 : 5e-4;  // r >= 7 plans use alpha = 16
+    EXPECT_LT(average_relative_error(got, want), tol)
+        << "trial " << trial << " shape " << s.to_string() << " plan "
+        << choice.description;
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "core/plan_cache.hpp"
 #include "data/synthetic.hpp"
 #include "nn/model.hpp"
 #include "nn/trainer.hpp"
@@ -157,6 +158,54 @@ TEST(Training, SmallCnnLearnsSyntheticData) {
   EXPECT_GT(stats.seconds_per_epoch, 0.0);
   EXPECT_GT(stats.param_bytes, 0);
   EXPECT_GT(stats.memory_bytes, stats.param_bytes);
+}
+
+TEST(Training, PretuneResolvesConvPlansAtGraphBuild) {
+  // Graph-build autotuning (§5.7 integration): pretune walks the network's
+  // shape chain and resolves every stride-1 Winograd conv through the plan
+  // cache before the first batch; the tuned forward path stays numerically
+  // equivalent to the heuristic one.
+  ModelConfig mc;
+  mc.image_size = 8;
+  mc.base_channels = 4;
+  mc.engine = ConvEngine::kWinograd;
+  Model model = make_vgg(16, mc);
+
+  core::PlanCache cache(/*capacity=*/64, /*num_shards=*/2);
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  AutotuneContext ctx;
+  ctx.dev = &dev;
+  ctx.cache = &cache;
+  ctx.samples = 1;
+  ctx.max_candidates = 2;
+  const int resolved = model.pretune(/*batch=*/4, /*image_size=*/8,
+                                     /*channels=*/3, ctx);
+  EXPECT_GT(resolved, 0);
+  EXPECT_EQ(cache.stats().lookups, resolved);  // one lookup per conv layer
+  EXPECT_GE(cache.size(), 1);
+
+  // A second pretune (the "second run" of a deployed model) is all hits.
+  AutotuneContext ctx2 = ctx;
+  ctx2.resolved = 0;
+  Model again = make_vgg(16, mc);
+  const auto before = cache.stats();
+  EXPECT_EQ(again.pretune(4, 8, 3, ctx2), resolved);
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits - before.hits, resolved);
+  EXPECT_EQ(after.misses, before.misses);
+
+  // Tuned and untuned forward agree (same seed ⇒ same weights; only the
+  // kernel chain may differ).
+  const auto ds = data::make_cifar_like(16, 5, /*size=*/8);
+  std::vector<std::int64_t> labels;
+  const TensorF x = ds.batch(0, 4, labels);
+  Model untuned = make_vgg(16, mc);
+  const TensorF y_tuned = model.forward(x, /*train=*/false);
+  const TensorF y_plain = untuned.forward(x, /*train=*/false);
+  ASSERT_TRUE(y_tuned.same_shape(y_plain));
+  for (std::int64_t i = 0; i < y_tuned.size(); ++i) {
+    EXPECT_NEAR(y_tuned[i], y_plain[i], 1e-2f) << i;
+  }
 }
 
 TEST(Training, WinogradAndGemmEnginesConvergeTogether) {

@@ -1,0 +1,148 @@
+// Property tests of the autotuning selector: the choice must equal the
+// brute-force argmax over every profiled candidate for a sweep of shapes
+// (all filter widths, boundary remainders, channels on both sides of the
+// c64 gate), the search space must be materially wider than the old
+// 3-fixed-chain selector, and the zero-budget heuristic fallback must still
+// produce an executable plan.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/selector.hpp"
+#include "reference/direct_conv.hpp"
+#include "tensor/metrics.hpp"
+
+namespace iwg::core {
+namespace {
+
+/// Minimal-height shape: one batch row, oh == 1, no padding, so profiling
+/// many candidates stays cheap while OW exercises the boundary planner.
+ConvShape make_shape(int r, std::int64_t ow, std::int64_t channels) {
+  ConvShape s;
+  s.n = 1;
+  s.fh = r;
+  s.fw = r;
+  s.ih = r;  // oh == 1
+  s.iw = ow + r - 1;
+  s.ic = channels;
+  s.oc = channels;
+  s.ph = 0;
+  s.pw = 0;
+  s.validate();
+  return s;
+}
+
+/// Re-run the selector's search by hand: profile every candidate plus the
+/// GEMM baseline and take the strict argmax in enumeration order.
+AlgoChoice brute_force(const ConvShape& s, const sim::DeviceProfile& dev,
+                       int samples) {
+  double best_gflops = 0.0;
+  std::vector<Segment> best_plan;
+  bool winograd = false;
+  for (const auto& cand : enumerate_candidates(s)) {
+    const auto rep = profile_conv2d(s, dev, cand.plan, samples);
+    if (rep.gflops > best_gflops) {
+      best_gflops = rep.gflops;
+      best_plan = cand.plan;
+      winograd = true;
+    }
+  }
+  const auto gemm = profile_gemm_conv2d(s, dev, GemmLayout::kNHWC, samples);
+  if (gemm.gflops > best_gflops) {
+    best_gflops = gemm.gflops;
+    best_plan.clear();
+    winograd = false;
+  }
+  AlgoChoice c;
+  c.use_winograd = winograd;
+  c.plan = std::move(best_plan);
+  c.est_gflops = best_gflops;
+  return c;
+}
+
+TEST(SelectorExhaustive, ChoiceEqualsBruteForceArgmaxOverAllCandidates) {
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  const int samples = 1;
+  for (int r = 2; r <= 9; ++r) {
+    const auto priority = kernel_priority(r, true, true);
+    ASSERT_FALSE(priority.empty());
+    const std::int64_t n = priority[0].n;
+    for (std::int64_t mod : {std::int64_t{0}, std::int64_t{1}, n - 1}) {
+      const std::int64_t ow = 3 * n + mod;
+      for (std::int64_t channels : {std::int64_t{16}, std::int64_t{64}}) {
+        const ConvShape s = make_shape(r, ow, channels);
+        const auto choice = select_algorithm(s, dev, samples);
+        const auto want = brute_force(s, dev, samples);
+        EXPECT_EQ(choice.use_winograd, want.use_winograd)
+            << s.to_string();
+        EXPECT_DOUBLE_EQ(choice.est_gflops, want.est_gflops)
+            << s.to_string();
+        EXPECT_EQ(choice.plan, want.plan) << s.to_string();
+      }
+    }
+  }
+}
+
+TEST(SelectorExhaustive, ExploresAtLeastEightCandidatesFor7x7C64) {
+  // Acceptance gate: a 7x7 shape with c64-eligible channels must expose a
+  // materially wider search than the old 3-chain selector. OW = 35 leaves a
+  // remainder for every kernel, so chains over {c64, g16, g16_ruse,
+  // g8_ruse, g8} subsets stay distinct.
+  const ConvShape s = make_shape(7, 35, 64);
+  const auto candidates = enumerate_candidates(s);
+  EXPECT_GE(candidates.size(), 8u);
+  const auto choice =
+      select_algorithm(s, sim::DeviceProfile::rtx3060ti(), /*samples=*/1);
+  EXPECT_GE(choice.candidates_profiled, 8);
+  EXPECT_EQ(choice.candidates_enumerated,
+            static_cast<int>(candidates.size()));
+}
+
+TEST(SelectorExhaustive, CandidatesAreDistinctAndCoverOw) {
+  for (int r = 2; r <= 9; ++r) {
+    const ConvShape s = make_shape(r, 29, 64);
+    std::set<std::string> seen;
+    for (const auto& cand : enumerate_candidates(s)) {
+      std::ostringstream sig;
+      for (const auto& seg : cand.plan) {
+        sig << (seg.is_gemm ? "G" : seg.cfg.name()) << '@' << seg.ow_start
+            << '+' << seg.ow_len << ';';
+      }
+      EXPECT_TRUE(seen.insert(sig.str()).second)
+          << "duplicate candidate " << cand.label;
+      std::int64_t covered = 0;
+      for (const auto& seg : cand.plan) {
+        EXPECT_EQ(seg.ow_start, covered);
+        covered += seg.ow_len;
+      }
+      EXPECT_EQ(covered, s.ow()) << cand.label;
+    }
+  }
+}
+
+TEST(SelectorExhaustive, ZeroBudgetHeuristicPlanIsExecutableForAllWidths) {
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  for (int r = 2; r <= 9; ++r) {
+    const ConvShape s = make_shape(r, 2 * r + 3, 8);
+    const auto choice = select_algorithm(s, dev, 1, TuningBudget{0});
+    EXPECT_TRUE(choice.heuristic);
+    const auto plan = choice.executable_plan(s);
+    ASSERT_FALSE(plan.empty());
+
+    Rng data(100 + static_cast<unsigned>(r));
+    TensorF x({s.n, s.ih, s.iw, s.ic});
+    x.fill_uniform(data, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const TensorF want = ref::conv2d_direct(x, w, s);
+    const TensorF got = conv2d(x, w, s, plan);
+    const double tol = r >= 7 ? 1e-2 : 5e-4;
+    EXPECT_LT(max_rel_diff(got, want), tol) << s.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace iwg::core

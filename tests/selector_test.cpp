@@ -1,6 +1,7 @@
 // Tests of the algorithm selector (cuDNN-find analogue).
 #include <gtest/gtest.h>
 
+#include "core/plan_cache.hpp"
 #include "core/selector.hpp"
 
 namespace iwg::core {
@@ -30,6 +31,11 @@ TEST(Selector, FallsBackToGemmOutsideSupportedWidths) {
   EXPECT_FALSE(choice.use_winograd);
   EXPECT_TRUE(choice.plan.empty());
   EXPECT_GT(choice.est_gflops, 0.0);
+  // The executable plan is still valid: one whole-width GEMM segment.
+  const auto plan = choice.executable_plan(s);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_TRUE(plan[0].is_gemm);
+  EXPECT_EQ(plan[0].ow_len, s.ow());
 }
 
 TEST(Selector, ConsidersC64ForWideChannels) {
@@ -41,21 +47,40 @@ TEST(Selector, ConsidersC64ForWideChannels) {
   EXPECT_EQ(choice.plan[0].cfg.alpha, 16);
 }
 
-TEST(Selector, CacheReturnsSameObject) {
+TEST(Selector, CachedVariantReturnsIdenticalChoiceAndHits) {
   const ConvShape s = ConvShape::from_ofms(8, 16, 16, 64, 3);
   const auto dev = sim::DeviceProfile::rtx3060ti();
-  const AlgoChoice& a = select_algorithm_cached(s, dev);
-  const AlgoChoice& b = select_algorithm_cached(s, dev);
-  EXPECT_EQ(&a, &b);
+  const auto before = PlanCache::global().stats();
+  const AlgoChoice a = select_algorithm_cached(s, dev);
+  const AlgoChoice b = select_algorithm_cached(s, dev);
+  EXPECT_EQ(a, b);
+  const auto after = PlanCache::global().stats();
+  EXPECT_GE(after.hits, before.hits + 1);  // the second call hit
+  EXPECT_EQ(after.lookups, after.hits + after.misses);
 }
 
 TEST(Selector, DeviceIsPartOfCacheKey) {
-  const ConvShape s = ConvShape::from_ofms(8, 16, 16, 64, 3);
-  const AlgoChoice& a =
-      select_algorithm_cached(s, sim::DeviceProfile::rtx3060ti());
-  const AlgoChoice& b =
-      select_algorithm_cached(s, sim::DeviceProfile::rtx4090());
-  EXPECT_NE(&a, &b);
+  const ConvShape s = ConvShape::from_ofms(8, 16, 16, 48, 3);
+  PlanCache cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.get_or_tune(s, sim::DeviceProfile::rtx3060ti(), 4);
+  cache.get_or_tune(s, sim::DeviceProfile::rtx4090(), 4);
+  EXPECT_EQ(cache.size(), 2);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 0);
+  EXPECT_EQ(st.misses, 2);
+}
+
+TEST(Selector, ZeroBudgetFallsBackToHeuristic) {
+  const ConvShape s = ConvShape::from_ofms(4, 12, 12, 16, 5);
+  const auto choice =
+      select_algorithm(s, sim::DeviceProfile::rtx3060ti(), 4, TuningBudget{0});
+  EXPECT_TRUE(choice.heuristic);
+  EXPECT_TRUE(choice.use_winograd);
+  EXPECT_EQ(choice.candidates_profiled, 0);
+  // The heuristic chain applies the (r-1)/alpha >= 0.4375 rule: ruse wins
+  // for (alpha, r) = (8, 5), so the plan leads with the ruse variant.
+  ASSERT_FALSE(choice.plan.empty());
+  EXPECT_EQ(choice.plan[0].cfg.variant, Variant::kRuse);
 }
 
 }  // namespace
