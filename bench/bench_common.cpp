@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include "common/trace.hpp"
+
 namespace iwg::bench {
 
 using iwg::ConvShape;
@@ -204,6 +206,8 @@ SweepRow profile_cell(const Ofms& o, const Panel& p,
 
 std::vector<SweepRow> run_panel(const Panel& p, const sim::DeviceProfile& dev,
                                 int samples) {
+  trace::init_from_env();  // IWG_TRACE / IWG_METRICS for every bench driver
+  IWG_TRACE_SPAN(panel_span, p.title, "bench");
   std::printf("\n=== %s on %s (model-estimated Gflop/s) ===\n", p.title,
               dev.name.c_str());
   std::printf("%-18s %9s %9s", "ofms", "gamma", "gamma*");

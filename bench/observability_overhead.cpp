@@ -1,0 +1,94 @@
+// Proves the observability layer's cost discipline (ISSUE 2 acceptance
+// criterion): with tracing disabled — the default — the spans compiled into
+// the conv paths must cost < 1% of a conv2d loop.
+//
+// Method: (1) time the conv2d host engine with tracing disabled; (2) time
+// the disabled-span primitive directly (ctor + dtor is one relaxed atomic
+// load plus a thread-local read); (3) count how many spans one conv emits
+// by running it once with the tracer enabled. Overhead = spans-per-conv ×
+// per-span cost ÷ conv time. The enabled-mode slowdown is reported for
+// context but not gated — enabling tracing is an explicit opt-in.
+//
+//   build/bench/observability_overhead     (exits 1 when the bound fails)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "core/conv_api.hpp"
+
+int main() {
+  using namespace iwg;
+
+  ConvShape s;
+  s.n = 4;
+  s.ih = 32;
+  s.iw = 32;
+  s.ic = 32;
+  s.oc = 32;
+  s.fh = 3;
+  s.fw = 3;
+  s.ph = 1;
+  s.pw = 1;
+  s.validate();
+
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  for (std::int64_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>((i * 37 % 101) - 50) / 50.0f;
+  for (std::int64_t i = 0; i < w.size(); ++i)
+    w[i] = static_cast<float>((i * 53 % 61) - 30) / 30.0f;
+
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.disable();
+
+  const int conv_reps = bench::fast_mode() ? 3 : 10;
+  // Warm up allocators and the thread pool before timing.
+  core::conv2d(x, w, s);
+  Timer conv_timer;
+  for (int i = 0; i < conv_reps; ++i) core::conv2d(x, w, s);
+  const double conv_s = conv_timer.seconds() / conv_reps;
+
+  // Disabled-span primitive cost. ScopedSpan's ctor/dtor live in trace.cpp,
+  // so the loop cannot be optimized away.
+  const std::int64_t span_reps = 4'000'000;
+  Timer span_timer;
+  for (std::int64_t i = 0; i < span_reps; ++i) {
+    IWG_TRACE_SCOPE("overhead_probe", "bench");
+  }
+  const double span_s = span_timer.seconds() / static_cast<double>(span_reps);
+
+  // Spans one conv emits (enabled run, then back to disabled).
+  tracer.enable();
+  core::conv2d(x, w, s);
+  const std::int64_t spans_per_conv = tracer.recorded();
+  tracer.disable();
+  tracer.clear();
+
+  // Enabled-mode slowdown, for context only.
+  tracer.enable(1 << 20);
+  Timer enabled_timer;
+  for (int i = 0; i < conv_reps; ++i) core::conv2d(x, w, s);
+  const double enabled_s = enabled_timer.seconds() / conv_reps;
+  tracer.disable();
+  tracer.clear();
+
+  const double overhead =
+      static_cast<double>(spans_per_conv) * span_s / conv_s;
+  std::printf("conv2d (%s): %.3f ms/run, %lld spans/run\n",
+              s.to_string().c_str(), conv_s * 1e3,
+              static_cast<long long>(spans_per_conv));
+  std::printf("disabled span: %.2f ns each\n", span_s * 1e9);
+  std::printf("disabled-tracing overhead: %.4f%% of conv2d (bound: 1%%)\n",
+              overhead * 100.0);
+  std::printf("enabled-tracing slowdown: %.2f%% (informational)\n",
+              (enabled_s / conv_s - 1.0) * 100.0);
+
+  if (overhead >= 0.01) {
+    std::printf("FAIL: disabled overhead above 1%%\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

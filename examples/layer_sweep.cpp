@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/conv_api.hpp"
 #include "core/plan_cache.hpp"
 #include "core/selector.hpp"
 
 int main(int argc, char** argv) {
   using namespace iwg;
+  trace::init_from_env();  // IWG_TRACE / IWG_METRICS
   struct LayerShape {
     const char* name;
     std::int64_t hw, ic, oc;
@@ -71,6 +73,13 @@ int main(int argc, char** argv) {
     s.validate();
 
     const auto choice = cache.get_or_tune(s, dev, samples);
+    if (trace::Tracer::global().enabled()) {
+      // Re-profile the winner so the trace carries per-segment Γ/GEMM spans
+      // with the resource split even on warm (100%-hit, no-tuning) runs.
+      IWG_TRACE_SPAN(span, "sweep.profile_winner", "sweep");
+      span.arg("layer", l.name);
+      core::profile_conv2d(s, dev, choice.executable_plan(s), samples);
+    }
     char shape_buf[32];
     std::snprintf(shape_buf, sizeof(shape_buf), "%lldx%lld %lld->%lld",
                   static_cast<long long>(l.hw), static_cast<long long>(l.hw),
@@ -106,5 +115,6 @@ int main(int argc, char** argv) {
     std::printf("could not save plan DB: %s\n", e.what());
     return 1;
   }
+  std::printf("\n%s", trace::MetricsRegistry::global().text_report().c_str());
   return 0;
 }

@@ -4,12 +4,14 @@
 //   build/examples/train_cnn
 #include <cstdio>
 
+#include "common/trace.hpp"
 #include "data/synthetic.hpp"
 #include "nn/model.hpp"
 #include "nn/trainer.hpp"
 
 int main() {
   using namespace iwg;
+  trace::init_from_env();  // IWG_TRACE / IWG_METRICS
 
   const auto train_set = data::make_cifar_like(160, 3, /*size=*/16);
   const auto test_set = data::make_cifar_like(48, 4, /*size=*/16);
@@ -41,5 +43,6 @@ int main() {
               stats.seconds_per_epoch,
               static_cast<double>(stats.param_bytes) / 1e6,
               static_cast<double>(stats.memory_bytes) / 1e6);
+  std::printf("\n%s", trace::MetricsRegistry::global().text_report().c_str());
   return 0;
 }

@@ -1,0 +1,422 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace iwg::trace {
+
+namespace {
+
+thread_local int g_suppress_depth = 0;
+
+// Exit-time output targets, fixed once by init_from_env (atexit handlers
+// must be capture-less, so these live at namespace scope).
+std::string g_trace_path;
+std::string g_metrics_path;
+
+void write_exit_reports() {
+  if (!g_trace_path.empty()) {
+    try {
+      Tracer::global().write_chrome_trace(g_trace_path);
+      std::fprintf(stderr, "iwg: wrote trace to %s\n", g_trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "iwg: trace write failed: %s\n", e.what());
+    }
+  }
+  if (!g_metrics_path.empty()) {
+    const std::string report = MetricsRegistry::global().text_report();
+    if (g_metrics_path == "-") {
+      std::fputs(report.c_str(), stderr);
+    } else {
+      std::ofstream out(g_metrics_path);
+      if (out.good()) out << report;
+    }
+  }
+}
+
+void init_from_env_once(Tracer* tracer) {
+  static std::once_flag once;
+  std::call_once(once, [tracer] {
+    const char* tp = std::getenv("IWG_TRACE");
+    if (tp != nullptr && tp[0] != '\0') {
+      g_trace_path = tp;
+      tracer->enable();
+    }
+    const char* mp = std::getenv("IWG_METRICS");
+    if (mp != nullptr && mp[0] != '\0') g_metrics_path = mp;
+    if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+      std::atexit(write_exit_reports);
+    }
+  });
+}
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void args_into(std::ostream& os, const std::vector<Arg>& args) {
+  os << '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"';
+    json_escape_into(os, args[i].key);
+    os << "\":";
+    switch (args[i].kind) {
+      case Arg::Kind::kString:
+        os << '"';
+        json_escape_into(os, args[i].str);
+        os << '"';
+        break;
+      case Arg::Kind::kDouble:
+        os << std::setprecision(9) << args[i].num;
+        break;
+      case Arg::Kind::kInt:
+        os << args[i].inum;
+        break;
+    }
+  }
+  os << '}';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  // Intentionally leaked: the at-exit report writers (and spans recorded
+  // during other objects' static destruction) must never see a destroyed
+  // tracer, whatever the construction order was.
+  static Tracer* tracer = new Tracer();
+  init_from_env_once(tracer);
+  return *tracer;
+}
+
+void Tracer::enable(std::int64_t capacity) {
+  IWG_CHECK(capacity > 0);
+  {
+    std::lock_guard lock(mu_);
+    capacity_ = capacity;
+    ring_.clear();
+    total_ = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+bool Tracer::active() const { return enabled() && g_suppress_depth == 0; }
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+void Tracer::record(Event&& e) {
+  std::lock_guard lock(mu_);
+  if (static_cast<std::int64_t>(ring_.size()) < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    // Overwrite the oldest resident event (the ring was filled in record
+    // order, so the slot of event #total_ is total_ mod capacity).
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = std::move(e);
+  }
+  ++total_;
+}
+
+std::vector<Event> Tracer::events() const {
+  std::lock_guard lock(mu_);
+  if (total_ <= capacity_) return ring_;
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  const std::size_t start = static_cast<std::size_t>(total_ % capacity_);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::int64_t Tracer::recorded() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::int64_t Tracer::dropped() const {
+  std::lock_guard lock(mu_);
+  return std::max<std::int64_t>(
+      0, total_ - static_cast<std::int64_t>(ring_.size()));
+}
+
+std::string Tracer::chrome_json(bool include_metrics) const {
+  std::vector<Event> evs = events();
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::ostringstream os;
+  os.imbue(std::locale::classic());  // '.' decimals whatever the app locale
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"iwg\"}}";
+  for (const Event& e : evs) {
+    os << ",{\"name\":\"";
+    json_escape_into(os, e.name);
+    os << "\",\"cat\":\"";
+    json_escape_into(os, e.cat);
+    os << "\",\"ph\":\"X\",\"ts\":" << std::fixed << std::setprecision(3)
+       << e.ts_us << ",\"dur\":" << e.dur_us << std::defaultfloat
+       << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":";
+    args_into(os, e.args);
+    os << '}';
+  }
+  if (include_metrics) {
+    // Counters ride along as Chrome counter ("C") events stamped at the end
+    // of the timeline, so hit rates etc. are visible next to the spans.
+    const auto snap = MetricsRegistry::global().snapshot();
+    const double ts = now_us();
+    for (const auto& [name, value] : snap.counters) {
+      os << ",{\"name\":\"";
+      json_escape_into(os, name);
+      os << "\",\"ph\":\"C\",\"ts\":" << std::fixed << std::setprecision(3)
+         << ts << std::defaultfloat << ",\"pid\":1,\"args\":{\"value\":"
+         << value << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path,
+                                bool include_metrics) const {
+  std::ofstream out(path);
+  IWG_CHECK_MSG(out.good(), "cannot open trace output: " + path);
+  out << chrome_json(include_metrics);
+  IWG_CHECK_MSG(out.good(), "trace write failed: " + path);
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan / Suppress
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat) {
+  Tracer& t = Tracer::global();
+  if (!t.active()) return;
+  active_ = true;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = Tracer::thread_id();
+  start_us_ = t.now_us();
+}
+
+ScopedSpan::ScopedSpan(const std::string& name, const char* cat) {
+  Tracer& t = Tracer::global();
+  if (!t.active()) return;
+  active_ = true;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = Tracer::thread_id();
+  start_us_ = t.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& t = Tracer::global();
+  ev_.ts_us = start_us_;
+  ev_.dur_us = t.now_us() - start_us_;
+  t.record(std::move(ev_));
+}
+
+ScopedSpan& ScopedSpan::arg(const char* key, const char* value) {
+  if (active_) {
+    ev_.args.push_back(Arg{key, Arg::Kind::kString, value, 0.0, 0});
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::arg(const char* key, const std::string& value) {
+  if (active_) {
+    ev_.args.push_back(Arg{key, Arg::Kind::kString, value, 0.0, 0});
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::arg(const char* key, double value) {
+  if (active_) {
+    ev_.args.push_back(Arg{key, Arg::Kind::kDouble, {}, value, 0});
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::arg(const char* key, std::int64_t value) {
+  if (active_) {
+    ev_.args.push_back(Arg{key, Arg::Kind::kInt, {}, 0.0, value});
+  }
+  return *this;
+}
+
+Suppress::Suppress() { ++g_suppress_depth; }
+Suppress::~Suppress() { --g_suppress_depth; }
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+void Distribution::record(double v) {
+  std::lock_guard lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(v);
+  } else {
+    // Classic reservoir replacement with a cheap deterministic LCG: every
+    // recorded value keeps a kMaxSamples/count chance of being resident.
+    rng_ = rng_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t j = rng_ % static_cast<std::uint64_t>(count_);
+    if (j < kMaxSamples) samples_[static_cast<std::size_t>(j)] = v;
+  }
+}
+
+Distribution::Summary Distribution::summary() const {
+  std::lock_guard lock(mu_);
+  Summary s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  if (!samples_.empty()) {
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1));
+      return sorted[idx];
+    };
+    s.p50 = at(0.50);
+    s.p99 = at(0.99);
+  }
+  return s;
+}
+
+void Distribution::reset() {
+  std::lock_guard lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  samples_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked for the same reason as Tracer::global(): the registry may be
+  // first used (and its static therefore constructed) after the at-exit
+  // writers were registered, which would destroy it before they run.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Distribution& MetricsRegistry::distribution(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = distributions_[name];
+  if (!slot) slot = std::make_unique<Distribution>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, d] : distributions_) {
+    snap.distributions.emplace_back(name, d->summary());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::text_report() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "== iwg metrics ==\n";
+  for (const auto& [name, value] : snap.counters) {
+    os << "counter  " << std::left << std::setw(36) << name << ' '
+       << std::right << std::setw(12) << value << '\n';
+  }
+  os << std::setprecision(6);
+  for (const auto& [name, s] : snap.distributions) {
+    os << "dist     " << std::left << std::setw(36) << name << std::right
+       << " count=" << s.count << " sum=" << s.sum << " mean=" << s.mean()
+       << " min=" << s.min << " p50=" << s.p50 << " p99=" << s.p99
+       << " max=" << s.max << '\n';
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, d] : distributions_) d->reset();
+}
+
+void init_from_env() { Tracer::global(); }
+
+}  // namespace iwg::trace

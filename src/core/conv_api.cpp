@@ -1,9 +1,28 @@
 #include "core/conv_api.hpp"
 
+#include <optional>
+
+#include "common/trace.hpp"
 #include "core/gamma_host.hpp"
 #include "tensor/layout.hpp"
 
 namespace iwg::core {
+
+namespace {
+
+/// Common span args for one boundary-plan segment.
+void tag_segment(trace::ScopedSpan& span, const Segment& seg) {
+  if (!span.active()) return;
+  span.arg("ow_start", seg.ow_start).arg("ow_len", seg.ow_len);
+  if (!seg.is_gemm) {
+    span.arg("alpha", seg.cfg.alpha)
+        .arg("n", seg.cfg.n)
+        .arg("r", seg.cfg.r)
+        .arg("variant", variant_name(seg.cfg.variant));
+  }
+}
+
+}  // namespace
 
 std::vector<Segment> plan_for(const ConvShape& s, const ConvOptions& opts) {
   s.validate();
@@ -57,6 +76,8 @@ std::vector<Segment> plan_single(const ConvShape& s,
 
 TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
                const ConvOptions& opts) {
+  std::optional<trace::Suppress> mute;
+  if (!opts.trace) mute.emplace();
   return conv2d_gamma_host(x, w, s, plan_for(s, opts));
 }
 
@@ -73,9 +94,17 @@ TensorF conv2d_nchw(const TensorF& x_nchw, const TensorF& w,
 
 TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,
                  const ConvOptions& opts) {
+  std::optional<trace::Suppress> mute;
+  if (!opts.trace) mute.emplace();
   // Plan over the *input* width (the deconv output) with the same priorities.
   ConvShape b = GammaKernel::make_backward_shape(s);
   return deconv2d_gamma_host(dy, w, s, plan_for(b, opts));
+}
+
+TensorF deconv2d_nchw(const TensorF& dy_nchw, const TensorF& w,
+                      const ConvShape& s, const ConvOptions& opts) {
+  const TensorF dy = nchw_to_nhwc(dy_nchw);
+  return nhwc_to_nchw(deconv2d(dy, w, s, opts));
 }
 
 namespace {
@@ -96,6 +125,8 @@ TensorF run_plan_sim(const TensorF& x, const TensorF& w_orig,
   for (const Segment& seg : plan) {
     IWG_CHECK_MSG(seg.ow_start == covered, "plan has gaps");
     covered += seg.ow_len;
+    IWG_TRACE_SPAN(span, seg.is_gemm ? "gemm_sim" : "gamma_sim", "sim");
+    tag_segment(span, seg);
     if (seg.is_gemm) {
       if (wgemm.empty())
         wgemm = precompute_gemm_filter(w_orig, GemmLayout::kNHWC);
@@ -147,6 +178,8 @@ TensorF deconv2d_sim(const TensorF& dy, const TensorF& w, const ConvShape& s,
   for (const Segment& seg : plan) {
     IWG_CHECK_MSG(seg.ow_start == covered, "plan has gaps");
     covered += seg.ow_len;
+    IWG_TRACE_SPAN(span, seg.is_gemm ? "gemm_sim" : "gamma_sim", "sim");
+    tag_segment(span, seg);
     if (seg.is_gemm) {
       if (wgemm.empty()) {
         wrot = deconv_filter(w);
@@ -191,6 +224,9 @@ ConvPerfReport profile_conv2d(const ConvShape& s, const sim::DeviceProfile& dev,
     const double frac =
         static_cast<double>(seg.ow_len) / static_cast<double>(s.ow());
     const double seg_flops = s.flops() * frac;
+    IWG_TRACE_SPAN(span, seg.is_gemm ? "profile.gemm" : "profile.gamma",
+                   "profile");
+    tag_segment(span, seg);
     sim::PerfEstimate est;
     if (seg.is_gemm) {
       ImplicitGemmKernel k(s, GemmLayout::kNHWC, xbuf, wgemm, ybuf,
@@ -201,6 +237,15 @@ ConvPerfReport profile_conv2d(const ConvShape& s, const sim::DeviceProfile& dev,
                     seg.ow_start, seg.ow_len);
       est = profile_gamma(k, dev, seg_flops, footprint * frac, max_samples, 1);
     }
+    // The paper's roofline attribution (§6): per-resource analytic split.
+    span.arg("time_s", est.time_s)
+        .arg("gflops", est.gflops)
+        .arg("t_compute", est.t_compute)
+        .arg("t_dram", est.t_dram)
+        .arg("t_l2", est.t_l2)
+        .arg("t_smem", est.t_smem)
+        .arg("dram_bytes", est.dram_bytes)
+        .arg("bound", est.bound);
     rep.segments.push_back(est);
     rep.time_s += est.time_s;
   }

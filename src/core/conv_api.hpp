@@ -22,6 +22,7 @@ struct ConvOptions {
   bool use_winograd = true;  ///< false: pure implicit-GEMM convolution
   bool allow_ruse = true;    ///< §5.4 overlap-reuse variants where profitable
   bool allow_c64 = false;    ///< §5.6 Γ^c64 (channels must be ≥ 64-friendly)
+  bool trace = true;  ///< false: suppress span emission even when IWG_TRACE on
 };
 
 /// Boundary plan for a shape under the default priority lists.
@@ -50,6 +51,11 @@ TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,
 TensorF conv2d_nchw(const TensorF& x_nchw, const TensorF& w,
                     const ConvShape& s, const ConvOptions& opts = {});
 
+/// NCHW backward-data / transposed convolution — same view-change approach.
+/// `dy_nchw` is N,OC,OH,OW; the result is N,IC,IH,IW.
+TensorF deconv2d_nchw(const TensorF& dy_nchw, const TensorF& w,
+                      const ConvShape& s, const ConvOptions& opts = {});
+
 /// Functional execution on the SIMT model (Γ kernels + GEMM-tail kernel).
 TensorF conv2d_sim(const TensorF& x, const TensorF& w, const ConvShape& s,
                    const std::vector<Segment>& plan);
@@ -66,7 +72,8 @@ struct ConvPerfReport {
 
   double time_with_transpose() const { return time_s + transpose_s; }
   double gflops_with_transpose(double flops) const {
-    return flops / time_with_transpose() / 1e9;
+    const double t = time_with_transpose();
+    return t > 0.0 ? flops / t / 1e9 : 0.0;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "tensor/layout.hpp"
 #include "winograd/plan.hpp"
 
@@ -137,13 +138,34 @@ TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
             x.dim(2) == s.iw && x.dim(3) == s.ic);
   IWG_CHECK(w.rank() == 4 && w.dim(0) == s.oc && w.dim(1) == s.fh &&
             w.dim(2) == s.fw && w.dim(3) == s.ic);
+  IWG_TRACE_SPAN(conv_span, "conv2d_host", "host");
+  if (conv_span.active()) {
+    conv_span.arg("shape", s.to_string())
+        .arg("segments", static_cast<std::int64_t>(plan.size()));
+  }
+  static trace::Counter& gamma_segs =
+      trace::MetricsRegistry::global().counter("conv.segments_gamma");
+  static trace::Counter& gemm_segs =
+      trace::MetricsRegistry::global().counter("conv.segments_gemm");
   TensorF y({s.n, s.oh(), s.ow(), s.oc});
   std::int64_t covered = 0;
   for (const Segment& seg : plan) {
     IWG_CHECK_MSG(seg.ow_start == covered, "boundary plan has gaps");
+    IWG_TRACE_SPAN(span, seg.is_gemm ? "gemm_host" : "gamma_host", "host");
+    if (span.active()) {
+      span.arg("ow_start", seg.ow_start).arg("ow_len", seg.ow_len);
+      if (!seg.is_gemm) {
+        span.arg("alpha", seg.cfg.alpha)
+            .arg("n", seg.cfg.n)
+            .arg("r", seg.cfg.r)
+            .arg("variant", variant_name(seg.cfg.variant));
+      }
+    }
     if (seg.is_gemm) {
+      gemm_segs.add();
       conv2d_gemm_host_segment(x, w, s, seg.ow_start, seg.ow_len, y);
     } else {
+      gamma_segs.add();
       conv2d_gamma_host_segment(x, w, s, seg.cfg, seg.ow_start, seg.ow_len, y);
     }
     covered += seg.ow_len;
@@ -155,6 +177,7 @@ TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
 TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
                             const ConvShape& s,
                             const std::vector<Segment>& plan) {
+  IWG_TRACE_SCOPE("deconv2d_host", "host");
   // Equivalent forward problem: rotated/channel-swapped filter, flipped pad.
   const TensorF wd = deconv_filter(w);
   ConvShape ds;
@@ -177,6 +200,7 @@ namespace iwg::core {
 
 TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
                                     const ConvShape& s) {
+  IWG_TRACE_SCOPE("filter_grad_host", "host");
   s.validate();
   IWG_CHECK_MSG(s.fw >= 2 && s.fw <= 9,
                 "winograd filter gradient supports filter widths 2-9");

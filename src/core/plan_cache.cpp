@@ -1,11 +1,14 @@
 #include "core/plan_cache.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <iomanip>
 #include <fstream>
+#include <locale>
 #include <sstream>
+#include <utility>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace iwg::core {
 
@@ -21,6 +24,7 @@ void hash_combine(std::size_t& seed, std::size_t v) {
 /// Canonical sort key: deterministic save order independent of LRU state.
 std::string canonical_key(const PlanKey& k) {
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << k.device << '|' << k.samples << '|' << k.shape.n << '|' << k.shape.ih
      << '|' << k.shape.iw << '|' << k.shape.ic << '|' << k.shape.oc << '|'
      << k.shape.fh << '|' << k.shape.fw << '|' << k.shape.ph << '|'
@@ -29,9 +33,22 @@ std::string canonical_key(const PlanKey& k) {
 }
 
 std::string format_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  // snprintf("%.17g") honours the C global locale (setlocale), so a
+  // comma-decimal process would emit "1,5" and break both the parser and
+  // the byte-identical round trip. A classic-imbued stream always emits
+  // "1.5" with the same 17-significant-digit round-trip format.
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+/// Field parser pinned to the classic locale: "1.5" must parse as 1.5 no
+/// matter what std::locale::global says (the plan DB is a portable format).
+std::istringstream value_stream(std::string payload) {
+  std::istringstream is(std::move(payload));
+  is.imbue(std::locale::classic());
+  return is;
 }
 
 Variant variant_from_name(const std::string& name) {
@@ -89,15 +106,27 @@ PlanCache::Shard& PlanCache::shard_for(const PlanKey& key) {
 }
 
 std::optional<AlgoChoice> PlanCache::lookup(const PlanKey& key) {
+  // Process-wide observability counters (aggregated across every PlanCache
+  // instance; per-instance exact numbers stay in CacheStats). Cached
+  // references: registry lookup happens once per process.
+  static trace::Counter& m_lookups =
+      trace::MetricsRegistry::global().counter("plan_cache.lookups");
+  static trace::Counter& m_hits =
+      trace::MetricsRegistry::global().counter("plan_cache.hits");
+  static trace::Counter& m_misses =
+      trace::MetricsRegistry::global().counter("plan_cache.misses");
+  m_lookups.add();
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mu);
   ++shard.lookups;
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
+    m_misses.add();
     return std::nullopt;
   }
   ++shard.hits;
+  m_hits.add();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->choice;
 }
@@ -113,9 +142,12 @@ void PlanCache::insert_locked(Shard& shard, const PlanKey& key,
   shard.lru.push_front(Entry{key, choice});
   shard.index.emplace(key, shard.lru.begin());
   while (static_cast<std::int64_t>(shard.lru.size()) > shard_capacity_) {
+    static trace::Counter& m_evictions =
+        trace::MetricsRegistry::global().counter("plan_cache.evictions");
     shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.evictions;
+    m_evictions.add();
   }
 }
 
@@ -133,9 +165,23 @@ AlgoChoice PlanCache::get_or_tune(const ConvShape& s,
   // Tune outside the shard lock: select_algorithm fans work out through the
   // global thread pool, and holding a mutex across that invites deadlock
   // when the cache itself is hammered from pool workers.
+  IWG_TRACE_SPAN(span, "plan_cache.tune", "plan_cache");
+  if (span.active()) {
+    span.arg("shape", s.to_string())
+        .arg("device", dev.name)
+        .arg("samples", samples);
+  }
   Timer timer;
   const AlgoChoice choice = select_algorithm(s, dev, samples, budget);
   const double tuned_s = timer.seconds();
+  trace::MetricsRegistry::global()
+      .distribution("plan_cache.tuning_s")
+      .record(tuned_s);
+  if (span.active()) {
+    span.arg("winner", choice.description)
+        .arg("est_gflops", choice.est_gflops)
+        .arg("candidates_profiled", choice.candidates_profiled);
+  }
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mu);
   shard.tuning_time_s += tuned_s;
@@ -185,6 +231,7 @@ std::int64_t PlanCache::save(const std::string& path) const {
   });
 
   std::ofstream out(path);
+  out.imbue(std::locale::classic());  // portable format: never the app locale
   IWG_CHECK_MSG(out.good(), "cannot open plan DB for writing: " + path);
   out << kMagic << " v" << kVersion << "\n";
   out << "entries " << entries.size() << "\n";
@@ -220,6 +267,7 @@ std::int64_t PlanCache::save(const std::string& path) const {
 
 std::int64_t PlanCache::load(const std::string& path) {
   std::ifstream in(path);
+  in.imbue(std::locale::classic());
   IWG_CHECK_MSG(in.good(), "cannot open plan DB: " + path);
 
   const std::string header = expect_line(in, "header");
@@ -227,18 +275,23 @@ std::int64_t PlanCache::load(const std::string& path) {
                 "plan DB: bad magic or unsupported version: " + header);
   std::int64_t count = -1;
   {
-    std::istringstream is(strip_prefix(expect_line(in, "entries"), "entries"));
+    auto is = value_stream(strip_prefix(expect_line(in, "entries"), "entries"));
     IWG_CHECK_MSG(static_cast<bool>(is >> count) && count >= 0,
                   "plan DB: bad entry count");
   }
 
+  // All-or-nothing: parse the entire file into staging first, so a
+  // truncated or corrupt DB (which throws mid-parse) cannot leave the cache
+  // partially populated.
+  std::vector<Entry> staged;
+  staged.reserve(static_cast<std::size_t>(count));
   for (std::int64_t e = 0; e < count; ++e) {
     IWG_CHECK_MSG(expect_line(in, "entry") == "entry",
                   "plan DB: expected 'entry'");
     PlanKey key;
     key.device = strip_prefix(expect_line(in, "device"), "device");
     {
-      std::istringstream is(strip_prefix(expect_line(in, "shape"), "shape"));
+      auto is = value_stream(strip_prefix(expect_line(in, "shape"), "shape"));
       ConvShape& s = key.shape;
       IWG_CHECK_MSG(static_cast<bool>(is >> s.n >> s.ih >> s.iw >> s.ic >>
                                       s.oc >> s.fh >> s.fw >> s.ph >> s.pw),
@@ -246,14 +299,14 @@ std::int64_t PlanCache::load(const std::string& path) {
       s.validate();
     }
     {
-      std::istringstream is(
-          strip_prefix(expect_line(in, "samples"), "samples"));
+      auto is =
+          value_stream(strip_prefix(expect_line(in, "samples"), "samples"));
       IWG_CHECK_MSG(static_cast<bool>(is >> key.samples) && key.samples > 0,
                     "plan DB: malformed samples");
     }
     AlgoChoice choice;
     {
-      std::istringstream is(strip_prefix(expect_line(in, "result"), "result"));
+      auto is = value_stream(strip_prefix(expect_line(in, "result"), "result"));
       std::string algo;
       int heuristic = 0;
       IWG_CHECK_MSG(
@@ -269,14 +322,14 @@ std::int64_t PlanCache::load(const std::string& path) {
     choice.description = strip_prefix(expect_line(in, "desc"), "desc");
     std::int64_t nsegs = -1;
     {
-      std::istringstream is(
-          strip_prefix(expect_line(in, "segments"), "segments"));
+      auto is =
+          value_stream(strip_prefix(expect_line(in, "segments"), "segments"));
       IWG_CHECK_MSG(static_cast<bool>(is >> nsegs) && nsegs >= 0,
                     "plan DB: malformed segment count");
     }
     std::int64_t covered = 0;
     for (std::int64_t i = 0; i < nsegs; ++i) {
-      std::istringstream is(strip_prefix(expect_line(in, "seg"), "seg"));
+      auto is = value_stream(strip_prefix(expect_line(in, "seg"), "seg"));
       std::string kind;
       IWG_CHECK_MSG(static_cast<bool>(is >> kind), "plan DB: malformed seg");
       Segment seg;
@@ -301,8 +354,12 @@ std::int64_t PlanCache::load(const std::string& path) {
     IWG_CHECK_MSG(nsegs == 0 || covered == key.shape.ow(),
                   "plan DB: plan does not cover OW");
     IWG_CHECK_MSG(expect_line(in, "end") == "end", "plan DB: expected 'end'");
-    insert(key, choice);
+    staged.push_back(Entry{std::move(key), std::move(choice)});
   }
+  for (Entry& e : staged) insert(e.key, e.choice);
+  trace::MetricsRegistry::global()
+      .counter("plan_cache.db_entries_loaded")
+      .add(count);
   return count;
 }
 

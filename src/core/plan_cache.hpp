@@ -84,7 +84,9 @@ class PlanCache {
   std::int64_t save(const std::string& path) const;
 
   /// Merge entries from a plan DB produced by save(). Throws on bad magic,
-  /// unsupported version, or malformed entries.
+  /// unsupported version, or malformed entries. All-or-nothing: the whole
+  /// file is parsed into a staging buffer first, so a truncated or corrupt
+  /// DB leaves the cache exactly as it was.
   std::int64_t load(const std::string& path);
 
   /// Process-wide cache used by select_algorithm_cached.

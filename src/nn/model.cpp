@@ -1,18 +1,23 @@
 #include "nn/model.hpp"
 
+#include "common/trace.hpp"
 #include "nn/layers.hpp"
 
 namespace iwg::nn {
 
 TensorF Model::forward(const TensorF& x, bool train) {
   TensorF h = x;
-  for (auto& l : layers_) h = l->forward(h, train);
+  for (auto& l : layers_) {
+    IWG_TRACE_SPAN(span, l->name(), "nn.fwd");
+    h = l->forward(h, train);
+  }
   return h;
 }
 
 TensorF Model::backward(const TensorF& dloss) {
   TensorF g = dloss;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    IWG_TRACE_SPAN(span, (*it)->name(), "nn.bwd");
     g = (*it)->backward(g);
   }
   return g;

@@ -1,14 +1,20 @@
 #include "nn/trainer.hpp"
 
 #include <cstdio>
+#include <optional>
 
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace iwg::nn {
 
 TrainStats train_model(Model& model, Optimizer& opt,
                        const data::Dataset& train_set,
                        const data::Dataset* test_set, const TrainConfig& cfg) {
+  std::optional<trace::Suppress> mute;
+  if (!cfg.trace) mute.emplace();
+  trace::Distribution& epoch_dist =
+      trace::MetricsRegistry::global().distribution("nn.epoch_s");
   TrainStats stats;
   const std::vector<Param*> params = model.params();
   stats.param_bytes = model.param_bytes();
@@ -25,10 +31,14 @@ TrainStats train_model(Model& model, Optimizer& opt,
 
   std::int64_t step = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    IWG_TRACE_SPAN(epoch_span, "train.epoch", "nn");
+    epoch_span.arg("epoch", epoch);
     Timer epoch_timer;
     std::int64_t correct = 0;
     std::int64_t seen = 0;
     for (std::int64_t s = 0; s < steps_per_epoch; ++s, ++step) {
+      IWG_TRACE_SPAN(step_span, "train.step", "nn");
+      step_span.arg("step", step);
       std::vector<std::int64_t> labels;
       const TensorF x = train_set.batch(s * cfg.batch, cfg.batch, labels);
       opt.zero_grad(params);
@@ -36,6 +46,7 @@ TrainStats train_model(Model& model, Optimizer& opt,
       const LossResult res = softmax_cross_entropy(logits, labels);
       model.backward(res.dlogits);
       opt.step(params);
+      step_span.arg("loss", static_cast<double>(res.loss));
       correct += res.correct;
       seen += cfg.batch;
       if (step % cfg.record_every == 0) stats.loss_curve.push_back(res.loss);
@@ -44,7 +55,10 @@ TrainStats train_model(Model& model, Optimizer& opt,
                     static_cast<long long>(s), static_cast<double>(res.loss));
       }
     }
-    stats.epoch_seconds.push_back(epoch_timer.seconds());
+    const double epoch_s = epoch_timer.seconds();
+    stats.epoch_seconds.push_back(epoch_s);
+    epoch_dist.record(epoch_s);
+    trace::MetricsRegistry::global().counter("nn.epochs").add();
     stats.train_accuracy =
         static_cast<double>(correct) / static_cast<double>(seen);
   }
@@ -63,6 +77,7 @@ TrainStats train_model(Model& model, Optimizer& opt,
 }
 
 double evaluate(Model& model, const data::Dataset& ds, std::int64_t batch) {
+  IWG_TRACE_SCOPE("evaluate", "nn");
   std::int64_t correct = 0;
   std::int64_t seen = 0;
   const std::int64_t batches = ds.count() / batch;

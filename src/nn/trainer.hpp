@@ -17,6 +17,7 @@ struct TrainConfig {
   std::int64_t batch = 16;
   int record_every = 10;  ///< steps between loss-curve samples (§6.3.1)
   bool verbose = false;
+  bool trace = true;  ///< false: suppress training spans even when tracing on
   /// When set, every conv layer's plan is pre-resolved through the context's
   /// PlanCache before the first batch (graph-build autotuning, §5.7).
   AutotuneContext* autotune = nullptr;

@@ -33,6 +33,7 @@ std::vector<std::int64_t> histogram(const std::vector<double>& values,
 inline double average_relative_error(const TensorF& got, const TensorD& truth,
                                      double eps) {
   IWG_CHECK(got.size() == truth.size());
+  if (got.size() == 0) return 0.0;  // not NaN from 0/0
   double sum = 0.0;
   for (std::int64_t i = 0; i < got.size(); ++i) {
     const double t = truth[i];
@@ -45,6 +46,7 @@ inline double average_relative_error(const TensorF& got, const TensorD& truth,
 inline std::vector<double> relative_errors(const TensorF& got,
                                            const TensorD& truth, double eps) {
   IWG_CHECK(got.size() == truth.size());
+  if (got.size() == 0) return {};
   std::vector<double> out(static_cast<std::size_t>(got.size()));
   for (std::int64_t i = 0; i < got.size(); ++i) {
     const double t = truth[i];

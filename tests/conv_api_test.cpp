@@ -176,6 +176,25 @@ TEST(ConvApi, NchwEntryPointMatchesNhwc) {
   }
 }
 
+TEST(ConvApi, DeconvNchwEntryPointMatchesNhwc) {
+  const ConvShape s = shape_3x3(12);
+  const TensorF dy = rand_tensor({s.n, s.oh(), s.ow(), s.oc}, 11);
+  const TensorF w = rand_tensor({s.oc, s.fh, s.fw, s.ic}, 12);
+  const TensorF dx_nhwc = deconv2d(dy, w, s);
+  const TensorF dx_nchw = deconv2d_nchw(nhwc_to_nchw(dy), w, s);
+  const TensorF back = nchw_to_nhwc(dx_nchw);
+  ASSERT_TRUE(back.same_shape(dx_nhwc));
+  for (std::int64_t i = 0; i < dx_nhwc.size(); ++i) {
+    EXPECT_EQ(back[i], dx_nhwc[i]);
+  }
+}
+
+TEST(ConvApi, GflopsWithTransposeGuardsZeroTime) {
+  // Regression: a default-constructed report divided by zero time.
+  ConvPerfReport rep;
+  EXPECT_DOUBLE_EQ(rep.gflops_with_transpose(1e9), 0.0);
+}
+
 TEST(ConvApi, MismatchedTensorsRejected) {
   const ConvShape s = shape_3x3();
   TensorF x({1, 8, 13, 4});  // wrong IC

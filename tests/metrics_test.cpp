@@ -54,6 +54,16 @@ TEST(Metrics, HistogramBucketsValues) {
   EXPECT_EQ(h[3], 1);  // 1.5 falls outside all buckets and is dropped
 }
 
+TEST(Metrics, EmptyTensorsGiveZeroErrorNotNaN) {
+  // Regression: sum / size() was 0/0 = NaN on empty inputs.
+  TensorF a;  // default-constructed: rank 0, size 0
+  TensorD b;
+  const double avg = average_relative_error(a, b);
+  EXPECT_FALSE(std::isnan(avg));
+  EXPECT_DOUBLE_EQ(avg, 0.0);
+  EXPECT_TRUE(relative_errors(a, b).empty());
+}
+
 TEST(Metrics, MismatchedSizesThrow) {
   TensorF a({3});
   TensorD b({4});

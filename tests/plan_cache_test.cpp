@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -188,6 +189,107 @@ TEST(PlanCache, LoadedPlanDbServesSecondRunWithFullHitsAndZeroTuning) {
   EXPECT_EQ(st.misses, 0);
   EXPECT_EQ(st.tuning_time_s, 0.0);  // no tuning on the deploy path
   std::remove(db.c_str());
+}
+
+/// A classic-derived locale whose only change is a ',' decimal point — what
+/// de_DE-style locales do to numeric formatting, without needing any system
+/// locale installed.
+class CommaDecimalPoint : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+};
+
+class ScopedGlobalLocale {
+ public:
+  explicit ScopedGlobalLocale(const std::locale& loc)
+      : prev_(std::locale::global(loc)) {}
+  ~ScopedGlobalLocale() { std::locale::global(prev_); }
+
+ private:
+  std::locale prev_;
+};
+
+TEST(PlanCache, PlanDbRoundTripSurvivesCommaDecimalGlobalLocale) {
+  // Regression: the plan-DB streams used the global locale, so under a
+  // comma-decimal locale format_double wrote "123,45" and load() stopped
+  // parsing doubles at the comma. All plan-DB streams now imbue the classic
+  // locale, making save/load locale-independent.
+  PlanCache cache(8, 1);
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  const ConvShape s = small_shape(3, 20, 16);
+  const auto tuned = cache.get_or_tune(s, dev, /*samples=*/2);
+
+  const std::string classic_path = testing::TempDir() + "plandb_locale_c.db";
+  const std::string comma_path = testing::TempDir() + "plandb_locale_de.db";
+  EXPECT_EQ(cache.save(classic_path), 1);
+  {
+    ScopedGlobalLocale comma(
+        std::locale(std::locale::classic(), new CommaDecimalPoint));
+    EXPECT_EQ(cache.save(comma_path), 1);
+    EXPECT_EQ(read_file(classic_path), read_file(comma_path));
+
+    PlanCache loaded(8, 1);
+    EXPECT_EQ(loaded.load(classic_path), 1);
+    const auto got = loaded.lookup(PlanKey{s, dev.name, 2});
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, tuned);
+  }
+  std::remove(classic_path.c_str());
+  std::remove(comma_path.c_str());
+}
+
+TEST(PlanCache, LoadOfTruncatedDbIsAllOrNothing) {
+  // Regression: load() used to insert entry-by-entry, so a DB truncated
+  // mid-file left the cache holding the prefix. It must now stage the whole
+  // parse and leave the cache exactly as it was on failure.
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  const ConvShape s1 = small_shape(3, 20, 16);
+  const ConvShape s2 = small_shape(5, 18, 32);
+  const std::string full = testing::TempDir() + "plandb_full.db";
+  const std::string trunc = testing::TempDir() + "plandb_trunc.db";
+  {
+    PlanCache writer(8, 1);
+    writer.get_or_tune(s1, dev, /*samples=*/2);
+    writer.get_or_tune(s2, dev, /*samples=*/2);
+    EXPECT_EQ(writer.save(full), 2);
+  }
+  // Cut just after the second "entry" marker: the first entry is complete
+  // and parseable, the second is missing.
+  const std::string bytes = read_file(full);
+  const std::size_t first = bytes.find("\nentry\n");
+  ASSERT_NE(first, std::string::npos);
+  const std::size_t second = bytes.find("\nentry\n", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  {
+    std::ofstream out(trunc, std::ios::binary);
+    out << bytes.substr(0, second + 7);
+  }
+
+  PlanCache cache(8, 1);
+  const PlanKey sentinel{small_shape(2, 12, 8), "sentinel", 4};
+  cache.insert(sentinel, fake_choice(7));
+  EXPECT_THROW(cache.load(trunc), std::exception);
+  EXPECT_EQ(cache.size(), 1);  // the fully-parsed first entry did NOT land
+  EXPECT_FALSE(cache.lookup(PlanKey{s1, dev.name, 2}).has_value());
+  EXPECT_FALSE(cache.lookup(PlanKey{s2, dev.name, 2}).has_value());
+  EXPECT_TRUE(cache.lookup(sentinel).has_value());
+  std::remove(full.c_str());
+  std::remove(trunc.c_str());
+}
+
+TEST(PlanCache, LoadOfGarbageDbLeavesCacheUntouched) {
+  const std::string path = testing::TempDir() + "plandb_garbage.db";
+  {
+    std::ofstream out(path);
+    out << "IWGPLANDB v1\nentries 1\nentry\ndevice dev\nshape not numbers\n";
+  }
+  PlanCache cache(8, 1);
+  const PlanKey sentinel{small_shape(2, 12, 8), "sentinel", 4};
+  cache.insert(sentinel, fake_choice(9));
+  EXPECT_THROW(cache.load(path), std::exception);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_TRUE(cache.lookup(sentinel).has_value());
+  std::remove(path.c_str());
 }
 
 TEST(PlanCache, LoadRejectsBadMagicAndTruncation) {

@@ -1,0 +1,432 @@
+// Observability tests: the tracer's ring/drop semantics, Chrome-JSON export
+// (validated by parsing it back with a mini JSON parser), span nesting and
+// thread interleaving, Suppress/ConvOptions gating, and the metrics
+// registry's race-freedom under the global thread pool.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "core/conv_api.hpp"
+
+namespace iwg::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — enough to validate the exported
+// trace is well-formed and to read back names/args.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+      static const Json null;
+      return null;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    pos_ = text_.size();  // stop consuming
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Json{};
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.type = Json::Type::kObject;
+    if (!consume('{')) fail("expected {");
+    if (consume('}')) return v;
+    do {
+      Json key = string_value();
+      if (!consume(':')) fail("expected :");
+      v.obj[key.str] = value();
+    } while (consume(','));
+    if (!consume('}')) fail("expected }");
+    return v;
+  }
+
+  Json array() {
+    Json v;
+    v.type = Json::Type::kArray;
+    if (!consume('[')) fail("expected [");
+    if (consume(']')) return v;
+    do {
+      v.arr.push_back(value());
+    } while (consume(','));
+    if (!consume(']')) fail("expected ]");
+    return v;
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::Type::kString;
+    if (!consume('"')) fail("expected string");
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u':
+            pos_ += 4;  // tests never read escaped control chars back
+            c = '?';
+            break;
+          default: c = esc;
+        }
+      }
+      v.str += c;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    } else {
+      ++pos_;  // closing quote
+    }
+    return v;
+  }
+
+  Json boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.b = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    Json v;
+    v.type = Json::Type::kNumber;
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    v.num = std::strtod(start, &end);
+    if (end == start) {
+      fail("expected number");
+    } else {
+      pos_ += static_cast<std::size_t>(end - start);
+    }
+    return v;
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        fail(std::string("expected ") + lit);
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+Json parse_trace(const std::string& json) {
+  JsonParser p(json);
+  Json v = p.parse();
+  EXPECT_TRUE(p.ok()) << p.error();
+  EXPECT_EQ(v.type, Json::Type::kObject);
+  EXPECT_EQ(v.at("traceEvents").type, Json::Type::kArray);
+  return v;
+}
+
+/// Resets the global tracer around each test so tests stay independent.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  {
+    IWG_TRACE_SCOPE("should_not_appear", "test");
+    IWG_TRACE_SPAN(span, "nor_this", "test");
+    span.arg("k", 1).arg("s", "v");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Tracer::global().recorded(), 0);
+  EXPECT_TRUE(Tracer::global().events().empty());
+}
+
+TEST_F(TraceTest, NestedSpansExportWellFormedChromeJsonWithArgs) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  {
+    IWG_TRACE_SPAN(outer, "outer", "test");
+    outer.arg("alpha", 8).arg("variant", "ruse").arg("frac", 0.25);
+    {
+      IWG_TRACE_SCOPE("inner", "test");
+    }
+  }
+  t.disable();
+  EXPECT_EQ(t.recorded(), 2);
+
+  const Json doc = parse_trace(t.chrome_json(/*include_metrics=*/false));
+  const Json* outer = nullptr;
+  const Json* inner = nullptr;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("name").str == "outer") outer = &e;
+    if (e.at("name").str == "inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->at("ph").str, "X");
+  EXPECT_EQ(outer->at("cat").str, "test");
+  EXPECT_EQ(outer->at("args").at("alpha").num, 8.0);
+  EXPECT_EQ(outer->at("args").at("variant").str, "ruse");
+  EXPECT_DOUBLE_EQ(outer->at("args").at("frac").num, 0.25);
+  // Nesting: the inner span lies inside the outer span's [ts, ts+dur), on
+  // the same thread — which is how trace viewers reconstruct the stack.
+  EXPECT_EQ(outer->at("tid").num, inner->at("tid").num);
+  EXPECT_LE(outer->at("ts").num, inner->at("ts").num);
+  EXPECT_GE(outer->at("ts").num + outer->at("dur").num,
+            inner->at("ts").num + inner->at("dur").num);
+}
+
+TEST_F(TraceTest, ThreadInterleavingProducesParseableTrace) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  const int kSpans = 64;
+  ThreadPool::global().parallel_for(kSpans, [](std::int64_t i) {
+    IWG_TRACE_SPAN(span, "worker_span", "test");
+    span.arg("job", i);
+  });
+  t.disable();
+  EXPECT_EQ(t.recorded(), kSpans);
+
+  const Json doc = parse_trace(t.chrome_json(/*include_metrics=*/false));
+  int workers = 0;
+  std::vector<bool> seen(kSpans, false);
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("name").str != "worker_span") continue;
+    ++workers;
+    const auto job = static_cast<std::size_t>(e.at("args").at("job").num);
+    ASSERT_LT(job, seen.size());
+    EXPECT_FALSE(seen[job]) << "job " << job << " recorded twice";
+    seen[job] = true;
+  }
+  EXPECT_EQ(workers, kSpans);  // no span lost or torn under interleaving
+}
+
+TEST_F(TraceTest, RingKeepsMostRecentAndCountsDropped) {
+  Tracer& t = Tracer::global();
+  t.enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    IWG_TRACE_SPAN(span, "ev" + std::to_string(i), "test");
+  }
+  t.disable();
+  EXPECT_EQ(t.recorded(), 10);
+  EXPECT_EQ(t.dropped(), 6);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(evs[static_cast<std::size_t>(i)].name,
+              "ev" + std::to_string(6 + i));  // oldest dropped, order kept
+  }
+}
+
+TEST_F(TraceTest, SuppressMutesRecordingOnThisThread) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  {
+    Suppress mute;
+    IWG_TRACE_SCOPE("muted", "test");
+    EXPECT_FALSE(t.active());
+    {
+      Suppress nested;  // nesting must not unmute on destruction
+    }
+    EXPECT_FALSE(t.active());
+  }
+  EXPECT_TRUE(t.active());
+  { IWG_TRACE_SCOPE("recorded", "test"); }
+  t.disable();
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].name, "recorded");
+}
+
+TEST_F(TraceTest, ConvOptionsTraceFalseSuppressesConvSpans) {
+  const ConvShape s = [] {
+    ConvShape sh;
+    sh.n = 1;
+    sh.ih = 4;
+    sh.iw = 9;
+    sh.ic = 4;
+    sh.oc = 4;
+    sh.fh = 3;
+    sh.fw = 3;
+    sh.ph = 1;
+    sh.pw = 1;
+    sh.validate();
+    return sh;
+  }();
+  TensorF x({s.n, s.ih, s.iw, s.ic});
+  TensorF w({s.oc, s.fh, s.fw, s.ic});
+  x.fill(0.5f);
+  w.fill(0.25f);
+
+  Tracer& t = Tracer::global();
+  t.enable();
+  core::ConvOptions muted;
+  muted.trace = false;
+  core::conv2d(x, w, s, muted);
+  EXPECT_EQ(t.recorded(), 0);
+  core::conv2d(x, w, s, core::ConvOptions{});
+  EXPECT_GT(t.recorded(), 0);
+  t.disable();
+}
+
+TEST_F(TraceTest, ChromeJsonCarriesMetricsCounters) {
+  MetricsRegistry::global().counter("test.export_counter").add(41);
+  Tracer& t = Tracer::global();
+  t.enable();
+  { IWG_TRACE_SCOPE("with_metrics", "test"); }
+  t.disable();
+
+  const Json doc = parse_trace(t.chrome_json(/*include_metrics=*/true));
+  bool found = false;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("ph").str == "C" && e.at("name").str == "test.export_counter") {
+      found = true;
+      EXPECT_GE(e.at("args").at("value").num, 41.0);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const Json bare = parse_trace(t.chrome_json(/*include_metrics=*/false));
+  for (const Json& e : bare.at("traceEvents").arr) {
+    EXPECT_NE(e.at("ph").str, "C");
+  }
+}
+
+TEST(Metrics, CountersAreRaceFreeUnderParallelFor) {
+  Counter& cached = MetricsRegistry::global().counter("test.race_cached");
+  const std::int64_t before = cached.value();
+  const int kAdds = 10000;
+  ThreadPool::global().parallel_for(kAdds, [&](std::int64_t) {
+    cached.add();
+    // The registry-lookup path must be just as safe as a cached reference.
+    MetricsRegistry::global().counter("test.race_lookup").add();
+  });
+  EXPECT_EQ(cached.value() - before, kAdds);
+  EXPECT_EQ(MetricsRegistry::global().counter("test.race_lookup").value() %
+                kAdds,
+            0);
+}
+
+TEST(Metrics, DistributionSummaryIsExactBelowReservoirCap) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.record(static_cast<double>(i));
+  const auto s = d.summary();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+  d.reset();
+  EXPECT_EQ(d.summary().count, 0);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferencesValid) {
+  Counter& c = MetricsRegistry::global().counter("test.reset_ref");
+  c.add(5);
+  MetricsRegistry::global().reset();
+  EXPECT_EQ(c.value(), 0);
+  c.add(2);  // the cached reference still points at the live counter
+  EXPECT_EQ(MetricsRegistry::global().counter("test.reset_ref").value(), 2);
+}
+
+TEST(Metrics, TextReportListsEveryMetric) {
+  MetricsRegistry::global().counter("test.report_counter").add(3);
+  MetricsRegistry::global().distribution("test.report_dist").record(1.5);
+  const std::string report = MetricsRegistry::global().text_report();
+  EXPECT_NE(report.find("test.report_counter"), std::string::npos);
+  EXPECT_NE(report.find("test.report_dist"), std::string::npos);
+  EXPECT_NE(report.find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iwg::trace
