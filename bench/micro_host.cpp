@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/conv_api.hpp"
+#include "core/filter_cache.hpp"
 #include "reference/direct_conv.hpp"
 #include "reference/im2col_gemm.hpp"
 #include "core/gamma_host.hpp"
@@ -45,6 +46,28 @@ void BM_HostGammaConv(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_HostGammaConv)->Arg(2)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
+
+// Before/after view of the filter-transform cache: the same repeated-call
+// conv as BM_HostGammaConv, but serving ĝ from a FilterTransformCache the
+// way `src/nn` does (the weights version never changes inside the loop).
+// The delta against BM_HostGammaConv is the per-call transform cost the
+// cache eliminates.
+void BM_HostGammaConvCached(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const ConvShape s = shape_for(r);
+  const Inputs in = make_inputs(s);
+  core::FilterTransformCache cache(16);
+  core::ConvOptions opts;
+  opts.filter_cache = &cache;
+  opts.weights_version = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::conv2d(in.x, in.w, s, opts));
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      s.flops() * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HostGammaConvCached)->Arg(2)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
 
 void BM_HostGemmConv(benchmark::State& state) {
   const int r = static_cast<int>(state.range(0));

@@ -1,0 +1,67 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace iwg {
+
+namespace {
+
+std::atomic<std::size_t> g_max_high_water{0};
+
+void raise_global_high_water(std::size_t hw) {
+  std::size_t cur = g_max_high_water.load(std::memory_order_relaxed);
+  while (hw > cur && !g_max_high_water.compare_exchange_weak(
+                         cur, hw, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::local() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+std::size_t ScratchArena::max_high_water() {
+  return g_max_high_water.load(std::memory_order_relaxed);
+}
+
+std::size_t ScratchArena::capacity() const {
+  return blocks_.empty() ? 0 : prefix_.back() + blocks_.back().cap;
+}
+
+void ScratchArena::grow(std::size_t min_bytes) {
+  std::size_t cap = blocks_.empty() ? kFirstBlockBytes : blocks_.back().cap * 2;
+  cap = std::max(cap, min_bytes);
+  prefix_.push_back(blocks_.empty() ? 0 : prefix_.back() + blocks_.back().cap);
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(cap), cap});
+}
+
+void* ScratchArena::alloc(std::size_t bytes) {
+  bytes = std::max<std::size_t>((bytes + kAlign - 1) & ~(kAlign - 1), kAlign);
+  // Skip forward past blocks too small for this request; release() restores
+  // the exact (block, offset) cursor, so skipped tails are only fragmentation
+  // for the lifetime of the current scope.
+  while (cur_block_ < blocks_.size() &&
+         cur_off_ + bytes > blocks_[cur_block_].cap) {
+    ++cur_block_;
+    cur_off_ = 0;
+  }
+  if (cur_block_ == blocks_.size()) grow(bytes);
+  std::byte* p = blocks_[cur_block_].data.get() + cur_off_;
+  cur_off_ += bytes;
+  const std::size_t used = prefix_[cur_block_] + cur_off_;
+  if (used > high_water_) {
+    high_water_ = used;
+    raise_global_high_water(used);
+  }
+  return p;
+}
+
+void ScratchArena::release(std::size_t block, std::size_t off) {
+  cur_block_ = block;
+  cur_off_ = off;
+}
+
+}  // namespace iwg

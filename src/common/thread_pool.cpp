@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -41,15 +42,22 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::int64_t count,
                               const std::function<void(std::int64_t)>& fn) {
+  parallel_for(count, 1, fn);
+}
+
+void ThreadPool::parallel_for(std::int64_t count, std::int64_t grain,
+                              const std::function<void(std::int64_t)>& fn) {
   if (count <= 0) return;
+  if (grain < 1) grain = 1;
   const unsigned parties = size() + 1;  // workers + calling thread
-  if (parties == 1 || count == 1) {
+  if (parties == 1 || count <= grain) {
     for (std::int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  // Dynamic chunking: each claim takes one index; fn bodies here are coarse
-  // (a whole simulator block or row tile), so per-index overhead is fine.
+  // Dynamic chunking: each claim takes `grain` consecutive indices (1 for
+  // coarse bodies — a whole simulator block or row tile — larger when the
+  // caller wants claim overhead amortized across tiny tasks).
   //
   // The wait below is on *iterations completed*, not on helper tasks
   // finishing: helper tasks that never get claimed (because every worker is
@@ -67,25 +75,29 @@ void ThreadPool::parallel_for(std::int64_t count,
 
   auto run_chunk = [=]() {
     for (;;) {
-      const std::int64_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        fn(i);
-      } catch (...) {
-        if (!first_error->exchange(true)) {
-          std::lock_guard lock(*error_mu);
-          *error = std::current_exception();
+      const std::int64_t lo = next->fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= count) break;
+      const std::int64_t hi = std::min<std::int64_t>(lo + grain, count);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!first_error->exchange(true)) {
+            std::lock_guard lock(*error_mu);
+            *error = std::current_exception();
+          }
         }
       }
-      if (completed->fetch_add(1) + 1 == count) {
+      if (completed->fetch_add(hi - lo) + (hi - lo) == count) {
         std::lock_guard done_lock(*done_mu);
         done_cv->notify_all();
       }
     }
   };
 
+  const std::int64_t chunks = (count + grain - 1) / grain;
   const unsigned helpers =
-      static_cast<unsigned>(std::min<std::int64_t>(parties - 1, count));
+      static_cast<unsigned>(std::min<std::int64_t>(parties - 1, chunks));
   {
     std::lock_guard lock(mu_);
     for (unsigned i = 0; i < helpers; ++i) {
@@ -110,6 +122,17 @@ ThreadPool& ThreadPool::global() {
 void parallel_for(std::int64_t count,
                   const std::function<void(std::int64_t)>& fn) {
   ThreadPool::global().parallel_for(count, fn);
+}
+
+void parallel_for(std::int64_t count, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(count, grain, fn);
+}
+
+std::int64_t parallel_grain(std::int64_t count) {
+  const std::int64_t parties =
+      static_cast<std::int64_t>(ThreadPool::global().size()) + 1;
+  return std::max<std::int64_t>(1, count / (parties * 8));
 }
 
 }  // namespace iwg

@@ -37,6 +37,15 @@ class ThreadPool {
   void parallel_for(std::int64_t count,
                     const std::function<void(std::int64_t)>& fn);
 
+  /// Same, but each dynamic claim takes `grain` consecutive indices, so
+  /// per-claim overhead (one atomic RMW plus the std::function call) is
+  /// amortized across the chunk. Use for loops whose per-index body is
+  /// tiny (host-engine row/column tasks); grain <= 1 is the per-index
+  /// behavior above. Every index in [0, count) runs exactly once whatever
+  /// the grain — including grains that do not divide count.
+  void parallel_for(std::int64_t count, std::int64_t grain,
+                    const std::function<void(std::int64_t)>& fn);
+
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();
 
@@ -54,8 +63,15 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience wrapper over the global pool.
+/// Convenience wrappers over the global pool.
 void parallel_for(std::int64_t count,
                   const std::function<void(std::int64_t)>& fn);
+void parallel_for(std::int64_t count, std::int64_t grain,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Default chunk size for fine-grained loops on the global pool: aims at
+/// ~8 chunks per executor so dynamic claiming can still load-balance while
+/// tiny tasks amortize pool dispatch.
+std::int64_t parallel_grain(std::int64_t count);
 
 }  // namespace iwg

@@ -10,6 +10,14 @@ namespace iwg::core {
 
 namespace {
 
+/// The ĝ-reuse handle the host engine derives from caller options.
+FilterCacheRef cache_ref(const ConvOptions& opts) {
+  FilterCacheRef fc;
+  fc.cache = opts.filter_cache;
+  fc.version = opts.weights_version;
+  return fc;
+}
+
 /// Common span args for one boundary-plan segment.
 void tag_segment(trace::ScopedSpan& span, const Segment& seg) {
   if (!span.active()) return;
@@ -78,12 +86,14 @@ TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
                const ConvOptions& opts) {
   std::optional<trace::Suppress> mute;
   if (!opts.trace) mute.emplace();
-  return conv2d_gamma_host(x, w, s, plan_for(s, opts));
+  return conv2d_gamma_host(x, w, s, plan_for(s, opts), cache_ref(opts));
 }
 
 TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
-               const std::vector<Segment>& plan) {
-  return conv2d_gamma_host(x, w, s, plan);
+               const std::vector<Segment>& plan, const ConvOptions& opts) {
+  std::optional<trace::Suppress> mute;
+  if (!opts.trace) mute.emplace();
+  return conv2d_gamma_host(x, w, s, plan, cache_ref(opts));
 }
 
 TensorF conv2d_nchw(const TensorF& x_nchw, const TensorF& w,
@@ -98,7 +108,7 @@ TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,
   if (!opts.trace) mute.emplace();
   // Plan over the *input* width (the deconv output) with the same priorities.
   ConvShape b = GammaKernel::make_backward_shape(s);
-  return deconv2d_gamma_host(dy, w, s, plan_for(b, opts));
+  return deconv2d_gamma_host(dy, w, s, plan_for(b, opts), cache_ref(opts));
 }
 
 TensorF deconv2d_nchw(const TensorF& dy_nchw, const TensorF& w,

@@ -7,6 +7,7 @@
 //                                 on a device profile (performance studies)
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -18,11 +19,19 @@
 
 namespace iwg::core {
 
+class FilterTransformCache;
+
 struct ConvOptions {
   bool use_winograd = true;  ///< false: pure implicit-GEMM convolution
   bool allow_ruse = true;    ///< §5.4 overlap-reuse variants where profitable
   bool allow_c64 = false;    ///< §5.6 Γ^c64 (channels must be ≥ 64-friendly)
   bool trace = true;  ///< false: suppress span emission even when IWG_TRACE on
+  /// Cross-call reuse of transformed filters ĝ. Leave the cache null for
+  /// convolutions against transient weights; `src/nn` points it at
+  /// FilterTransformCache::global() with the parameter's bumped version so a
+  /// transform is computed once per (weights version, Γ geometry).
+  FilterTransformCache* filter_cache = nullptr;
+  std::uint64_t weights_version = 0;  ///< key alongside the weights address
 };
 
 /// Boundary plan for a shape under the default priority lists.
@@ -38,8 +47,10 @@ TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
 
 /// Same, but executing an explicit boundary plan (e.g. a tuned plan from
 /// the selector/plan-cache subsystem) instead of the default priorities.
+/// `opts` contributes only the filter-cache/trace knobs (the plan already
+/// fixes the kernel choices).
 TensorF conv2d(const TensorF& x, const TensorF& w, const ConvShape& s,
-               const std::vector<Segment>& plan);
+               const std::vector<Segment>& plan, const ConvOptions& opts = {});
 
 /// Backward-data / transposed convolution, NHWC, host engine.
 TensorF deconv2d(const TensorF& dy, const TensorF& w, const ConvShape& s,

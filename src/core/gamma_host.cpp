@@ -1,85 +1,114 @@
 #include "core/gamma_host.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "core/filter_cache.hpp"
 #include "tensor/layout.hpp"
 #include "winograd/plan.hpp"
 
 namespace iwg::core {
 
-void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
-                               const ConvShape& s, const GammaConfig& cfg,
-                               std::int64_t ow_start, std::int64_t ow_len,
-                               TensorF& y) {
+namespace {
+
+// Rank-1 state-domain accumulation m[j] += Σ_k d[k]·g[k·nj + j], the host
+// engine's innermost loop. Unrolling k by 4 keeps one load+store of m per
+// four updates instead of one per update; the additions stay in ascending-k
+// order, so results match the rolled loop bit for bit.
+inline void axpy_rank1(const float* __restrict d, const float* __restrict g,
+                       float* __restrict m, std::int64_t kc, std::int64_t nj) {
+  std::int64_t k = 0;
+  for (; k + 4 <= kc; k += 4) {
+    const float d0 = d[k];
+    const float d1 = d[k + 1];
+    const float d2 = d[k + 2];
+    const float d3 = d[k + 3];
+    const float* __restrict g0 = g + k * nj;
+    const float* __restrict g1 = g0 + nj;
+    const float* __restrict g2 = g1 + nj;
+    const float* __restrict g3 = g2 + nj;
+    for (std::int64_t j = 0; j < nj; ++j) {
+      float acc = m[j];
+      acc += d0 * g0[j];
+      acc += d1 * g1[j];
+      acc += d2 * g2[j];
+      acc += d3 * g3[j];
+      m[j] = acc;
+    }
+  }
+  for (; k < kc; ++k) {
+    const float dv = d[k];
+    const float* __restrict gr = g + k * nj;
+    for (std::int64_t j = 0; j < nj; ++j) m[j] += dv * gr[j];
+  }
+}
+
+}  // namespace
+
+void conv2d_gamma_host_segment_pretransformed(
+    const TensorF& x, const float* ghat, const ConvShape& s,
+    const GammaConfig& cfg, std::int64_t ow_start, std::int64_t ow_len,
+    TensorF& y) {
   s.validate();
   IWG_CHECK(cfg.r == s.fw);
   IWG_CHECK(ow_len % cfg.n == 0);
   IWG_CHECK(ow_start >= 0 && ow_start + ow_len <= s.ow());
   const int alpha = cfg.alpha;
   const int n_out = cfg.n;
-  const int r = cfg.r;
-  const WinogradPlan& plan = get_plan(n_out, r);
-  const TransformEval g_eval(alpha, r, plan.g_f, /*paired=*/true);
+  const WinogradPlan& plan = get_plan(n_out, cfg.r);
   const TransformEval d_eval(alpha, alpha, plan.bt_f, /*paired=*/true);
 
   const std::int64_t oh = s.oh();
   const std::int64_t tiles_w = ow_len / n_out;
+  const std::int64_t dstride = static_cast<std::int64_t>(alpha) * s.ic;
+  const std::int64_t gstride = s.ic * s.oc;  // one ĝ[fh][t] plane
 
-  // Transformed filters ĝ[fh][t][ic][oc] — oc contiguous for the inner axpy.
-  std::vector<float> ghat(static_cast<std::size_t>(s.fh) * alpha * s.ic * s.oc);
-  parallel_for(s.fh * s.ic, [&](std::int64_t job) {
-    const std::int64_t fh = job / s.ic;
-    const std::int64_t ic = job % s.ic;
-    float taps[16];
-    float gh[16];
-    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
-      for (int j = 0; j < r; ++j) taps[j] = w.at(oc, fh, j, ic);
-      g_eval.apply(taps, 1, gh, 1);
-      for (int t = 0; t < alpha; ++t) {
-        ghat[((fh * alpha + t) * s.ic + ic) * static_cast<std::size_t>(s.oc) +
-             static_cast<std::size_t>(oc)] = gh[t];
-      }
-    }
-  });
-
-  parallel_for(s.n * oh, [&](std::int64_t row) {
-    const std::int64_t ni = row / oh;
-    const std::int64_t hi = row % oh;
-    std::vector<float> dhat(static_cast<std::size_t>(alpha) * s.ic);
-    std::vector<float> macc(static_cast<std::size_t>(alpha) * s.oc);
+  // One task per (image, tile column); each walks all OH output rows with a
+  // ring of the last FH transformed input rows (slot = ihp mod FH), so
+  // d̂(ihp) is computed once and reused by every filter row that reads it.
+  const std::int64_t cols = s.n * tiles_w;
+  parallel_for(cols, parallel_grain(cols), [&](std::int64_t col) {
+    const std::int64_t ni = col / tiles_w;
+    const std::int64_t tw = col % tiles_w;
+    ScratchArena& arena = ScratchArena::local();
+    const ScratchArena::Scope scope(arena);
+    float* ring =
+        arena.alloc_floats(static_cast<std::size_t>(s.fh * dstride));
+    float* macc = arena.alloc_floats(static_cast<std::size_t>(alpha * s.oc));
+    const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
     float dt[16];
     float dh[16];
-    for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
-      const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
-      std::fill(macc.begin(), macc.end(), 0.0f);
-      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
-        const std::int64_t ihp = hi + fh - s.ph;
-        if (ihp < 0 || ihp >= s.ih) continue;  // whole row is zero padding
-        // Input transform for every channel of this 1-D tile.
+    std::int64_t next_row = -s.ph;  // next input row to transform
+    for (std::int64_t hi = 0; hi < oh; ++hi) {
+      const std::int64_t win_lo = hi - s.ph;
+      const std::int64_t win_hi = win_lo + s.fh;  // exclusive
+      for (; next_row < win_hi; ++next_row) {
+        if (next_row < 0 || next_row >= s.ih) continue;  // zero padding
+        float* slot = ring + (next_row % s.fh) * dstride;
         for (std::int64_t ic = 0; ic < s.ic; ++ic) {
           for (int e = 0; e < alpha; ++e) {
             const std::int64_t iw = iw0 + e;
-            dt[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, ihp, iw, ic) : 0.0f;
+            dt[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, next_row, iw, ic) : 0.0f;
           }
           d_eval.apply(dt, 1, dh, 1);
-          for (int t = 0; t < alpha; ++t) {
-            dhat[static_cast<std::size_t>(t) * s.ic + ic] = dh[t];
-          }
+          for (int t = 0; t < alpha; ++t) slot[t * s.ic + ic] = dh[t];
         }
-        // State-domain accumulation: α rank-1 updates (1×IC)·(IC×OC).
+      }
+      // State-domain accumulation: α rank-1 updates (1×IC)·(IC×OC) per
+      // valid filter row.
+      std::fill(macc, macc + alpha * s.oc, 0.0f);
+      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
+        const std::int64_t ihp = win_lo + fh;
+        if (ihp < 0 || ihp >= s.ih) continue;  // whole row is zero padding
+        const float* dhat = ring + (ihp % s.fh) * dstride;
+        const float* gbase = ghat + fh * alpha * gstride;
         for (int t = 0; t < alpha; ++t) {
-          const float* drow = &dhat[static_cast<std::size_t>(t) * s.ic];
-          float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
-          const float* gbase =
-              &ghat[(fh * alpha + t) * s.ic * static_cast<std::size_t>(s.oc)];
-          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
-            const float dv = drow[ic];
-            if (dv == 0.0f) continue;
-            const float* grow = gbase + ic * s.oc;
-            for (std::int64_t oc = 0; oc < s.oc; ++oc) mrow[oc] += dv * grow[oc];
-          }
+          axpy_rank1(dhat + static_cast<std::int64_t>(t) * s.ic,
+                     gbase + static_cast<std::int64_t>(t) * gstride,
+                     macc + static_cast<std::int64_t>(t) * s.oc, s.ic, s.oc);
         }
       }
       // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc].
@@ -90,12 +119,21 @@ void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
         for (int t = 0; t < alpha; ++t) {
           const float a = at_row[t];
           if (a == 0.0f) continue;
-          const float* mrow = &macc[static_cast<std::size_t>(t) * s.oc];
+          const float* mrow = macc + static_cast<std::int64_t>(t) * s.oc;
           for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] += a * mrow[oc];
         }
       }
     }
   });
+}
+
+void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
+                               const ConvShape& s, const GammaConfig& cfg,
+                               std::int64_t ow_start, std::int64_t ow_len,
+                               TensorF& y) {
+  const std::vector<float> ghat = transform_filter_host(w, s, cfg);
+  conv2d_gamma_host_segment_pretransformed(x, ghat.data(), s, cfg, ow_start,
+                                           ow_len, y);
 }
 
 void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
@@ -104,12 +142,15 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
   s.validate();
   const std::int64_t oh = s.oh();
   const std::int64_t gk = s.fh * s.fw * s.ic;
-  parallel_for(s.n * oh, [&](std::int64_t row) {
+  const std::int64_t rows = s.n * oh;
+  parallel_for(rows, parallel_grain(rows), [&](std::int64_t row) {
     const std::int64_t ni = row / oh;
     const std::int64_t hi = row % oh;
-    std::vector<float> patch(static_cast<std::size_t>(gk));
+    ScratchArena& arena = ScratchArena::local();
+    const ScratchArena::Scope scope(arena);
+    float* patch = arena.alloc_floats(static_cast<std::size_t>(gk));
     for (std::int64_t wo = ow_start; wo < ow_start + ow_len; ++wo) {
-      float* dst = patch.data();
+      float* dst = patch;
       for (std::int64_t fh = 0; fh < s.fh; ++fh) {
         const std::int64_t ihp = hi + fh - s.ph;
         for (std::int64_t fw = 0; fw < s.fw; ++fw) {
@@ -132,7 +173,8 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
 
 TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
                           const ConvShape& s,
-                          const std::vector<Segment>& plan) {
+                          const std::vector<Segment>& plan,
+                          const FilterCacheRef& fc) {
   s.validate();
   IWG_CHECK(x.rank() == 4 && x.dim(0) == s.n && x.dim(1) == s.ih &&
             x.dim(2) == s.iw && x.dim(3) == s.ic);
@@ -148,6 +190,40 @@ TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
   static trace::Counter& gemm_segs =
       trace::MetricsRegistry::global().counter("conv.segments_gemm");
   TensorF y({s.n, s.oh(), s.ow(), s.oc});
+
+  // Per-call ĝ memo: segments sharing (α, r) — e.g. a ruse prefix and its
+  // base mop-up — transform once even without a cross-call cache. With a
+  // cache, the memo also keeps repeat segments off the cache lock.
+  std::vector<std::pair<std::pair<int, int>, FilterTransformCache::Ghat>>
+      call_memo;
+  auto ghat_for = [&](const GammaConfig& cfg) -> FilterTransformCache::Ghat {
+    const std::pair<int, int> geom{cfg.alpha, cfg.r};
+    for (const auto& e : call_memo) {
+      if (e.first == geom) {
+        filter_transform_hits().add();
+        return e.second;
+      }
+    }
+    FilterTransformCache::Ghat ghat;
+    if (fc.cache != nullptr) {
+      FilterTransformCache::Key key;
+      key.weights = fc.key != nullptr ? fc.key
+                                      : static_cast<const void*>(w.data());
+      key.version = fc.version;
+      key.alpha = cfg.alpha;
+      key.r = cfg.r;
+      key.deconv = fc.deconv;
+      ghat = fc.cache->get_or_compute(
+          key, [&] { return transform_filter_host(w, s, cfg); });
+    } else {
+      filter_transform_misses().add();
+      ghat = std::make_shared<const std::vector<float>>(
+          transform_filter_host(w, s, cfg));
+    }
+    call_memo.emplace_back(geom, ghat);
+    return ghat;
+  };
+
   std::int64_t covered = 0;
   for (const Segment& seg : plan) {
     IWG_CHECK_MSG(seg.ow_start == covered, "boundary plan has gaps");
@@ -166,17 +242,24 @@ TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
       conv2d_gemm_host_segment(x, w, s, seg.ow_start, seg.ow_len, y);
     } else {
       gamma_segs.add();
-      conv2d_gamma_host_segment(x, w, s, seg.cfg, seg.ow_start, seg.ow_len, y);
+      const FilterTransformCache::Ghat ghat = ghat_for(seg.cfg);
+      conv2d_gamma_host_segment_pretransformed(x, ghat->data(), s, seg.cfg,
+                                               seg.ow_start, seg.ow_len, y);
     }
     covered += seg.ow_len;
   }
   IWG_CHECK_MSG(covered == s.ow(), "boundary plan does not cover OW");
+  static trace::Distribution& arena_hw =
+      trace::MetricsRegistry::global().distribution(
+          "host.arena.high_water_bytes");
+  arena_hw.record(static_cast<double>(ScratchArena::max_high_water()));
   return y;
 }
 
 TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
                             const ConvShape& s,
-                            const std::vector<Segment>& plan) {
+                            const std::vector<Segment>& plan,
+                            const FilterCacheRef& fc) {
   IWG_TRACE_SCOPE("deconv2d_host", "host");
   // Equivalent forward problem: rotated/channel-swapped filter, flipped pad.
   const TensorF wd = deconv_filter(w);
@@ -191,7 +274,12 @@ TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
   ds.ph = s.fh - 1 - s.ph;
   ds.pw = s.fw - 1 - s.pw;
   IWG_CHECK(ds.oh() == s.ih && ds.ow() == s.iw);
-  return conv2d_gamma_host(dy, wd, ds, plan);
+  // Cache entries stay keyed on the *original* weights (wd is a temporary);
+  // the deconv flag separates them from the forward transforms.
+  FilterCacheRef dfc = fc;
+  dfc.key = fc.key != nullptr ? fc.key : static_cast<const void*>(w.data());
+  dfc.deconv = true;
+  return conv2d_gamma_host(dy, wd, ds, plan, dfc);
 }
 
 }  // namespace iwg::core
@@ -225,10 +313,14 @@ TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
   // One fh slice at a time keeps the state accumulator at α·IC·OC floats.
   // Parallelism across fh (outer) — rows accumulate into the shared slice.
   parallel_for(s.fh, [&](std::int64_t fh) {
-    std::vector<float> macc(static_cast<std::size_t>(alpha) * s.ic * s.oc,
-                            0.0f);
-    std::vector<float> ghat(static_cast<std::size_t>(alpha) * s.oc);
-    std::vector<float> dhat(static_cast<std::size_t>(alpha) * s.ic);
+    ScratchArena& arena = ScratchArena::local();
+    const ScratchArena::Scope scope(arena);
+    float* macc =
+        arena.alloc_floats(static_cast<std::size_t>(alpha) * s.ic * s.oc);
+    float* ghat = arena.alloc_floats(static_cast<std::size_t>(alpha) * s.oc);
+    float* dhat = arena.alloc_floats(static_cast<std::size_t>(alpha) * s.ic);
+    std::fill(macc, macc + static_cast<std::int64_t>(alpha) * s.ic * s.oc,
+              0.0f);
     float taps[16];
     float th[16];
     for (std::int64_t ni = 0; ni < s.n; ++ni) {
@@ -258,16 +350,18 @@ TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
             for (int t = 0; t < alpha; ++t)
               dhat[static_cast<std::size_t>(t) * s.ic + ic] = th[t];
           }
-          // State-domain rank-1 accumulation over (row, tile).
+          // State-domain outer-product accumulation over (row, tile).
           for (int t = 0; t < alpha; ++t) {
-            const float* grow = &ghat[static_cast<std::size_t>(t) * s.oc];
-            const float* drow = &dhat[static_cast<std::size_t>(t) * s.ic];
-            float* mbase =
-                &macc[static_cast<std::size_t>(t) * s.ic * s.oc];
+            const float* __restrict grow =
+                ghat + static_cast<std::size_t>(t) * s.oc;
+            const float* __restrict drow =
+                dhat + static_cast<std::size_t>(t) * s.ic;
+            float* __restrict mbase =
+                macc + static_cast<std::size_t>(t) * s.ic * s.oc;
             for (std::int64_t ic = 0; ic < s.ic; ++ic) {
               const float dv = drow[ic];
               if (dv == 0.0f) continue;
-              float* mrow = mbase + ic * s.oc;
+              float* __restrict mrow = mbase + ic * s.oc;
               for (std::int64_t oc = 0; oc < s.oc; ++oc)
                 mrow[oc] += dv * grow[oc];
             }

@@ -3,17 +3,23 @@
 // Same mathematics and FP32 accumulation structure as the GPU kernels —
 // 1-D Winograd per filter row, elementwise accumulation over (FH, IC) in the
 // α-state domain, one output transform per tile — organized for CPU
-// efficiency (channel-major inner loops the compiler vectorizes). This is
-// the engine the training framework (src/nn) and the accuracy experiment
-// (Table 3) run on; the simulator kernels validate against it and against
-// direct convolution.
+// efficiency:
 //
-// Unlike the fused GPU kernels, the host engine keeps the transformed
-// filters in a bounded scratch buffer (α·FH·IC·OC floats — the analogue of
-// what the GPU stages through SMEM across iterations); it allocates no
-// per-tile intermediate tensors.
+//   * transformed filters ĝ come from the FilterTransformCache (or a
+//     per-call memo), so a boundary plan — and, through `src/nn`, a whole
+//     optimizer step — transforms filters once per (weights version, α, r)
+//     instead of once per segment execution;
+//   * each (image, tile-column) task walks all OH output rows with a ring
+//     of the last FH transformed input rows, so the α·IC input transform of
+//     a row is computed once and reused by every filter row that consumes
+//     it — the host analogue of the paper's §5.4 overlap reuse (the old
+//     row-major order re-transformed each input row up to FH times);
+//   * per-task scratch lives in the thread-local ScratchArena (no heap
+//     churn inside parallel_for bodies), and the inner ĝ·d̂ accumulation is
+//     a 4-way-unrolled contiguous axpy the compiler vectorizes.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/gamma_config.hpp"
@@ -22,12 +28,33 @@
 
 namespace iwg::core {
 
+class FilterTransformCache;
+
+/// How the host engine obtains (and possibly reuses) transformed filters.
+/// Default-constructed: no cross-call cache — transforms are still shared
+/// across the segments of one call, but recomputed per call. `src/nn`
+/// threads the global cache plus the parameter's bumped version through
+/// here so transforms survive across forward/backward and across steps.
+struct FilterCacheRef {
+  FilterTransformCache* cache = nullptr;  ///< nullptr: per-call reuse only
+  std::uint64_t version = 0;              ///< weights version (cache key)
+  const void* key = nullptr;              ///< nullptr: use w.data()
+  bool deconv = false;                    ///< backward-data transform flag
+};
+
 /// Convolution over one OW segment with Γα(n,r); writes into `y` in place.
-/// `w` is the original OC,FH,FW,IC filter.
+/// `w` is the original OC,FH,FW,IC filter (transformed internally).
 void conv2d_gamma_host_segment(const TensorF& x, const TensorF& w,
                                const ConvShape& s, const GammaConfig& cfg,
                                std::int64_t ow_start, std::int64_t ow_len,
                                TensorF& y);
+
+/// Same, but against pre-transformed filters ĝ[fh][t][ic][oc] (from
+/// transform_filter_host / the FilterTransformCache).
+void conv2d_gamma_host_segment_pretransformed(
+    const TensorF& x, const float* ghat, const ConvShape& s,
+    const GammaConfig& cfg, std::int64_t ow_start, std::int64_t ow_len,
+    TensorF& y);
 
 /// Implicit-GEMM convolution over one OW segment (the §5.5 boundary tail);
 /// writes into `y` in place.
@@ -38,13 +65,16 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
 /// Full convolution: §5.5 boundary plan over OW, Γ kernels + GEMM tail.
 TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
                           const ConvShape& s,
-                          const std::vector<Segment>& plan);
+                          const std::vector<Segment>& plan,
+                          const FilterCacheRef& fc = {});
 
 /// Backward-data (deconvolution) through the same engine: the filter
-/// rotation/channel swap is folded into the filter transform.
+/// rotation/channel swap is folded into the filter transform. A cache ref
+/// is keyed on the *original* weights with the deconv flag set.
 TensorF deconv2d_gamma_host(const TensorF& dy, const TensorF& w,
                             const ConvShape& s,
-                            const std::vector<Segment>& plan);
+                            const std::vector<Segment>& plan,
+                            const FilterCacheRef& fc = {});
 
 /// Filter gradient via 1-D Winograd — an extension beyond the paper (which
 /// computes filter gradients with standard algorithms): the weight-gradient

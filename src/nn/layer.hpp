@@ -8,6 +8,7 @@
 // configurations the experiment compares.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,10 +25,16 @@ class PlanCache;
 namespace iwg::nn {
 
 /// A trainable parameter with its gradient accumulator.
+///
+/// `version` must be bumped by anything that mutates `value` after
+/// construction (the optimizers, weight loading): it keys the host engine's
+/// FilterTransformCache, so a stale transform can never be served after an
+/// update.
 struct Param {
   std::string name;
   TensorF value;
   TensorF grad;
+  std::uint64_t version = 0;
 
   void zero_grad() { grad.fill(0.0f); }
 };

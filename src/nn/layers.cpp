@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/conv_api.hpp"
+#include "core/filter_cache.hpp"
 #include "core/gamma_host.hpp"
 #include "core/plan_cache.hpp"
 #include "reference/direct_conv.hpp"
@@ -108,6 +109,10 @@ Conv2D::Conv2D(std::int64_t in_ch, std::int64_t out_ch, std::int64_t fsize,
   b_.grad.reset({out_ch});
 }
 
+Conv2D::~Conv2D() {
+  core::FilterTransformCache::global().invalidate(w_.value.data());
+}
+
 TensorF Conv2D::forward(const TensorF& x, bool train) {
   IWG_CHECK(x.rank() == 4);
   shape_ = ConvShape{.n = x.dim(0), .ih = x.dim(1), .iw = x.dim(2),
@@ -115,10 +120,17 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
                      .fw = fsize_, .ph = pad_, .pw = pad_};
   TensorF y;
   if (stride_ == 1) {
+    // Param storage is stable and `version` is bumped on every update, so
+    // the forward, the backward, and every later call until the next
+    // optimizer step share one filter transform per Γ geometry.
+    core::ConvOptions opts = options_for(engine_);
+    opts.filter_cache = &core::FilterTransformCache::global();
+    opts.weights_version = w_.version;
     if (tuned_ && shape_ == tuned_shape_) {
-      y = core::conv2d(x, w_.value, shape_, tuned_->executable_plan(shape_));
+      y = core::conv2d(x, w_.value, shape_, tuned_->executable_plan(shape_),
+                       opts);
     } else {
-      y = core::conv2d(x, w_.value, shape_, options_for(engine_));
+      y = core::conv2d(x, w_.value, shape_, opts);
     }
   } else {
     y = ref::conv2d_implicit_gemm_strided(x, w_.value, shape_, stride_,
@@ -189,7 +201,10 @@ TensorF Conv2D::backward(const TensorF& dy) {
                 : ref::conv2d_filter_grad_gemm(x_cache_, dy, shape_);
     for (std::int64_t i = 0; i < dw.size(); ++i) w_.grad[i] += dw[i];
     if (engine_ == ConvEngine::kWinograd) {
-      return core::deconv2d(dy, w_.value, shape_, options_for(engine_));
+      core::ConvOptions opts = options_for(engine_);
+      opts.filter_cache = &core::FilterTransformCache::global();
+      opts.weights_version = w_.version;
+      return core::deconv2d(dy, w_.value, shape_, opts);
     }
     return ref::deconv2d_implicit_gemm(dy, w_.value, shape_);
   }

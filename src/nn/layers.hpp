@@ -23,6 +23,10 @@ class Conv2D final : public Layer {
   Conv2D(std::int64_t in_ch, std::int64_t out_ch, std::int64_t fsize,
          std::int64_t stride, std::int64_t pad, ConvEngine engine, Rng& rng,
          std::string label = "conv");
+  /// Drops this layer's entries from the global FilterTransformCache — the
+  /// weight storage is about to be freed and a later allocation could reuse
+  /// the address with unrelated version numbering.
+  ~Conv2D() override;
 
   std::string name() const override { return label_; }
   TensorF forward(const TensorF& x, bool train) override;

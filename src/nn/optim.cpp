@@ -15,6 +15,7 @@ void Sgdm::step(const std::vector<Param*>& params) {
       vel[i] = momentum_ * vel[i] + p->grad[i];
       p->value[i] -= lr_ * vel[i];
     }
+    ++p->version;
   }
 }
 
@@ -37,6 +38,7 @@ void Adam::step(const std::vector<Param*>& params) {
       const float vh = v[i] / bc2;
       p->value[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
     }
+    ++p->version;
   }
 }
 

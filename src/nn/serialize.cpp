@@ -77,6 +77,7 @@ void load_weights(Model& model, const std::string& path) {
     IWG_CHECK_MSG(elems == static_cast<std::uint64_t>(p->value.size()),
                   "weight file shape differs for " + name);
     read_bytes(f.get(), p->value.data(), elems * sizeof(float));
+    ++p->version;  // loading mutates the weights in place
   }
 }
 

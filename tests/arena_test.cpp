@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/thread_pool.hpp"
+
+namespace iwg {
+namespace {
+
+TEST(ScratchArena, ScopeReleaseReusesMemory) {
+  ScratchArena arena;
+  float* first = nullptr;
+  {
+    const ScratchArena::Scope scope(arena);
+    first = arena.alloc_floats(100);
+    first[0] = 1.0f;
+  }
+  {
+    const ScratchArena::Scope scope(arena);
+    float* again = arena.alloc_floats(100);
+    EXPECT_EQ(again, first);  // cursor rewound, same storage handed out
+  }
+}
+
+TEST(ScratchArena, GrowthPreservesEarlierPointers) {
+  ScratchArena arena;
+  const ScratchArena::Scope scope(arena);
+  // First allocation fits the first block; the second is far larger than
+  // any single block so a new block must be chained in.
+  float* small = arena.alloc_floats(16);
+  for (int i = 0; i < 16; ++i) small[i] = static_cast<float>(i);
+  float* big = arena.alloc_floats(1 << 20);
+  big[0] = -1.0f;
+  big[(1 << 20) - 1] = -2.0f;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(small[i], static_cast<float>(i));  // untouched by growth
+  }
+}
+
+TEST(ScratchArena, NestedScopes) {
+  ScratchArena arena;
+  const ScratchArena::Scope outer(arena);
+  float* a = arena.alloc_floats(8);
+  a[0] = 42.0f;
+  float* inner_ptr = nullptr;
+  {
+    const ScratchArena::Scope inner(arena);
+    inner_ptr = arena.alloc_floats(8);
+    EXPECT_NE(inner_ptr, a);
+  }
+  // Inner scope released its allocation; outer's survives.
+  EXPECT_EQ(a[0], 42.0f);
+  float* b = arena.alloc_floats(8);
+  EXPECT_EQ(b, inner_ptr);  // reuses the inner scope's slot
+  EXPECT_EQ(a[0], 42.0f);
+}
+
+TEST(ScratchArena, AlignmentIs64Bytes) {
+  ScratchArena arena;
+  const ScratchArena::Scope scope(arena);
+  for (int i = 0; i < 8; ++i) {
+    void* p = arena.alloc(i * 24 + 1);  // deliberately odd sizes
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  }
+}
+
+TEST(ScratchArena, HighWaterTracksPeakNotCurrent) {
+  ScratchArena arena;
+  {
+    const ScratchArena::Scope scope(arena);
+    arena.alloc(1024);
+    arena.alloc(2048);
+  }
+  const std::size_t peak = arena.high_water();
+  EXPECT_GE(peak, 1024u + 2048u);
+  {
+    const ScratchArena::Scope scope(arena);
+    arena.alloc(64);
+  }
+  EXPECT_EQ(arena.high_water(), peak);  // monotonic
+  EXPECT_GE(ScratchArena::max_high_water(), peak);
+}
+
+TEST(ScratchArena, ThreadLocalInstancesAreDistinct) {
+  ScratchArena* main_arena = &ScratchArena::local();
+  ScratchArena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &ScratchArena::local(); });
+  t.join();
+  EXPECT_NE(main_arena, worker_arena);
+}
+
+TEST(ScratchArena, ParallelForTasksGetIndependentScratch) {
+  // Every task writes a distinct pattern into its own scoped buffer and
+  // verifies it after a rendezvous-free delay — cross-task interference
+  // would corrupt the pattern.
+  std::vector<std::atomic<int>> ok(64);
+  for (auto& o : ok) o = 0;
+  parallel_for(64, [&](std::int64_t i) {
+    ScratchArena& arena = ScratchArena::local();
+    const ScratchArena::Scope scope(arena);
+    float* buf = arena.alloc_floats(256);
+    for (int j = 0; j < 256; ++j) buf[j] = static_cast<float>(i * 1000 + j);
+    bool good = true;
+    for (int j = 0; j < 256; ++j) {
+      good = good && buf[j] == static_cast<float>(i * 1000 + j);
+    }
+    ok[static_cast<std::size_t>(i)] = good ? 1 : 0;
+  });
+  for (auto& o : ok) EXPECT_EQ(o.load(), 1);
+}
+
+}  // namespace
+}  // namespace iwg

@@ -70,11 +70,17 @@ void gradcheck(Layer& layer, TensorF x, float tol = 2e-2f,
       const std::int64_t i = static_cast<std::int64_t>(
           pick.below(static_cast<std::uint64_t>(p->value.size())));
       const float saved = p->value[i];
+      // Param's contract: every in-place mutation of `value` bumps `version`
+      // (otherwise the filter-transform cache would serve stale transforms
+      // and the perturbation would not reach the output).
       p->value[i] = saved + eps;
+      ++p->version;
       const float lp = objective(layer.forward(x, true));
       p->value[i] = saved - eps;
+      ++p->version;
       const float lm = objective(layer.forward(x, true));
       p->value[i] = saved;
+      ++p->version;
       const float want = (lp - lm) / (2 * eps);
       if (std::abs(p->grad[i] - want) > tol * (1.0f + std::abs(want))) {
         ++outliers;

@@ -67,5 +67,45 @@ TEST(ThreadPool, LargeIterationCount) {
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
 }
 
+TEST(ThreadPool, GrainedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::int64_t counts[] = {1, 7, 64, 101};
+  const std::int64_t grains[] = {1, 2, 3, 7, 16, 1000};
+  for (const std::int64_t count : counts) {
+    for (const std::int64_t grain : grains) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+      for (auto& h : hits) h = 0;
+      pool.parallel_for(count, grain, [&](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)]++;
+      });
+      for (std::int64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "count=" << count << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, GrainedPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100, 8,
+                                 [&](std::int64_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelGrainBoundsAndCoverage) {
+  EXPECT_GE(parallel_grain(1), 1);
+  EXPECT_GE(parallel_grain(0), 1);
+  const std::int64_t count = 3333;
+  const std::int64_t grain = parallel_grain(count);
+  EXPECT_GE(grain, 1);
+  EXPECT_LE(grain, count);
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(count, grain, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), count * (count - 1) / 2);
+}
+
 }  // namespace
 }  // namespace iwg
