@@ -1,0 +1,406 @@
+// Serving throughput harness (ISSUE 4 acceptance criterion): micro-batching
+// must pay for its latency cost. Under equal offered load, a session with
+// batch cap >= 8 must sustain >= 2x the requests/s of batch-size-1 dispatch,
+// and batched outputs must be bit-identical to per-request inference.
+//
+// Four experiments:
+//   1. Parity — every image served through a cap-8 padded session matches a
+//      per-request Model::infer on an identically-seeded model, bitwise.
+//      (Both sides use default §5.5 plans — plan_for() is batch-size
+//      independent, so batching cannot change the arithmetic.)
+//   2. Device-modeled dispatch (the 2x gate) — the served model's conv
+//      stack profiled on the RTX 3060 Ti profile at micro-batch 1 vs 8.
+//      This is where the paper's serving argument lives: at batch 1 the Γ
+//      grid has a handful of tiles and the GPU is latency-bound, so a batch
+//      of 8 costs barely more than a batch of 1 and requests/s scale almost
+//      linearly with the cap. Deterministic (sampled-counter model), so it
+//      gates in smoke mode too.
+//   3. Closed loop (host wall clock) — C clients, each with one outstanding
+//      request, drive a cap-1 and a cap-8 session to saturation. On a
+//      multi-core host batching wins by filling the thread pool; on a
+//      single-core box per-image compute serializes either way and only the
+//      per-dispatch overhead amortizes, so the wall-clock 2x gate applies
+//      only when hardware_concurrency >= 4 (and never in smoke mode).
+//   4. Open loop — a fixed arrival rate (fractions of the measured cap-8
+//      capacity) with per-request deadlines; reports achieved rate, p50/p99
+//      latency, and how admission control + deadline shedding degrade.
+//
+//   build/bench/serving_throughput [--smoke] [--json <path>]
+//
+// Results land in BENCH_serving.json (see --json).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "core/conv_api.hpp"
+#include "gpusim/device.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace iwg;
+using namespace std::chrono_literals;
+
+constexpr std::int64_t kImage = 8;
+constexpr unsigned kModelSeed = 77;
+
+/// The served model: three Winograd convs + head on 8x8x3 inputs — the
+/// latency-sensitive end of the serving spectrum, where per-dispatch fixed
+/// costs (worker wakeup, plan/filter-cache lookups, per-layer dispatch) are
+/// a large share of each request and micro-batching pays the most. Built
+/// fresh (same seed) wherever a bit-identical reference is needed. No
+/// autotuning anywhere: tuned plans may legally differ per batch size, and
+/// this harness asserts bitwise parity across batch sizes.
+nn::Model make_model() {
+  Rng rng(kModelSeed);
+  nn::Model m;
+  m.add(std::make_unique<nn::Conv2D>(3, 8, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "conv1"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::Conv2D>(8, 8, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "conv2"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::MaxPool2x2>());
+  m.add(std::make_unique<nn::Conv2D>(8, 16, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "conv3"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::GlobalAvgPool>());
+  m.add(std::make_unique<nn::Linear>(16, 10, rng, "fc"));
+  return m;
+}
+
+serve::SessionConfig base_config(std::size_t max_batch) {
+  serve::SessionConfig cfg;
+  cfg.image_h = kImage;
+  cfg.image_w = kImage;
+  cfg.channels = 3;
+  cfg.batch.max_batch = max_batch;
+  cfg.batch.max_wait = 2ms;
+  cfg.batch.idle_wait = 5ms;
+  cfg.queue_capacity = 256;
+  cfg.workers = 1;  // one dispatcher: isolates the batching effect
+  return cfg;
+}
+
+TensorF random_image(Rng& rng) {
+  TensorF img({kImage, kImage, 3});
+  img.fill_uniform(rng, -1.0f, 1.0f);
+  return img;
+}
+
+TensorF infer_single(const nn::Model& m, const TensorF& img) {
+  TensorF x({1, kImage, kImage, 3});
+  std::memcpy(x.data(), img.data(),
+              static_cast<std::size_t>(img.size()) * sizeof(float));
+  return m.infer(x);
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1: bitwise parity, batched vs per-request.
+
+bool check_parity(int num_images) {
+  const nn::Model reference = make_model();
+  serve::ServingSession session(make_model(), base_config(8));
+  Rng rng(5);
+  std::vector<TensorF> images;
+  std::vector<std::future<serve::Response>> futs;
+  for (int i = 0; i < num_images; ++i) images.push_back(random_image(rng));
+  for (const TensorF& img : images) futs.push_back(session.submit(img));
+  bool ok = true;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const serve::Response r = futs[i].get();
+    if (!r.ok()) return false;
+    const TensorF want = infer_single(reference, images[i]);
+    ok = ok && r.output.size() == want.size() &&
+         std::memcmp(r.output.data(), want.data(),
+                     static_cast<std::size_t>(want.size()) * sizeof(float)) ==
+             0;
+  }
+  session.stop();
+  return ok && session.stats().all_resolved();
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: device-modeled dispatch throughput.
+
+/// The served model's unit-stride conv stack as ConvShapes at batch n.
+std::vector<ConvShape> model_conv_shapes(std::int64_t n) {
+  auto mk = [n](std::int64_t hw, std::int64_t ic, std::int64_t oc) {
+    ConvShape s;
+    s.n = n;
+    s.ih = hw;
+    s.iw = hw;
+    s.ic = ic;
+    s.oc = oc;
+    s.fh = 3;
+    s.fw = 3;
+    s.ph = 1;
+    s.pw = 1;
+    s.validate();
+    return s;
+  };
+  return {mk(kImage, 3, 8), mk(kImage, 8, 8), mk(kImage / 2, 8, 16)};
+}
+
+/// Modeled requests/s when every dispatch carries `n` images: n over the
+/// summed per-layer kernel times on `dev` (default §5.5 plans, the same
+/// plans the session executes).
+double modeled_dispatch_rps(std::int64_t n, const sim::DeviceProfile& dev) {
+  double total_s = 0.0;
+  for (const ConvShape& s : model_conv_shapes(n)) {
+    total_s += core::profile_conv2d(s, dev, core::plan_for(s)).time_s;
+  }
+  return total_s > 0.0 ? static_cast<double>(n) / total_s : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 3: closed-loop saturation throughput.
+
+struct ClosedLoopResult {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+/// `clients` threads, each keeping exactly one request outstanding — the
+/// classic closed loop, so both sessions see identical offered concurrency.
+ClosedLoopResult run_closed_loop(std::size_t max_batch, int clients,
+                                 int per_client) {
+  serve::ServingSession session(make_model(), base_config(max_batch));
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  Timer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<unsigned>(100 + c));
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const serve::Response r = session.submit(random_image(rng)).get();
+        if (r.ok()) mine.push_back(r.latency_us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = wall.seconds();
+  session.stop();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  ClosedLoopResult res;
+  res.rps = static_cast<double>(all.size()) / secs;
+  res.p50_us = percentile(all, 0.50);
+  res.p99_us = percentile(all, 0.99);
+  const auto stats = session.stats();
+  res.mean_batch = stats.batches > 0 ? static_cast<double>(stats.completed) /
+                                           static_cast<double>(stats.batches)
+                                     : 0.0;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 4: open-loop offered load.
+
+struct OpenLoopResult {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t expired = 0;
+};
+
+/// One generator thread submits at a fixed rate (deadline 100 ms) for
+/// `duration`; overload shows up as rejections/expiries, not client stall.
+OpenLoopResult run_open_loop(double offered_rps, std::chrono::milliseconds
+                                                     duration) {
+  serve::ServingSession session(make_model(), base_config(8));
+  const auto interval = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double>(1.0 / offered_rps));
+  const int total = static_cast<int>(
+      offered_rps * std::chrono::duration<double>(duration).count());
+
+  Rng rng(9);
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(static_cast<std::size_t>(total));
+  Timer wall;
+  auto next = serve::Clock::now();
+  for (int i = 0; i < total; ++i) {
+    futs.push_back(
+        session.submit(random_image(rng), serve::Deadline::after(100ms)));
+    next += interval;
+    std::this_thread::sleep_until(next);
+  }
+  OpenLoopResult res;
+  res.offered_rps = offered_rps;
+  std::vector<double> lat;
+  for (auto& f : futs) {
+    const serve::Response r = f.get();
+    if (r.ok()) {
+      ++res.completed;
+      lat.push_back(r.latency_us);
+    } else if (r.status == serve::Status::kRejected) {
+      ++res.rejected;
+    } else if (r.status == serve::Status::kExpired) {
+      ++res.expired;
+    }
+  }
+  const double secs = wall.seconds();
+  session.stop();
+  res.achieved_rps = static_cast<double>(res.completed) / secs;
+  res.p50_us = percentile(lat, 0.50);
+  res.p99_us = percentile(lat, 0.99);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = bench::fast_mode();
+  const char* json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
+  trace::init_from_env();
+  trace::Tracer::global().disable();
+
+  // Parity first: a throughput number from a wrong answer is worthless.
+  const bool parity = check_parity(smoke ? 12 : 32);
+  std::printf("parity (batched vs per-request, bitwise): %s\n",
+              parity ? "identical" : "MISMATCH");
+
+  const sim::DeviceProfile dev = sim::DeviceProfile::rtx3060ti();
+  const double dev_rps1 = modeled_dispatch_rps(1, dev);
+  const double dev_rps8 = modeled_dispatch_rps(8, dev);
+  const double dev_speedup = dev_rps1 > 0.0 ? dev_rps8 / dev_rps1 : 0.0;
+  std::printf("device-modeled dispatch (%s):\n", dev.name.c_str());
+  std::printf("  batch 1: %10.0f req/s\n  batch 8: %10.0f req/s\n"
+              "  batching speedup: %.2fx\n",
+              dev_rps1, dev_rps8, dev_speedup);
+
+  const int clients = 16;
+  const int per_client = smoke ? 12 : 48;
+  const ClosedLoopResult batch1 = run_closed_loop(1, clients, per_client);
+  const ClosedLoopResult batch8 = run_closed_loop(8, clients, per_client);
+  const double speedup = batch1.rps > 0.0 ? batch8.rps / batch1.rps : 0.0;
+  std::printf("closed loop, %d clients:\n", clients);
+  std::printf("  cap 1: %8.1f req/s   p50 %7.0f us   p99 %7.0f us   "
+              "mean batch %.2f\n",
+              batch1.rps, batch1.p50_us, batch1.p99_us, batch1.mean_batch);
+  std::printf("  cap 8: %8.1f req/s   p50 %7.0f us   p99 %7.0f us   "
+              "mean batch %.2f\n",
+              batch8.rps, batch8.p50_us, batch8.p99_us, batch8.mean_batch);
+  std::printf("  batching speedup: %.2fx\n", speedup);
+
+  // Open loop at fractions of the measured cap-8 capacity.
+  const auto duration = smoke ? 300ms : 1500ms;
+  std::vector<OpenLoopResult> open;
+  for (const double frac : {0.25, 0.5, 0.8}) {
+    const double rate = std::max(20.0, batch8.rps * frac);
+    open.push_back(run_open_loop(rate, duration));
+    const OpenLoopResult& o = open.back();
+    std::printf("open loop %7.1f req/s offered: achieved %7.1f   p50 %7.0f "
+                "us   p99 %7.0f us   rejected %lld   expired %lld\n",
+                o.offered_rps, o.achieved_rps, o.p50_us, o.p99_us,
+                static_cast<long long>(o.rejected),
+                static_cast<long long>(o.expired));
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
+      std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+      std::fprintf(f, "  \"parity_bit_identical\": %s,\n",
+                   parity ? "true" : "false");
+      std::fprintf(f, "  \"device_modeled\": {\n");
+      std::fprintf(f, "    \"device\": \"%s\",\n", dev.name.c_str());
+      std::fprintf(f, "    \"batch1_rps\": %.0f,\n", dev_rps1);
+      std::fprintf(f, "    \"batch8_rps\": %.0f,\n", dev_rps8);
+      std::fprintf(f, "    \"speedup\": %.3f\n  },\n", dev_speedup);
+      std::fprintf(f, "  \"closed_loop\": {\n");
+      std::fprintf(f, "    \"clients\": %d,\n", clients);
+      std::fprintf(f,
+                   "    \"batch1\": {\"rps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f, \"mean_batch\": %.2f},\n",
+                   batch1.rps, batch1.p50_us, batch1.p99_us,
+                   batch1.mean_batch);
+      std::fprintf(f,
+                   "    \"batch8\": {\"rps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f, \"mean_batch\": %.2f},\n",
+                   batch8.rps, batch8.p50_us, batch8.p99_us,
+                   batch8.mean_batch);
+      std::fprintf(f, "    \"speedup\": %.3f\n  },\n", speedup);
+      std::fprintf(f, "  \"open_loop\": [\n");
+      for (std::size_t i = 0; i < open.size(); ++i) {
+        const OpenLoopResult& o = open[i];
+        std::fprintf(f,
+                     "    {\"offered_rps\": %.1f, \"achieved_rps\": %.1f, "
+                     "\"p50_us\": %.1f, \"p99_us\": %.1f, \"completed\": "
+                     "%lld, \"rejected\": %lld, \"expired\": %lld}%s\n",
+                     o.offered_rps, o.achieved_rps, o.p50_us, o.p99_us,
+                     static_cast<long long>(o.completed),
+                     static_cast<long long>(o.rejected),
+                     static_cast<long long>(o.expired),
+                     i + 1 < open.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+    }
+  }
+
+  bool fail = false;
+  if (!parity) {
+    std::printf("FAIL: batched outputs differ from per-request inference\n");
+    fail = true;
+  }
+  if (dev_speedup < 2.0) {
+    std::printf("FAIL: device-modeled batching speedup %.2fx below the 2x "
+                "bound\n",
+                dev_speedup);
+    fail = true;
+  }
+  // The wall-clock gate needs cores for the batch to fan out over; on a
+  // 1-2 core box per-image compute serializes either way (see file comment).
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (!smoke && cores >= 4 && speedup < 2.0) {
+    std::printf("FAIL: wall-clock batching speedup %.2fx below the 2x bound "
+                "(%u cores)\n",
+                speedup, cores);
+    fail = true;
+  } else if (speedup < 2.0) {
+    std::printf("note: wall-clock speedup %.2fx not gated (%s, %u cores)\n",
+                speedup, smoke ? "smoke mode" : "needs >= 4 cores", cores);
+  }
+  std::printf(fail ? "FAIL\n" : "PASS\n");
+  return fail ? 1 : 0;
+}

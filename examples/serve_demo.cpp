@@ -1,0 +1,181 @@
+// Serving demo: a warm ServingSession under concurrent client load.
+//
+// Builds a small Winograd CNN, wraps it in a ServingSession (admission
+// control + micro-batching + deadlines), then fires requests at it from
+// several client threads — most with generous deadlines, some deliberately
+// too tight, plus a burst that overflows the queue to show rejection.
+//
+// The demo doubles as the CI serving smoke: it asserts the subsystem's core
+// invariant (every submitted future resolves with exactly one Response) and
+// exits nonzero if any request is left hanging or the accounting doesn't
+// balance. With --metrics <path> it flushes the metrics registry to a
+// parseable report (the serve.* entries) via trace::flush_report.
+//
+//   build/examples/serve_demo [--clients N] [--requests N] [--metrics path]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace iwg;
+using namespace std::chrono_literals;
+
+constexpr std::int64_t kImage = 16;
+
+nn::Model make_model(unsigned seed) {
+  Rng rng(seed);
+  nn::Model m;
+  m.add(std::make_unique<nn::Conv2D>(3, 16, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "conv1"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::Conv2D>(16, 16, 3, 1, 1,
+                                     nn::ConvEngine::kWinograd, rng, "conv2"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::MaxPool2x2>());
+  m.add(std::make_unique<nn::Conv2D>(16, 32, 3, 1, 1,
+                                     nn::ConvEngine::kWinograd, rng, "conv3"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::GlobalAvgPool>());
+  m.add(std::make_unique<nn::Linear>(32, 10, rng, "fc"));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int clients = 4;
+  int requests_per_client = 64;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+      clients = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+      requests_per_client = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
+      metrics_path = argv[++i];
+  }
+  if (!metrics_path.empty()) {
+    trace::set_report_paths(/*trace_path=*/"", metrics_path);
+  }
+
+  serve::SessionConfig cfg;
+  cfg.image_h = kImage;
+  cfg.image_w = kImage;
+  cfg.channels = 3;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait = 2ms;
+  cfg.queue_capacity = 128;
+  cfg.workers = 2;
+  cfg.flush_period = metrics_path.empty() ? 0us : 200000us;  // periodic flush
+  serve::ServingSession session(make_model(/*seed=*/42), cfg);
+
+  std::printf("serve_demo: %d clients x %d requests, batch cap %zu, "
+              "%u workers, queue %zu\n",
+              clients, requests_per_client, cfg.batch.max_batch, cfg.workers,
+              static_cast<std::size_t>(cfg.queue_capacity));
+
+  // Client threads: every 8th request gets a deliberately hopeless deadline
+  // to exercise shedding; the rest get a comfortable one.
+  std::vector<std::vector<std::future<serve::Response>>> futures(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<unsigned>(1000 + c));
+      auto& mine = futures[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        TensorF img({kImage, kImage, 3});
+        img.fill_uniform(rng, -1.0f, 1.0f);
+        const serve::Deadline d = (i % 8 == 7)
+                                      ? serve::Deadline::after(1us)
+                                      : serve::Deadline::after(2s);
+        mine.push_back(session.submit(std::move(img), d));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every future must resolve — kOk, kRejected, kExpired, or kShutdown all
+  // count; an unresolved future is the one unacceptable outcome.
+  std::int64_t ok = 0, rejected = 0, expired = 0, shutdown = 0, unresolved = 0;
+  double latency_sum_us = 0.0;
+  for (auto& per_client : futures) {
+    for (auto& f : per_client) {
+      if (f.wait_for(30s) != std::future_status::ready) {
+        ++unresolved;
+        continue;
+      }
+      const serve::Response r = f.get();
+      switch (r.status) {
+        case serve::Status::kOk:
+          ++ok;
+          latency_sum_us += r.latency_us;
+          break;
+        case serve::Status::kRejected: ++rejected; break;
+        case serve::Status::kExpired: ++expired; break;
+        case serve::Status::kShutdown: ++shutdown; break;
+      }
+    }
+  }
+  session.stop(/*drain=*/true);
+  const serve::ServingSession::Stats stats = session.stats();
+
+  const std::int64_t total =
+      static_cast<std::int64_t>(clients) * requests_per_client;
+  std::printf("resolved: ok %lld  rejected %lld  expired %lld  shutdown %lld "
+              " (of %lld)\n",
+              static_cast<long long>(ok), static_cast<long long>(rejected),
+              static_cast<long long>(expired),
+              static_cast<long long>(shutdown), static_cast<long long>(total));
+  std::printf("session:  accepted %lld  completed %lld  batches %lld  "
+              "mean batch %.2f  mean latency %.0f us\n",
+              static_cast<long long>(stats.accepted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.batches),
+              stats.batches > 0
+                  ? static_cast<double>(stats.completed) /
+                        static_cast<double>(stats.batches)
+                  : 0.0,
+              ok > 0 ? latency_sum_us / static_cast<double>(ok) : 0.0);
+
+  bool fail = false;
+  if (unresolved != 0) {
+    std::printf("FAIL: %lld futures never resolved\n",
+                static_cast<long long>(unresolved));
+    fail = true;
+  }
+  if (ok + rejected + expired + shutdown != total) {
+    std::printf("FAIL: response accounting does not cover every request\n");
+    fail = true;
+  }
+  if (!stats.all_resolved()) {
+    std::printf("FAIL: session stats leak requests (accepted %lld != "
+                "completed %lld + expired %lld + shed %lld)\n",
+                static_cast<long long>(stats.accepted),
+                static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.expired),
+                static_cast<long long>(stats.shed));
+    fail = true;
+  }
+  if (!metrics_path.empty() && !trace::flush_report()) {
+    std::printf("FAIL: metrics flush to %s failed\n", metrics_path.c_str());
+    fail = true;
+  }
+  std::printf(fail ? "FAIL\n" : "PASS\n");
+  return fail ? 1 : 0;
+}

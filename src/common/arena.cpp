@@ -9,6 +9,12 @@ namespace {
 
 std::atomic<std::size_t> g_max_high_water{0};
 
+// trim_all state: a bumped epoch plus the keep target it carries. Arenas
+// compare the epoch when their outermost Scope opens and trim themselves on
+// their own thread, which is the only thread allowed to touch them.
+std::atomic<std::uint64_t> g_trim_epoch{0};
+std::atomic<std::size_t> g_trim_keep{0};
+
 void raise_global_high_water(std::size_t hw) {
   std::size_t cur = g_max_high_water.load(std::memory_order_relaxed);
   while (hw > cur && !g_max_high_water.compare_exchange_weak(
@@ -35,7 +41,14 @@ void ScratchArena::grow(std::size_t min_bytes) {
   std::size_t cap = blocks_.empty() ? kFirstBlockBytes : blocks_.back().cap * 2;
   cap = std::max(cap, min_bytes);
   prefix_.push_back(blocks_.empty() ? 0 : prefix_.back() + blocks_.back().cap);
-  blocks_.push_back(Block{std::make_unique<std::byte[]>(cap), cap});
+  // operator new[] only guarantees 16-byte alignment; over-allocate and
+  // round the base up so every offset (a kAlign multiple) is truly aligned.
+  Block b;
+  b.data = std::make_unique<std::byte[]>(cap + kAlign - 1);
+  const auto raw = reinterpret_cast<std::uintptr_t>(b.data.get());
+  b.base = b.data.get() + ((kAlign - raw % kAlign) % kAlign);
+  b.cap = cap;
+  blocks_.push_back(std::move(b));
 }
 
 void* ScratchArena::alloc(std::size_t bytes) {
@@ -49,7 +62,7 @@ void* ScratchArena::alloc(std::size_t bytes) {
     cur_off_ = 0;
   }
   if (cur_block_ == blocks_.size()) grow(bytes);
-  std::byte* p = blocks_[cur_block_].data.get() + cur_off_;
+  std::byte* p = blocks_[cur_block_].base + cur_off_;
   cur_off_ += bytes;
   const std::size_t used = prefix_[cur_block_] + cur_off_;
   if (used > high_water_) {
@@ -59,9 +72,42 @@ void* ScratchArena::alloc(std::size_t bytes) {
   return p;
 }
 
-void ScratchArena::release(std::size_t block, std::size_t off) {
+void ScratchArena::enter_scope() {
+  if (scope_depth_ == 0) {
+    const std::uint64_t e = g_trim_epoch.load(std::memory_order_relaxed);
+    if (e != trim_epoch_seen_) {
+      trim_epoch_seen_ = e;
+      trim(g_trim_keep.load(std::memory_order_acquire));
+    }
+  }
+  ++scope_depth_;
+}
+
+void ScratchArena::exit_scope(std::size_t block, std::size_t off) {
   cur_block_ = block;
   cur_off_ = off;
+  --scope_depth_;
+}
+
+void ScratchArena::trim(std::size_t keep_bytes) {
+  if (scope_depth_ != 0) return;  // live pointers may reach trailing blocks
+  while (!blocks_.empty() && capacity() > keep_bytes) {
+    const std::size_t last = blocks_.size() - 1;
+    // Only blocks at or past the cursor are unused; the cursor's own block
+    // is droppable only when nothing has been handed out from it.
+    if (last < cur_block_ || (last == cur_block_ && cur_off_ > 0)) break;
+    blocks_.pop_back();
+    prefix_.pop_back();
+  }
+  if (cur_block_ > blocks_.size()) {
+    cur_block_ = blocks_.size();
+    cur_off_ = 0;
+  }
+}
+
+void ScratchArena::trim_all(std::size_t keep_bytes) {
+  g_trim_keep.store(keep_bytes, std::memory_order_release);
+  g_trim_epoch.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace iwg

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -40,8 +41,10 @@ class ScratchArena {
   class Scope {
    public:
     explicit Scope(ScratchArena& a)
-        : a_(a), block_(a.cur_block_), off_(a.cur_off_) {}
-    ~Scope() { a_.release(block_, off_); }
+        : a_(a), block_(a.cur_block_), off_(a.cur_off_) {
+      a.enter_scope();
+    }
+    ~Scope() { a_.exit_scope(block_, off_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
@@ -66,14 +69,32 @@ class ScratchArena {
   /// monotonic — the observability hook).
   static std::size_t max_high_water();
 
+  /// Release trailing unused blocks until `capacity() <= keep_bytes` (or no
+  /// further block is droppable). Only safe — and only effective — while no
+  /// Scope is open on this arena (calls under an open scope are no-ops:
+  /// pointers handed out earlier must stay valid). A long-running process
+  /// that served one outsized request can return that peak to the allocator
+  /// instead of pinning it for the life of the thread; `high_water()` stays
+  /// monotonic by design.
+  void trim(std::size_t keep_bytes);
+
+  /// Ask *every* thread's arena to trim itself to `keep_bytes`. Thread-local
+  /// arenas are unsynchronized by design, so this cannot touch them
+  /// directly: it bumps a process-wide epoch that each arena checks when its
+  /// outermost Scope opens, trimming itself on its own thread before any
+  /// allocation. The check is one relaxed atomic load per outermost scope.
+  static void trim_all(std::size_t keep_bytes);
+
  private:
   friend class Scope;
   struct Block {
-    std::unique_ptr<std::byte[]> data;
+    std::unique_ptr<std::byte[]> data;  ///< raw storage (cap + kAlign - 1)
+    std::byte* base = nullptr;          ///< data rounded up to kAlign
     std::size_t cap = 0;
   };
 
-  void release(std::size_t block, std::size_t off);
+  void enter_scope();
+  void exit_scope(std::size_t block, std::size_t off);
   void grow(std::size_t min_bytes);
 
   static constexpr std::size_t kAlign = 64;
@@ -84,6 +105,8 @@ class ScratchArena {
   std::size_t cur_block_ = 0;
   std::size_t cur_off_ = 0;
   std::size_t high_water_ = 0;
+  int scope_depth_ = 0;
+  std::uint64_t trim_epoch_seen_ = 0;  ///< last trim_all epoch honored
 };
 
 }  // namespace iwg

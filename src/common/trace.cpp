@@ -16,16 +16,25 @@ namespace {
 
 thread_local int g_suppress_depth = 0;
 
-// Exit-time output targets, fixed once by init_from_env (atexit handlers
-// must be capture-less, so these live at namespace scope).
+// Report output targets, set by init_from_env or set_report_paths (atexit
+// handlers must be capture-less, so these live at namespace scope). The
+// mutex serializes path mutation and report writing: a periodic flusher
+// thread, a caller of flush_report(), and the at-exit writer may all race.
+std::mutex g_report_mu;
 std::string g_trace_path;
 std::string g_metrics_path;
+bool g_exit_writer_registered = false;
 
-void write_exit_reports() {
+/// Writes the configured reports. Caller holds g_report_mu.
+bool write_reports_locked(bool quiet) {
+  bool wrote = false;
   if (!g_trace_path.empty()) {
     try {
       Tracer::global().write_chrome_trace(g_trace_path);
-      std::fprintf(stderr, "iwg: wrote trace to %s\n", g_trace_path.c_str());
+      if (!quiet) {
+        std::fprintf(stderr, "iwg: wrote trace to %s\n", g_trace_path.c_str());
+      }
+      wrote = true;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "iwg: trace write failed: %s\n", e.what());
     }
@@ -34,16 +43,39 @@ void write_exit_reports() {
     const std::string report = MetricsRegistry::global().text_report();
     if (g_metrics_path == "-") {
       std::fputs(report.c_str(), stderr);
+      wrote = true;
     } else {
-      std::ofstream out(g_metrics_path);
+      // Temp + rename so a reader (or a crash mid-write) never sees a
+      // truncated report — flush_report may run every few seconds for the
+      // life of a serving process.
+      const std::string tmp = g_metrics_path + ".tmp";
+      std::ofstream out(tmp);
       if (out.good()) out << report;
+      out.close();
+      if (out.good() && std::rename(tmp.c_str(), g_metrics_path.c_str()) == 0) {
+        wrote = true;
+      }
     }
+  }
+  return wrote;
+}
+
+void write_exit_reports() {
+  std::lock_guard lock(g_report_mu);
+  write_reports_locked(/*quiet=*/false);
+}
+
+void register_exit_writer_locked() {
+  if (!g_exit_writer_registered) {
+    g_exit_writer_registered = true;
+    std::atexit(write_exit_reports);
   }
 }
 
 void init_from_env_once(Tracer* tracer) {
   static std::once_flag once;
   std::call_once(once, [tracer] {
+    std::lock_guard lock(g_report_mu);
     const char* tp = std::getenv("IWG_TRACE");
     if (tp != nullptr && tp[0] != '\0') {
       g_trace_path = tp;
@@ -52,7 +84,7 @@ void init_from_env_once(Tracer* tracer) {
     const char* mp = std::getenv("IWG_METRICS");
     if (mp != nullptr && mp[0] != '\0') g_metrics_path = mp;
     if (!g_trace_path.empty() || !g_metrics_path.empty()) {
-      std::atexit(write_exit_reports);
+      register_exit_writer_locked();
     }
   });
 }
@@ -418,5 +450,25 @@ void MetricsRegistry::reset() {
 }
 
 void init_from_env() { Tracer::global(); }
+
+void set_report_paths(const std::string& trace_path,
+                      const std::string& metrics_path) {
+  Tracer& tracer = Tracer::global();  // runs init_from_env_once first
+  {
+    std::lock_guard lock(g_report_mu);
+    g_trace_path = trace_path;
+    g_metrics_path = metrics_path;
+    if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+      register_exit_writer_locked();
+    }
+  }
+  if (!trace_path.empty() && !tracer.enabled()) tracer.enable();
+}
+
+bool flush_report() {
+  Tracer::global();  // make sure env configuration has been read
+  std::lock_guard lock(g_report_mu);
+  return write_reports_locked(/*quiet=*/true);
+}
 
 }  // namespace iwg::trace

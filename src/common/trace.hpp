@@ -231,6 +231,22 @@ class MetricsRegistry {
 /// Implicit in Tracer::global(); call early in a driver to be explicit.
 void init_from_env();
 
+/// Set/override the report output paths programmatically (same semantics as
+/// IWG_TRACE / IWG_METRICS; empty string disables that output; metrics path
+/// "-" writes to stderr). Enables the tracer when a trace path is given and
+/// registers the at-exit writers, so a long-running server can configure
+/// reporting without touching the environment.
+void set_report_paths(const std::string& trace_path,
+                      const std::string& metrics_path);
+
+/// Write the trace JSON and metrics report to their configured outputs
+/// *now*, atomically replacing the previous flush (write-to-temp + rename).
+/// The at-exit writer only helps processes that exit; a serving process that
+/// runs for days — or dies on a signal — needs periodic explicit flushes,
+/// which is what the serving loop's flush hook calls. Thread-safe;
+/// concurrent flushes serialize. Returns false if nothing is configured.
+bool flush_report();
+
 }  // namespace iwg::trace
 
 // ---------------------------------------------------------------------------

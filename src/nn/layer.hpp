@@ -72,6 +72,13 @@ class Layer {
   /// Forward pass; `train` enables caching for backward and batch-norm
   /// statistics updates.
   virtual TensorF forward(const TensorF& x, bool train) = 0;
+  /// Inference-only forward: semantically identical to
+  /// `forward(x, /*train=*/false)` but `const` and free of hidden mutable
+  /// state (no activation caches, no running-statistics updates, no
+  /// remembered geometry), so one layer instance may serve many threads
+  /// concurrently — the contract the serving subsystem's worker pool
+  /// relies on.
+  virtual TensorF infer(const TensorF& x) const = 0;
   /// Backward pass: consumes dL/dy, returns dL/dx, accumulates param grads.
   virtual TensorF backward(const TensorF& dy) = 0;
 

@@ -113,11 +113,14 @@ Conv2D::~Conv2D() {
   core::FilterTransformCache::global().invalidate(w_.value.data());
 }
 
-TensorF Conv2D::forward(const TensorF& x, bool train) {
+ConvShape Conv2D::shape_for(const TensorF& x) const {
   IWG_CHECK(x.rank() == 4);
-  shape_ = ConvShape{.n = x.dim(0), .ih = x.dim(1), .iw = x.dim(2),
-                     .ic = x.dim(3), .oc = w_.value.dim(0), .fh = fsize_,
-                     .fw = fsize_, .ph = pad_, .pw = pad_};
+  return ConvShape{.n = x.dim(0), .ih = x.dim(1), .iw = x.dim(2),
+                   .ic = x.dim(3), .oc = w_.value.dim(0), .fh = fsize_,
+                   .fw = fsize_, .ph = pad_, .pw = pad_};
+}
+
+TensorF Conv2D::apply(const TensorF& x, const ConvShape& s) const {
   TensorF y;
   if (stride_ == 1) {
     // Param storage is stable and `version` is bumped on every update, so
@@ -126,15 +129,13 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
     core::ConvOptions opts = options_for(engine_);
     opts.filter_cache = &core::FilterTransformCache::global();
     opts.weights_version = w_.version;
-    if (tuned_ && shape_ == tuned_shape_) {
-      y = core::conv2d(x, w_.value, shape_, tuned_->executable_plan(shape_),
-                       opts);
+    if (tuned_ && s == tuned_shape_) {
+      y = core::conv2d(x, w_.value, s, tuned_->executable_plan(s), opts);
     } else {
-      y = core::conv2d(x, w_.value, shape_, opts);
+      y = core::conv2d(x, w_.value, s, opts);
     }
   } else {
-    y = ref::conv2d_implicit_gemm_strided(x, w_.value, shape_, stride_,
-                                          stride_);
+    y = ref::conv2d_implicit_gemm_strided(x, w_.value, s, stride_, stride_);
   }
   // Bias.
   const std::int64_t oc = y.dim(3);
@@ -143,6 +144,12 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
     float* row = y.data() + m * oc;
     for (std::int64_t c = 0; c < oc; ++c) row[c] += b_.value[c];
   }
+  return y;
+}
+
+TensorF Conv2D::forward(const TensorF& x, bool train) {
+  shape_ = shape_for(x);
+  TensorF y = apply(x, shape_);
   if (train) {
     x_cache_ = x;
   } else {
@@ -150,6 +157,8 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
   }
   return y;
 }
+
+TensorF Conv2D::infer(const TensorF& x) const { return apply(x, shape_for(x)); }
 
 Dims4 Conv2D::pretune(const Dims4& in, AutotuneContext& ctx) {
   ConvShape s;
@@ -274,6 +283,21 @@ TensorF BatchNorm2D::forward(const TensorF& x, bool train) {
   return y;
 }
 
+TensorF BatchNorm2D::infer(const TensorF& x) const {
+  IWG_CHECK(x.rank() == 4 && x.dim(3) == channels_);
+  const std::int64_t m = x.size() / channels_;
+  TensorF y(std::vector<std::int64_t>{x.dim(0), x.dim(1), x.dim(2), x.dim(3)});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float inv = 1.0f / std::sqrt(running_var_[c] + eps_);
+    for (std::int64_t i = 0; i < m; ++i) {
+      y[i * channels_ + c] =
+          gamma_.value[c] * (x[i * channels_ + c] - running_mean_[c]) * inv +
+          beta_.value[c];
+    }
+  }
+  return y;
+}
+
 TensorF BatchNorm2D::backward(const TensorF& dy) {
   IWG_CHECK(!xhat_.empty());
   const std::int64_t m = count_;
@@ -313,6 +337,14 @@ TensorF LeakyReLU::forward(const TensorF& x, bool train) {
     } else if (train) {
       mask_[static_cast<std::size_t>(i)] = 1;
     }
+  }
+  return y;
+}
+
+TensorF LeakyReLU::infer(const TensorF& x) const {
+  TensorF y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0.0f) y[i] *= slope_;
   }
   return y;
 }
@@ -364,6 +396,29 @@ TensorF MaxPool2x2::forward(const TensorF& x, bool train) {
   return y;
 }
 
+TensorF MaxPool2x2::infer(const TensorF& x) const {
+  IWG_CHECK(x.rank() == 4 && x.dim(1) % 2 == 0 && x.dim(2) % 2 == 0);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = x.dim(1) / 2;
+  const std::int64_t ow = x.dim(2) / 2;
+  const std::int64_t c = x.dim(3);
+  TensorF y({n, oh, ow, c});
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t h = 0; h < oh; ++h) {
+      for (std::int64_t w = 0; w < ow; ++w) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          float best = x.at(ni, 2 * h, 2 * w, ch);
+          best = std::max(best, x.at(ni, 2 * h, 2 * w + 1, ch));
+          best = std::max(best, x.at(ni, 2 * h + 1, 2 * w, ch));
+          best = std::max(best, x.at(ni, 2 * h + 1, 2 * w + 1, ch));
+          y.at(ni, h, w, ch) = best;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 TensorF MaxPool2x2::backward(const TensorF& dy) {
   TensorF dx({n_, ih_, iw_, c_});
   const std::int64_t oh = ih_ / 2;
@@ -407,6 +462,26 @@ TensorF GlobalAvgPool::forward(const TensorF& x, bool /*train*/) {
   return y;
 }
 
+TensorF GlobalAvgPool::infer(const TensorF& x) const {
+  IWG_CHECK(x.rank() == 4);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t h = x.dim(1);
+  const std::int64_t w = x.dim(2);
+  const std::int64_t c = x.dim(3);
+  TensorF y({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::int64_t ni = 0; ni < n; ++ni) {
+    for (std::int64_t hh = 0; hh < h; ++hh) {
+      for (std::int64_t ww = 0; ww < w; ++ww) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          y.at(ni, ch, 0, 0) += x.at(ni, hh, ww, ch) * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 TensorF GlobalAvgPool::backward(const TensorF& dy) {
   TensorF dx({n_, h_, w_, c_});
   const float inv = 1.0f / static_cast<float>(h_ * w_);
@@ -432,6 +507,13 @@ TensorF Flatten::forward(const TensorF& x, bool /*train*/) {
   w_ = x.dim(2);
   c_ = x.dim(3);
   TensorF y({n_, h_ * w_ * c_});
+  for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i];
+  return y;
+}
+
+TensorF Flatten::infer(const TensorF& x) const {
+  IWG_CHECK(x.rank() == 4);
+  TensorF y({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
   for (std::int64_t i = 0; i < x.size(); ++i) y[i] = x[i];
   return y;
 }
@@ -479,6 +561,26 @@ TensorF Linear::forward(const TensorF& x, bool train) {
   } else {
     x_cache_ = TensorF();
   }
+  return y;
+}
+
+TensorF Linear::infer(const TensorF& x) const {
+  IWG_CHECK(x.rank() == 2 && x.dim(1) == w_.value.dim(0));
+  const std::int64_t n = x.dim(0);
+  const std::int64_t d = x.dim(1);
+  const std::int64_t m = w_.value.dim(1);
+  TensorF y({n, m});
+  parallel_for(n, [&](std::int64_t i) {
+    float* yr = y.data() + i * m;
+    for (std::int64_t j = 0; j < m; ++j) yr[j] = b_.value[j];
+    const float* xr = x.data() + i * d;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const float xv = xr[k];
+      if (xv == 0.0f) continue;
+      const float* wr = w_.value.data() + k * m;
+      for (std::int64_t j = 0; j < m; ++j) yr[j] += xv * wr[j];
+    }
+  });
   return y;
 }
 

@@ -30,6 +30,7 @@ class Conv2D final : public Layer {
 
   std::string name() const override { return label_; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::int64_t activation_bytes() const override { return x_cache_.size() * 4; }
@@ -44,6 +45,10 @@ class Conv2D final : public Layer {
   }
 
  private:
+  ConvShape shape_for(const TensorF& x) const;
+  /// The pure convolution + bias computation shared by forward and infer.
+  TensorF apply(const TensorF& x, const ConvShape& s) const;
+
   std::string label_;
   std::int64_t fsize_, stride_, pad_;
   ConvEngine engine_;
@@ -63,6 +68,7 @@ class BatchNorm2D final : public Layer {
 
   std::string name() const override { return "batchnorm"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::int64_t activation_bytes() const override {
@@ -85,6 +91,7 @@ class LeakyReLU final : public Layer {
   explicit LeakyReLU(float slope = 0.01f) : slope_(slope) {}
   std::string name() const override { return "leaky_relu"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::int64_t activation_bytes() const override { return mask_.size(); }
 
@@ -98,6 +105,7 @@ class MaxPool2x2 final : public Layer {
  public:
   std::string name() const override { return "maxpool2x2"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::int64_t activation_bytes() const override { return argmax_.size(); }
   Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
@@ -115,6 +123,7 @@ class GlobalAvgPool final : public Layer {
  public:
   std::string name() const override { return "global_avg_pool"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
     (void)ctx;
@@ -130,6 +139,7 @@ class Flatten final : public Layer {
  public:
   std::string name() const override { return "flatten"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   Dims4 pretune(const Dims4& in, AutotuneContext& ctx) override {
     (void)ctx;
@@ -147,6 +157,7 @@ class Linear final : public Layer {
          std::string label = "linear");
   std::string name() const override { return label_; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::int64_t activation_bytes() const override { return x_cache_.size() * 4; }

@@ -14,6 +14,15 @@ TensorF Model::forward(const TensorF& x, bool train) {
   return h;
 }
 
+TensorF Model::infer(const TensorF& x) const {
+  TensorF h = x;
+  for (const auto& l : layers_) {
+    IWG_TRACE_SPAN(span, l->name(), "nn.infer");
+    h = l->infer(h);
+  }
+  return h;
+}
+
 TensorF Model::backward(const TensorF& dloss) {
   TensorF g = dloss;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
@@ -91,6 +100,16 @@ TensorF ResidualBlock::forward(const TensorF& x, bool train) {
   for (std::int64_t i = 0; i < h.size(); ++i) h[i] += skip[i];
   if (train) skip_cache_ = skip;  // only shape matters for backward
   return relu_out_->forward(h, train);
+}
+
+TensorF ResidualBlock::infer(const TensorF& x) const {
+  TensorF h = x;
+  for (const auto& l : main_) h = l->infer(h);
+  TensorF skip = x;
+  for (const auto& l : proj_) skip = l->infer(skip);
+  IWG_CHECK(h.same_shape(skip));
+  for (std::int64_t i = 0; i < h.size(); ++i) h[i] += skip[i];
+  return relu_out_->infer(h);
 }
 
 TensorF ResidualBlock::backward(const TensorF& dy) {

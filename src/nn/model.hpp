@@ -19,6 +19,10 @@ class Model {
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
   TensorF forward(const TensorF& x, bool train);
+  /// Inference-only forward: const and safe to run concurrently from many
+  /// threads on one Model instance (see Layer::infer). Numerically identical
+  /// to `forward(x, false)`.
+  TensorF infer(const TensorF& x) const;
   /// Returns dL/dinput (rarely needed; gradients accumulate in params).
   TensorF backward(const TensorF& dloss);
 
@@ -53,6 +57,7 @@ class ResidualBlock final : public Layer {
 
   std::string name() const override { return "residual"; }
   TensorF forward(const TensorF& x, bool train) override;
+  TensorF infer(const TensorF& x) const override;
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override;
   std::int64_t activation_bytes() const override;

@@ -1,0 +1,56 @@
+#include "serve/batcher.hpp"
+
+#include "common/trace.hpp"
+
+namespace iwg::serve {
+
+namespace {
+
+trace::Counter& expired_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.expired");
+  return c;
+}
+
+}  // namespace
+
+Batcher::Batch Batcher::next_batch() {
+  Batch b;  // carries the expired count across assembly retries
+  for (;;) {
+    if (!queue_.wait_nonempty(policy_.idle_wait)) {
+      b.closed = queue_.closed();  // closed *and* empty: nothing will come
+      return b;
+    }
+    // Hold the batch open up to max_wait for more arrivals. wait_depth
+    // returns early when max_batch requests are pending (they may still
+    // split on shape below — a bounded extra wait, not a correctness
+    // issue).
+    queue_.wait_depth(policy_.max_batch, Clock::now() + policy_.max_wait);
+    std::vector<Request> popped = queue_.pop_compatible(policy_.max_batch);
+
+    // Deadline shedding: budgets that expired while queued get a kExpired
+    // resolution now instead of a stale answer later.
+    const Clock::time_point now = Clock::now();
+    for (Request& r : popped) {
+      if (r.deadline.expired(now)) {
+        expired_counter().add();
+        ++b.expired;
+        Response resp;
+        resp.status = Status::kExpired;
+        resp.reason = "deadline expired before dispatch";
+        resp.queue_us = std::chrono::duration<double, std::micro>(
+                            now - r.enqueue_time)
+                            .count();
+        resp.latency_us = resp.queue_us;
+        r.promise.set_value(std::move(resp));
+      } else {
+        b.requests.push_back(std::move(r));
+      }
+    }
+    if (!b.requests.empty()) return b;
+    // Everything popped had expired, or another worker raced us to the
+    // queue; go around again rather than report an idle tick.
+  }
+}
+
+}  // namespace iwg::serve

@@ -1,0 +1,66 @@
+// Micro-batch assembly: the policy that turns a stream of single-image
+// requests into the NHWC batches the Γα kernels are fast at.
+//
+// The host engine's throughput comes from amortizing per-call fixed costs
+// (plan lookup, filter-transform fetch, parallel_for dispatch) and from
+// giving the Γ engine enough independent rows — N · ⌈OH·OW / tile⌉ tasks —
+// to cover every pool worker. A batch of one leaves most of the machine
+// idle; the batcher therefore holds the head of the queue for up to
+// `max_wait` hoping to fill `max_batch` slots, the classic
+// latency-for-throughput trade every serving stack exposes.
+//
+// Rules:
+//   * Shape coherence: a batch only contains requests whose images agree on
+//     H×W×C; the queue is split at the first mismatch (the mismatching
+//     request seeds the next batch, so interleaved shapes ping-pong rather
+//     than starve).
+//   * Max-wait: assembly never holds a request longer than `max_wait` past
+//     the moment a worker first saw it — a lone request ships as a batch of
+//     one when the wait expires.
+//   * Deadline shedding: requests whose deadline expired while queued are
+//     resolved kExpired here, before any model work is spent on them
+//     (serve.expired counts them).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace iwg::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch = 8;
+  /// Longest a worker holds an incomplete batch open waiting for more
+  /// arrivals, measured from when it first observes a pending request.
+  std::chrono::microseconds max_wait{2000};
+  /// How long an idle worker parks before returning an empty batch so the
+  /// session can run idle-time work (arena trim, report flush).
+  std::chrono::microseconds idle_wait{50000};
+};
+
+class Batcher {
+ public:
+  Batcher(RequestQueue& queue, BatchPolicy policy)
+      : queue_(queue), policy_(policy) {}
+
+  struct Batch {
+    std::vector<Request> requests;  ///< shape-coherent, deadlines unexpired
+    int expired = 0;  ///< requests shed kExpired during this assembly
+    bool closed = false;  ///< queue closed and fully drained — worker exits
+    bool idle() const { return requests.empty() && !closed; }
+  };
+
+  /// Block (bounded by idle_wait / max_wait) until a batch, an idle tick,
+  /// or shutdown. Expired requests are resolved and never returned.
+  Batch next_batch();
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  RequestQueue& queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace iwg::serve

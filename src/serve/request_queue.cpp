@@ -1,0 +1,121 @@
+#include "serve/request_queue.hpp"
+
+#include "common/trace.hpp"
+
+namespace iwg::serve {
+
+namespace {
+
+trace::Counter& enqueued_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.enqueued");
+  return c;
+}
+
+trace::Counter& rejected_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.rejected");
+  return c;
+}
+
+trace::Distribution& depth_dist() {
+  static trace::Distribution& d =
+      trace::MetricsRegistry::global().distribution("serve.queue_depth");
+  return d;
+}
+
+void resolve(Request& r, Status status, const char* reason) {
+  Response resp;
+  resp.status = status;
+  resp.reason = reason;
+  resp.latency_us = std::chrono::duration<double, std::micro>(
+                        Clock::now() - r.enqueue_time)
+                        .count();
+  r.promise.set_value(std::move(resp));
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+RequestQueue::Admit RequestQueue::push(Request&& r) {
+  bool was_closed;
+  {
+    std::lock_guard lock(mu_);
+    if (!closed_ && q_.size() < capacity_) {
+      q_.push_back(std::move(r));
+      enqueued_counter().add();
+      depth_dist().record(static_cast<double>(q_.size()));
+      cv_.notify_one();
+      return Admit::kAccepted;
+    }
+    was_closed = closed_;
+  }
+  // Resolve outside the lock: set_value wakes waiters of arbitrary cost.
+  if (was_closed) {
+    resolve(r, Status::kShutdown, "queue closed");
+    return Admit::kClosed;
+  }
+  rejected_counter().add();
+  resolve(r, Status::kRejected, "queue full");
+  return Admit::kRejectedFull;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard lock(mu_);
+  return q_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+bool RequestQueue::wait_nonempty(std::chrono::microseconds wait) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, wait, [&] { return closed_ || !q_.empty(); });
+  return !q_.empty();
+}
+
+bool RequestQueue::wait_depth(std::size_t depth, Clock::time_point until) {
+  std::unique_lock lock(mu_);
+  cv_.wait_until(lock, until,
+                 [&] { return closed_ || q_.size() >= depth; });
+  return q_.size() >= depth;
+}
+
+std::vector<Request> RequestQueue::pop_compatible(std::size_t max_batch) {
+  std::vector<Request> out;
+  std::lock_guard lock(mu_);
+  while (!q_.empty() && out.size() < max_batch) {
+    if (!out.empty() &&
+        !same_image_shape(out.front().input, q_.front().input)) {
+      break;  // shape split: the mismatch seeds the next batch
+    }
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::shed_all() {
+  std::deque<Request> orphans;
+  {
+    std::lock_guard lock(mu_);
+    orphans.swap(q_);
+  }
+  for (Request& r : orphans) {
+    resolve(r, Status::kShutdown, "session stopped before dispatch");
+  }
+  return orphans.size();
+}
+
+}  // namespace iwg::serve

@@ -1,0 +1,81 @@
+// Bounded, thread-safe request queue with admission control.
+//
+// The queue is the serving engine's only buffer: capacity is the knob that
+// trades tail latency for acceptance rate (a deep queue accepts bursts but
+// lets requests age; a shallow one converts overload into fast rejections
+// the client can retry elsewhere). push() is the admission decision — a full
+// or closed queue resolves the request's promise immediately with a reason
+// instead of blocking the caller, so producers never wedge behind a slow
+// model.
+//
+// Consumers (the Batcher, driving session workers) use wait_nonempty /
+// wait_depth to park between arrivals and pop_compatible to atomically
+// claim a shape-coherent run of requests; atomicity under the queue mutex is
+// what keeps two workers from interleaving claims out of FIFO order.
+//
+// Metrics: serve.enqueued / serve.rejected counters and the
+// serve.queue_depth distribution (recorded at every push) feed the PR 2
+// registry, so a serving report shows admission behavior next to the conv
+// engine's own counters.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace iwg::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admission outcome — the reject-with-reason contract.
+  enum class Admit { kAccepted, kRejectedFull, kClosed };
+
+  /// Admission control: accepts and enqueues, or resolves the request's
+  /// promise right here with kRejected ("queue full") / kShutdown
+  /// ("queue closed"). Never blocks.
+  Admit push(Request&& r);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+  /// Block until the queue is nonempty, closed, or `wait` elapses.
+  /// Returns true when the queue is nonempty.
+  bool wait_nonempty(std::chrono::microseconds wait);
+
+  /// Block until depth >= `depth`, the queue closes, or `until` passes.
+  bool wait_depth(std::size_t depth, Clock::time_point until);
+
+  /// Atomically pop up to `max_batch` requests from the front that share
+  /// the front request's image shape. Stops at the first mismatch (the
+  /// mismatching request stays queued and seeds the next batch), so one
+  /// slow shape cannot starve behind an endless stream of another.
+  std::vector<Request> pop_compatible(std::size_t max_batch);
+
+  /// Stop admitting (pushes resolve kShutdown). Queued requests remain
+  /// poppable so workers can drain them. Wakes every waiter. Idempotent.
+  void close();
+
+  /// Pop-and-resolve every queued request with kShutdown (no-drain stop).
+  /// Returns how many were shed.
+  std::size_t shed_all();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace iwg::serve

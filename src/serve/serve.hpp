@@ -1,0 +1,16 @@
+// Umbrella header for the inference-serving subsystem.
+//
+//   #include "serve/serve.hpp"
+//
+//   iwg::serve::SessionConfig cfg;            // geometry + policy knobs
+//   iwg::serve::ServingSession session(std::move(model), cfg);
+//   auto fut = session.submit(image);         // H×W×C, returns a future
+//   iwg::serve::Response r = fut.get();       // always resolves
+//
+// See session.hpp for the architecture overview.
+#pragma once
+
+#include "serve/batcher.hpp"      // IWYU pragma: export
+#include "serve/request.hpp"      // IWYU pragma: export
+#include "serve/request_queue.hpp"  // IWYU pragma: export
+#include "serve/session.hpp"      // IWYU pragma: export

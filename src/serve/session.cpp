@@ -1,0 +1,249 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/arena.hpp"
+#include "common/trace.hpp"
+
+namespace iwg::serve {
+
+namespace {
+
+trace::Distribution& batch_size_dist() {
+  static trace::Distribution& d =
+      trace::MetricsRegistry::global().distribution("serve.batch_size");
+  return d;
+}
+
+trace::Distribution& latency_dist() {
+  static trace::Distribution& d =
+      trace::MetricsRegistry::global().distribution("serve.latency_us");
+  return d;
+}
+
+trace::Distribution& queue_wait_dist() {
+  static trace::Distribution& d =
+      trace::MetricsRegistry::global().distribution("serve.queue_us");
+  return d;
+}
+
+trace::Counter& completed_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.completed");
+  return c;
+}
+
+trace::Counter& batches_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.batches");
+  return c;
+}
+
+trace::Counter& padded_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.padded_slots");
+  return c;
+}
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServingSession::ServingSession(nn::Model model, SessionConfig cfg)
+    : model_(std::move(model)),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      batcher_(queue_, cfg.batch) {
+  IWG_CHECK(cfg_.batch.max_batch >= 1);
+  IWG_CHECK(cfg_.workers >= 1);
+  if (cfg_.pretune_plans) {
+    IWG_CHECK_MSG(cfg_.device != nullptr, "pretune_plans needs a device");
+    IWG_CHECK_MSG(cfg_.image_h == cfg_.image_w,
+                  "pretune propagates one spatial size (square images only)");
+    IWG_TRACE_SCOPE("serve.pretune", "serve");
+    nn::AutotuneContext ctx;
+    ctx.dev = cfg_.device;
+    model_.pretune(static_cast<std::int64_t>(cfg_.batch.max_batch),
+                   cfg_.image_h, cfg_.channels, ctx);
+  }
+  if (cfg_.prewarm) prewarm();
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ServingSession::~ServingSession() { stop(/*drain=*/false); }
+
+void ServingSession::prewarm() {
+  // One throwaway batch at the pre-tuned geometry computes every layer's
+  // filter transform into the FilterTransformCache and sizes the scratch
+  // arenas, so the first real request pays neither.
+  IWG_TRACE_SCOPE("serve.prewarm", "serve");
+  TensorF warm({static_cast<std::int64_t>(cfg_.batch.max_batch), cfg_.image_h,
+                cfg_.image_w, cfg_.channels});
+  (void)model_.infer(warm);
+}
+
+std::future<Response> ServingSession::submit(TensorF image) {
+  Deadline d = cfg_.default_deadline.count() > 0
+                   ? Deadline::after(cfg_.default_deadline)
+                   : Deadline::never();
+  return submit(std::move(image), d);
+}
+
+std::future<Response> ServingSession::submit(TensorF image, Deadline deadline) {
+  IWG_CHECK_MSG(image.rank() == 3, "submit expects one H x W x C image");
+  Request r;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.input = std::move(image);
+  r.deadline = deadline;
+  r.enqueue_time = Clock::now();
+  std::future<Response> fut = r.promise.get_future();
+  switch (queue_.push(std::move(r))) {
+    case RequestQueue::Admit::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestQueue::Admit::kRejectedFull:
+    case RequestQueue::Admit::kClosed:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return fut;
+}
+
+void ServingSession::worker_loop(unsigned worker_idx) {
+  (void)worker_idx;
+  for (;;) {
+    Batcher::Batch b = batcher_.next_batch();
+    expired_.fetch_add(b.expired, std::memory_order_relaxed);
+    if (b.closed) return;
+    if (b.idle()) {
+      // Idle housekeeping: return scratch peaks to the allocator — this
+      // worker's arena directly, everyone else's via the trim epoch — so a
+      // single outsized request doesn't pin peak memory for the process
+      // lifetime.
+      if (cfg_.idle_trim_bytes >= 0) {
+        const auto keep = static_cast<std::size_t>(cfg_.idle_trim_bytes);
+        ScratchArena::local().trim(keep);
+        ScratchArena::trim_all(keep);
+      }
+      maybe_flush();
+      continue;
+    }
+    run_batch(std::move(b.requests));
+    maybe_flush();
+  }
+}
+
+void ServingSession::maybe_flush() {
+  if (cfg_.flush_period.count() <= 0) return;
+  const std::int64_t now = steady_now_us();
+  std::int64_t last = last_flush_us_.load(std::memory_order_relaxed);
+  if (now - last < cfg_.flush_period.count()) return;
+  // One worker wins the CAS and flushes; the rest skip.
+  if (last_flush_us_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    trace::flush_report();
+  }
+}
+
+void ServingSession::run_batch(std::vector<Request> batch) {
+  const std::size_t k = batch.size();
+  const TensorF& first = batch.front().input;
+  const std::int64_t h = first.dim(0);
+  const std::int64_t w = first.dim(1);
+  const std::int64_t c = first.dim(2);
+  // Zero-pad the tail up to max_batch: dispatch geometry then always
+  // matches the pre-tuned plans, and image independence in the host engine
+  // means padding changes no bits of any live request's output.
+  const std::int64_t n =
+      cfg_.pad_tail_batches
+          ? static_cast<std::int64_t>(
+                std::max(cfg_.batch.max_batch, k))
+          : static_cast<std::int64_t>(k);
+
+  IWG_TRACE_SPAN(span, "serve.batch", "serve");
+  span.arg("batch_size", static_cast<std::int64_t>(k))
+      .arg("padded_slots", n - static_cast<std::int64_t>(k));
+
+  TensorF xb({n, h, w, c});  // zero-initialized
+  const std::int64_t image_elems = h * w * c;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::memcpy(xb.data() + static_cast<std::int64_t>(i) * image_elems,
+                batch[i].input.data(),
+                static_cast<std::size_t>(image_elems) * sizeof(float));
+  }
+
+  const Clock::time_point dispatch = Clock::now();
+  TensorF y = model_.infer(xb);
+  IWG_CHECK(y.dim(0) == n);
+
+  // Slice each request's output row back out (leading dim 1).
+  std::vector<std::int64_t> out_dims;
+  out_dims.push_back(1);
+  for (int d = 1; d < y.rank(); ++d) out_dims.push_back(y.dim(d));
+  const std::int64_t per = y.size() / n;
+
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < k; ++i) {
+    Response resp;
+    resp.status = Status::kOk;
+    resp.batch_size = static_cast<std::int64_t>(k);
+    resp.queue_us = std::chrono::duration<double, std::micro>(
+                        dispatch - batch[i].enqueue_time)
+                        .count();
+    resp.latency_us = std::chrono::duration<double, std::micro>(
+                          done - batch[i].enqueue_time)
+                          .count();
+    resp.output.reset(out_dims);
+    std::memcpy(resp.output.data(),
+                y.data() + static_cast<std::int64_t>(i) * per,
+                static_cast<std::size_t>(per) * sizeof(float));
+    queue_wait_dist().record(resp.queue_us);
+    latency_dist().record(resp.latency_us);
+    batch[i].promise.set_value(std::move(resp));
+  }
+
+  batch_size_dist().record(static_cast<double>(k));
+  batches_counter().add();
+  padded_counter().add(n - static_cast<std::int64_t>(k));
+  completed_counter().add(static_cast<std::int64_t>(k));
+  completed_.fetch_add(static_cast<std::int64_t>(k),
+                       std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingSession::stop(bool drain) {
+  std::lock_guard lock(stop_mu_);
+  if (stopped_.load()) return;
+  queue_.close();
+  if (!drain) {
+    shed_.fetch_add(static_cast<std::int64_t>(queue_.shed_all()),
+                    std::memory_order_relaxed);
+  }
+  for (auto& t : workers_) t.join();
+  // A request pushed between close() racing and drain pop is impossible
+  // (close happens-before every later push sees closed_), but a no-drain
+  // stop can race a worker that already popped its batch — that batch is
+  // served, which is the stronger guarantee.
+  stopped_.store(true);
+}
+
+ServingSession::Stats ServingSession::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.completed = completed_.load();
+  s.rejected = rejected_.load();
+  s.expired = expired_.load();
+  s.shed = shed_.load();
+  s.batches = batches_.load();
+  return s;
+}
+
+}  // namespace iwg::serve

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -82,6 +83,86 @@ TEST(ScratchArena, HighWaterTracksPeakNotCurrent) {
   }
   EXPECT_EQ(arena.high_water(), peak);  // monotonic
   EXPECT_GE(ScratchArena::max_high_water(), peak);
+}
+
+TEST(ScratchArena, TrimReleasesPeakCapacity) {
+  ScratchArena arena;
+  {
+    const ScratchArena::Scope scope(arena);
+    arena.alloc(std::size_t{4} << 20);  // force growth well past block 0
+  }
+  const std::size_t peak_capacity = arena.capacity();
+  EXPECT_GE(peak_capacity, std::size_t{4} << 20);
+  arena.trim(/*keep_bytes=*/64 * 1024);
+  EXPECT_LT(arena.capacity(), peak_capacity);
+  EXPECT_LE(arena.capacity(), std::size_t{64} * 1024);
+  // high_water stays monotonic; the arena still works after trimming.
+  EXPECT_GE(arena.high_water(), std::size_t{4} << 20);
+  {
+    const ScratchArena::Scope scope(arena);
+    float* p = arena.alloc_floats(256);
+    p[0] = 3.0f;
+    p[255] = 4.0f;
+    EXPECT_EQ(p[0], 3.0f);
+    EXPECT_EQ(p[255], 4.0f);
+  }
+}
+
+TEST(ScratchArena, TrimIsNoopUnderOpenScope) {
+  ScratchArena arena;
+  const ScratchArena::Scope scope(arena);
+  float* p = arena.alloc_floats(std::size_t{1} << 20);
+  p[0] = 7.0f;
+  const std::size_t before = arena.capacity();
+  arena.trim(0);  // must not drop blocks with a live scope
+  EXPECT_EQ(arena.capacity(), before);
+  EXPECT_EQ(p[0], 7.0f);
+}
+
+TEST(ScratchArena, TrimToZeroDropsEverythingUnused) {
+  ScratchArena arena;
+  {
+    const ScratchArena::Scope scope(arena);
+    arena.alloc(1024);
+  }
+  arena.trim(0);
+  EXPECT_EQ(arena.capacity(), 0u);
+  {
+    const ScratchArena::Scope scope(arena);  // regrows on demand
+    float* p = arena.alloc_floats(8);
+    p[0] = 1.0f;
+    EXPECT_EQ(p[0], 1.0f);
+  }
+}
+
+TEST(ScratchArena, TrimAllReachesOtherThreadsAtNextScope) {
+  // Grow a worker thread's arena, broadcast trim_all from the main thread,
+  // then have the worker open another scope: the epoch check must have
+  // trimmed its arena back down before the allocation.
+  std::atomic<std::size_t> grown_capacity{0};
+  std::atomic<std::size_t> after_trim_capacity{0};
+  std::atomic<int> stage{0};
+  std::thread t([&] {
+    ScratchArena& arena = ScratchArena::local();
+    {
+      const ScratchArena::Scope scope(arena);
+      arena.alloc(std::size_t{4} << 20);
+    }
+    grown_capacity = arena.capacity();
+    stage = 1;
+    while (stage.load() != 2) std::this_thread::yield();
+    {
+      const ScratchArena::Scope scope(arena);  // honors the trim epoch here
+      arena.alloc(64);
+    }
+    after_trim_capacity = arena.capacity();
+  });
+  while (stage.load() != 1) std::this_thread::yield();
+  ScratchArena::trim_all(/*keep_bytes=*/64 * 1024);
+  stage = 2;
+  t.join();
+  EXPECT_GE(grown_capacity.load(), std::size_t{4} << 20);
+  EXPECT_LT(after_trim_capacity.load(), grown_capacity.load());
 }
 
 TEST(ScratchArena, ThreadLocalInstancesAreDistinct) {

@@ -1,0 +1,442 @@
+// Serving-subsystem tests: admission control, micro-batch assembly edge
+// cases (max-wait expiry, shape splits, deadline shedding), shutdown with
+// in-flight requests, batched-vs-per-request bit parity, and the 8-thread
+// concurrent-inference regression the const Model::infer path guarantees.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "serve/serve.hpp"
+
+namespace iwg::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+Request make_request(std::int64_t h, std::int64_t w, std::int64_t c,
+                     float fill = 0.0f, Deadline d = Deadline::never()) {
+  Request r;
+  r.input.reset({h, w, c});
+  r.input.fill(fill);
+  r.deadline = d;
+  r.enqueue_time = Clock::now();
+  return r;
+}
+
+/// Tiny conv net with a classifier head; same seed → identical weights.
+nn::Model make_tiny_classifier(unsigned seed = 7) {
+  Rng rng(seed);
+  nn::Model m;
+  m.add(std::make_unique<nn::Conv2D>(3, 8, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "c1"));
+  m.add(std::make_unique<nn::BatchNorm2D>(8));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::Conv2D>(8, 8, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "c2"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::MaxPool2x2>());
+  m.add(std::make_unique<nn::Flatten>());
+  m.add(std::make_unique<nn::Linear>(4 * 4 * 8, 10, rng, "fc"));
+  return m;
+}
+
+/// Conv-only net (no flatten/linear), so it accepts any H×W.
+nn::Model make_tiny_fcn(unsigned seed = 11) {
+  Rng rng(seed);
+  nn::Model m;
+  m.add(std::make_unique<nn::Conv2D>(3, 4, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "c1"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  return m;
+}
+
+TensorF random_image(Rng& rng, std::int64_t h = 8, std::int64_t w = 8,
+                     std::int64_t c = 3) {
+  TensorF x({h, w, c});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  return x;
+}
+
+/// Reference: run one image through the model as a batch of 1.
+TensorF infer_single(const nn::Model& m, const TensorF& img) {
+  TensorF x({1, img.dim(0), img.dim(1), img.dim(2)});
+  std::memcpy(x.data(), img.data(),
+              static_cast<std::size_t>(img.size()) * sizeof(float));
+  return m.infer(x);
+}
+
+bool bits_equal(const TensorF& a, const TensorF& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue: admission control
+
+TEST(RequestQueue, RejectsWhenFullWithReason) {
+  RequestQueue q(2);
+  auto f1 = [&] { Request r = make_request(4, 4, 3); auto f = r.promise.get_future(); EXPECT_EQ(q.push(std::move(r)), RequestQueue::Admit::kAccepted); return f; }();
+  auto f2 = [&] { Request r = make_request(4, 4, 3); auto f = r.promise.get_future(); EXPECT_EQ(q.push(std::move(r)), RequestQueue::Admit::kAccepted); return f; }();
+  Request r3 = make_request(4, 4, 3);
+  auto f3 = r3.promise.get_future();
+  EXPECT_EQ(q.push(std::move(r3)), RequestQueue::Admit::kRejectedFull);
+  // The rejected promise resolves immediately with a reason.
+  ASSERT_EQ(f3.wait_for(0s), std::future_status::ready);
+  const Response resp = f3.get();
+  EXPECT_EQ(resp.status, Status::kRejected);
+  EXPECT_EQ(resp.reason, "queue full");
+  EXPECT_EQ(q.size(), 2u);
+  q.close();
+  EXPECT_EQ(q.shed_all(), 2u);
+  EXPECT_EQ(f1.get().status, Status::kShutdown);
+  EXPECT_EQ(f2.get().status, Status::kShutdown);
+}
+
+TEST(RequestQueue, ClosedQueueResolvesShutdown) {
+  RequestQueue q(4);
+  q.close();
+  Request r = make_request(4, 4, 3);
+  auto f = r.promise.get_future();
+  EXPECT_EQ(q.push(std::move(r)), RequestQueue::Admit::kClosed);
+  EXPECT_EQ(f.get().status, Status::kShutdown);
+}
+
+TEST(RequestQueue, PopCompatibleSplitsOnShapeMismatch) {
+  RequestQueue q(8);
+  std::vector<std::future<Response>> futs;
+  auto push = [&](std::int64_t h) {
+    Request r = make_request(h, h, 3);
+    futs.push_back(r.promise.get_future());
+    EXPECT_EQ(q.push(std::move(r)), RequestQueue::Admit::kAccepted);
+  };
+  push(8);
+  push(8);
+  push(16);  // mismatch: splits here
+  push(8);
+  auto b1 = q.pop_compatible(8);
+  ASSERT_EQ(b1.size(), 2u);
+  EXPECT_EQ(b1[0].input.dim(0), 8);
+  auto b2 = q.pop_compatible(8);
+  ASSERT_EQ(b2.size(), 1u);
+  EXPECT_EQ(b2[0].input.dim(0), 16);
+  auto b3 = q.pop_compatible(8);
+  ASSERT_EQ(b3.size(), 1u);
+  EXPECT_EQ(b3[0].input.dim(0), 8);
+  for (auto& b : {&b1, &b2, &b3}) {
+    for (Request& r : *b) r.promise.set_value(Response{});
+  }
+  for (auto& f : futs) f.get();
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+
+TEST(Batcher, SingleRequestShipsAfterMaxWait) {
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_wait = 20ms;
+  policy.idle_wait = 2s;  // a hang here would mean max-wait never fired
+  Batcher batcher(q, policy);
+
+  Request r = make_request(4, 4, 3);
+  auto f = r.promise.get_future();
+  ASSERT_EQ(q.push(std::move(r)), RequestQueue::Admit::kAccepted);
+
+  const auto t0 = Clock::now();
+  Batcher::Batch b = batcher.next_batch();
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_EQ(b.requests.size(), 1u);
+  EXPECT_FALSE(b.closed);
+  // Shipped via max-wait expiry (not instantly, not via the idle timeout).
+  EXPECT_GE(elapsed, 10ms);
+  EXPECT_LT(elapsed, 1s);
+  b.requests[0].promise.set_value(Response{});
+  f.get();
+}
+
+TEST(Batcher, FillsToMaxBatchWithoutWaitingFullWindow) {
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.max_batch = 3;
+  policy.max_wait = 5s;  // a full wait here would time the test out
+  Batcher batcher(q, policy);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 3; ++i) {
+    Request r = make_request(4, 4, 3);
+    futs.push_back(r.promise.get_future());
+    ASSERT_EQ(q.push(std::move(r)), RequestQueue::Admit::kAccepted);
+  }
+  const auto t0 = Clock::now();
+  Batcher::Batch b = batcher.next_batch();
+  EXPECT_LT(Clock::now() - t0, 2s);  // returned well before max_wait
+  ASSERT_EQ(b.requests.size(), 3u);
+  for (Request& r : b.requests) r.promise.set_value(Response{});
+  for (auto& f : futs) f.get();
+}
+
+TEST(Batcher, ShedsExpiredDeadlinesBeforeDispatch) {
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.max_wait = 1ms;
+  Batcher batcher(q, policy);
+
+  Request dead = make_request(4, 4, 3, 0.0f, Deadline::after(0us));
+  auto fdead = dead.promise.get_future();
+  Request live = make_request(4, 4, 3);
+  auto flive = live.promise.get_future();
+  std::this_thread::sleep_for(1ms);  // ensure the first deadline has passed
+  ASSERT_EQ(q.push(std::move(dead)), RequestQueue::Admit::kAccepted);
+  ASSERT_EQ(q.push(std::move(live)), RequestQueue::Admit::kAccepted);
+
+  Batcher::Batch b = batcher.next_batch();
+  ASSERT_EQ(b.requests.size(), 1u);
+  EXPECT_EQ(b.expired, 1);
+  const Response dr = fdead.get();
+  EXPECT_EQ(dr.status, Status::kExpired);
+  EXPECT_GT(dr.latency_us, 0.0);
+  b.requests[0].promise.set_value(Response{});
+  flive.get();
+}
+
+TEST(Batcher, ClosedEmptyQueueReportsClosed) {
+  RequestQueue q(8);
+  BatchPolicy policy;
+  policy.idle_wait = 10ms;
+  Batcher batcher(q, policy);
+  q.close();
+  Batcher::Batch b = batcher.next_batch();
+  EXPECT_TRUE(b.closed);
+  EXPECT_TRUE(b.requests.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ServingSession end-to-end
+
+SessionConfig tiny_config() {
+  SessionConfig cfg;
+  cfg.image_h = 8;
+  cfg.image_w = 8;
+  cfg.channels = 3;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait = 2ms;
+  cfg.batch.idle_wait = 5ms;
+  cfg.queue_capacity = 64;
+  cfg.workers = 1;
+  return cfg;
+}
+
+TEST(ServingSession, BatchedOutputsBitIdenticalToPerRequestForward) {
+  nn::Model reference = make_tiny_classifier(7);
+  ServingSession session(make_tiny_classifier(7), tiny_config());
+
+  Rng rng(123);
+  std::vector<TensorF> images;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 20; ++i) images.push_back(random_image(rng));
+  for (const TensorF& img : images) futs.push_back(session.submit(img));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Response r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk) << r.reason;
+    EXPECT_GT(r.batch_size, 0);
+    EXPECT_GT(r.latency_us, 0.0);
+    const TensorF want = infer_single(reference, images[i]);
+    EXPECT_TRUE(bits_equal(r.output, want)) << "request " << i;
+  }
+  session.stop();
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, 20);
+  EXPECT_TRUE(stats.all_resolved());
+}
+
+TEST(ServingSession, PaddedTailBatchChangesNoBits) {
+  // 3 requests into a max_batch=8 padded dispatch: the 5 zero slots must
+  // not alter any live request's output.
+  nn::Model reference = make_tiny_classifier(7);
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 8;
+  cfg.pad_tail_batches = true;
+  ServingSession session(make_tiny_classifier(7), cfg);
+
+  Rng rng(321);
+  std::vector<TensorF> images;
+  for (int i = 0; i < 3; ++i) images.push_back(random_image(rng));
+  std::vector<std::future<Response>> futs;
+  for (const TensorF& img : images) futs.push_back(session.submit(img));
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Response r = futs[i].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_TRUE(bits_equal(r.output, infer_single(reference, images[i])));
+  }
+}
+
+TEST(ServingSession, MixedShapesSplitIntoCoherentBatches) {
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 8;
+  ServingSession session(make_tiny_fcn(), cfg);
+
+  Rng rng(5);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 12; ++i) {
+    const std::int64_t s = (i % 2 == 0) ? 8 : 6;  // interleaved shapes
+    futs.push_back(session.submit(random_image(rng, s, s)));
+  }
+  for (int i = 0; i < 12; ++i) {
+    const Response r = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk);
+    const std::int64_t s = (i % 2 == 0) ? 8 : 6;
+    EXPECT_EQ(r.output.dim(1), s);  // conv is same-padded: H preserved
+    // A batch can only have held requests of one shape.
+    EXPECT_LE(r.batch_size, 6);
+  }
+  session.stop();
+  EXPECT_TRUE(session.stats().all_resolved());
+}
+
+TEST(ServingSession, FullQueueRejectsAtAdmission) {
+  SessionConfig cfg = tiny_config();
+  cfg.queue_capacity = 4;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait = 500ms;  // worker holds the batch open → queue fills
+  ServingSession session(make_tiny_classifier(), cfg);
+
+  Rng rng(9);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(session.submit(random_image(rng)));
+  int ok = 0, rejected = 0;
+  for (auto& f : futs) {
+    const Response r = f.get();
+    if (r.status == Status::kOk) ++ok;
+    if (r.status == Status::kRejected) {
+      ++rejected;
+      EXPECT_EQ(r.reason, "queue full");
+    }
+  }
+  EXPECT_EQ(ok + rejected, 12);
+  EXPECT_GE(rejected, 1);  // capacity 4 cannot hold a burst of 12
+  session.stop();
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_TRUE(stats.all_resolved());
+}
+
+TEST(ServingSession, DeadlineExpiredWhileBatchHeldOpenIsShed) {
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 8;           // never fills…
+  cfg.batch.max_wait = 50ms;         // …so the batch is held 50 ms
+  ServingSession session(make_tiny_classifier(), cfg);
+
+  Rng rng(10);
+  auto fut = session.submit(random_image(rng), Deadline::after(5ms));
+  const Response r = fut.get();
+  EXPECT_EQ(r.status, Status::kExpired);
+  session.stop();
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.expired, 1);
+  EXPECT_TRUE(stats.all_resolved());
+}
+
+TEST(ServingSession, StopWithDrainServesEverythingQueued) {
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_wait = 20ms;
+  ServingSession session(make_tiny_classifier(), cfg);
+  Rng rng(11);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 16; ++i) futs.push_back(session.submit(random_image(rng)));
+  session.stop(/*drain=*/true);
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::kOk);
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, 16);
+  EXPECT_TRUE(stats.all_resolved());
+}
+
+TEST(ServingSession, StopWithoutDrainResolvesEveryFuture) {
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 2;
+  cfg.batch.max_wait = 1ms;
+  ServingSession session(make_tiny_classifier(), cfg);
+  Rng rng(12);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 32; ++i) futs.push_back(session.submit(random_image(rng)));
+  session.stop(/*drain=*/false);  // in-flight batches finish; queue is shed
+  int ok = 0, shut = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "unresolved future";
+    const Response r = f.get();
+    ASSERT_TRUE(r.status == Status::kOk || r.status == Status::kShutdown);
+    (r.status == Status::kOk ? ok : shut)++;
+  }
+  EXPECT_EQ(ok + shut, 32);
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.shed, shut);
+  EXPECT_TRUE(stats.all_resolved());
+  // Idempotent: stopping again (and the destructor after that) is a no-op.
+  session.stop();
+}
+
+TEST(ServingSession, SubmitAfterStopResolvesShutdown) {
+  ServingSession session(make_tiny_classifier(), tiny_config());
+  session.stop();
+  Rng rng(13);
+  auto fut = session.submit(random_image(rng));
+  const Response r = fut.get();
+  EXPECT_EQ(r.status, Status::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent inference regression (satellite: const/thread-safe forward)
+
+TEST(ConcurrentInference, EightThreadsMatchSingleThread) {
+  nn::Model model = make_tiny_classifier(21);
+  Rng rng(22);
+  TensorF x({4, 8, 8, 3});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF want = model.forward(x, /*train=*/false);
+  const TensorF want_infer = model.infer(x);
+  ASSERT_TRUE(bits_equal(want, want_infer));  // infer ≡ eval-mode forward
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        const TensorF y = model.infer(x);
+        if (!bits_equal(y, want)) ++mismatches[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
+}
+
+TEST(ConcurrentInference, ResNetInferMatchesEvalForward) {
+  // ResidualBlock (incl. projection shortcut) also needs a const path.
+  nn::ModelConfig cfg;
+  cfg.image_size = 8;
+  cfg.base_channels = 4;
+  nn::Model model = nn::make_resnet(18, cfg);
+  Rng rng(33);
+  TensorF x({2, 8, 8, 3});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  const TensorF want = model.forward(x, false);
+  EXPECT_TRUE(bits_equal(model.infer(x), want));
+}
+
+}  // namespace
+}  // namespace iwg::serve

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -426,6 +429,36 @@ TEST(Metrics, TextReportListsEveryMetric) {
   EXPECT_NE(report.find("test.report_counter"), std::string::npos);
   EXPECT_NE(report.find("test.report_dist"), std::string::npos);
   EXPECT_NE(report.find("count=1"), std::string::npos);
+}
+
+TEST(Metrics, FlushReportWritesMetricsFileOnDemand) {
+  const std::string path =
+      testing::TempDir() + "iwg_flush_report_test_metrics.txt";
+  std::remove(path.c_str());
+  MetricsRegistry::global().counter("test.flush_counter").add(9);
+  set_report_paths(/*trace_path=*/"", /*metrics_path=*/path);
+  ASSERT_TRUE(flush_report());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "flush_report did not create " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("test.flush_counter"), std::string::npos);
+
+  // A second flush atomically replaces the first (no stale temp left over).
+  MetricsRegistry::global().counter("test.flush_counter_second").add(1);
+  ASSERT_TRUE(flush_report());
+  std::ifstream in2(path);
+  std::stringstream ss2;
+  ss2 << in2.rdbuf();
+  EXPECT_NE(ss2.str().find("test.flush_counter_second"), std::string::npos);
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  set_report_paths("", "");  // unconfigure so later tests aren't affected
+  EXPECT_FALSE(flush_report());
+  std::remove(path.c_str());
 }
 
 }  // namespace
