@@ -9,9 +9,14 @@
 // invariant (every submitted future resolves with exactly one Response) and
 // exits nonzero if any request is left hanging or the accounting doesn't
 // balance. With --metrics <path> it flushes the metrics registry to a
-// parseable report (the serve.* entries) via trace::flush_report.
+// parseable report (the serve.* entries) via trace::flush_report. With
+// --prom it prints the Prometheus text exposition to stdout and
+// cross-checks each serve histogram's _count against its counter pair
+// (serve.latency_us vs serve.completed, serve.batch_size vs serve.batches),
+// exiting nonzero on disagreement.
 //
 //   build/examples/serve_demo [--clients N] [--requests N] [--metrics path]
+//                             [--prom]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +63,7 @@ nn::Model make_model(unsigned seed) {
 int main(int argc, char** argv) {
   int clients = 4;
   int requests_per_client = 64;
+  bool prom = false;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
       requests_per_client = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
       metrics_path = argv[++i];
+    if (std::strcmp(argv[i], "--prom") == 0) prom = true;
   }
   if (!metrics_path.empty()) {
     trace::set_report_paths(/*trace_path=*/"", metrics_path);
@@ -171,6 +178,43 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.expired),
                 static_cast<long long>(stats.shed));
     fail = true;
+  }
+  if (prom) {
+    // Exposition for a scraper, plus a self-check: each serve histogram
+    // records exactly once per event its counter pair counts, so their
+    // totals must agree — a mismatch means some path updated one side only.
+    const trace::MetricsRegistry::Snapshot snap =
+        trace::MetricsRegistry::global().snapshot();
+    auto hist_count = [&](const std::string& name) -> std::int64_t {
+      for (const auto& [n, h] : snap.histograms) {
+        if (n == name) return h.count;
+      }
+      return -1;
+    };
+    auto counter_value = [&](const std::string& name) -> std::int64_t {
+      for (const auto& [n, c] : snap.counters) {
+        if (n == name) return c;
+      }
+      return -1;
+    };
+    const struct {
+      const char* hist;
+      const char* counter;
+    } pairs[] = {
+        {"serve.latency_us", "serve.completed"},
+        {"serve.batch_size", "serve.batches"},
+    };
+    for (const auto& p : pairs) {
+      const std::int64_t hc = hist_count(p.hist);
+      const std::int64_t cv = counter_value(p.counter);
+      if (hc != cv) {
+        std::printf("FAIL: histogram %s count %lld != counter %s %lld\n",
+                    p.hist, static_cast<long long>(hc), p.counter,
+                    static_cast<long long>(cv));
+        fail = true;
+      }
+    }
+    std::fputs(session.stats_report().c_str(), stdout);
   }
   if (!metrics_path.empty() && !trace::flush_report()) {
     std::printf("FAIL: metrics flush to %s failed\n", metrics_path.c_str());

@@ -1,6 +1,7 @@
 #include "common/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,6 +16,7 @@ namespace iwg::trace {
 namespace {
 
 thread_local int g_suppress_depth = 0;
+thread_local Context g_context;  // inherited by spans opened on this thread
 
 // Report output targets, set by init_from_env or set_report_paths (atexit
 // handlers must be capture-less, so these live at namespace scope). The
@@ -23,7 +25,24 @@ thread_local int g_suppress_depth = 0;
 std::mutex g_report_mu;
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_prom_path;
 bool g_exit_writer_registered = false;
+
+/// Writes `body` to `path` via temp+rename ("-" -> stderr). Returns success.
+bool write_text_report(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fputs(body.c_str(), stderr);
+    return true;
+  }
+  // Temp + rename so a reader (or a crash mid-write) never sees a
+  // truncated report — flush_report may run every few seconds for the
+  // life of a serving process.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp);
+  if (out.good()) out << body;
+  out.close();
+  return out.good() && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
 
 /// Writes the configured reports. Caller holds g_report_mu.
 bool write_reports_locked(bool quiet) {
@@ -41,21 +60,11 @@ bool write_reports_locked(bool quiet) {
   }
   if (!g_metrics_path.empty()) {
     const std::string report = MetricsRegistry::global().text_report();
-    if (g_metrics_path == "-") {
-      std::fputs(report.c_str(), stderr);
-      wrote = true;
-    } else {
-      // Temp + rename so a reader (or a crash mid-write) never sees a
-      // truncated report — flush_report may run every few seconds for the
-      // life of a serving process.
-      const std::string tmp = g_metrics_path + ".tmp";
-      std::ofstream out(tmp);
-      if (out.good()) out << report;
-      out.close();
-      if (out.good() && std::rename(tmp.c_str(), g_metrics_path.c_str()) == 0) {
-        wrote = true;
-      }
-    }
+    wrote = write_text_report(g_metrics_path, report) || wrote;
+  }
+  if (!g_prom_path.empty()) {
+    const std::string page = MetricsRegistry::global().prometheus_text();
+    wrote = write_text_report(g_prom_path, page) || wrote;
   }
   return wrote;
 }
@@ -83,7 +92,10 @@ void init_from_env_once(Tracer* tracer) {
     }
     const char* mp = std::getenv("IWG_METRICS");
     if (mp != nullptr && mp[0] != '\0') g_metrics_path = mp;
-    if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+    const char* pp = std::getenv("IWG_METRICS_PROM");
+    if (pp != nullptr && pp[0] != '\0') g_prom_path = pp;
+    if (!g_trace_path.empty() || !g_metrics_path.empty() ||
+        !g_prom_path.empty()) {
       register_exit_writer_locked();
     }
   });
@@ -119,10 +131,20 @@ void json_escape_into(std::ostream& os, const std::string& s) {
   }
 }
 
-void args_into(std::ostream& os, const std::vector<Arg>& args) {
+void args_into(std::ostream& os, const std::vector<Arg>& args,
+               const Context& ctx = {}) {
   os << '{';
+  bool first = true;
+  if (ctx.valid()) {
+    // The request context a span inherited renders as ordinary args, so a
+    // span selected in the viewer names the request it served.
+    os << "\"trace_id\":" << ctx.trace_id
+       << ",\"request_id\":" << ctx.request_id;
+    first = false;
+  }
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (i > 0) os << ',';
+    if (!first) os << ',';
+    first = false;
     os << '"';
     json_escape_into(os, args[i].key);
     os << "\":";
@@ -222,12 +244,24 @@ std::string Tracer::chrome_json(bool include_metrics) const {
                      return a.ts_us < b.ts_us;
                    });
 
+  // Flow chains: events sharing a nonzero trace_id, in timeline order. The
+  // first span of a chain gets a flow-start ("s"), intermediate ones a step
+  // ("t"), the last a finish ("f") — Perfetto then draws arrows linking one
+  // request's spans across threads (enqueue → dispatch → complete).
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> chains;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (!evs[i].ctx.valid()) continue;
+    auto [it, fresh] = chains.try_emplace(evs[i].ctx.trace_id, i, i);
+    if (!fresh) it->second.second = i;
+  }
+
   std::ostringstream os;
   os.imbue(std::locale::classic());  // '.' decimals whatever the app locale
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
         "\"args\":{\"name\":\"iwg\"}}";
-  for (const Event& e : evs) {
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const Event& e = evs[i];
     os << ",{\"name\":\"";
     json_escape_into(os, e.name);
     os << "\",\"cat\":\"";
@@ -235,8 +269,23 @@ std::string Tracer::chrome_json(bool include_metrics) const {
     os << "\",\"ph\":\"X\",\"ts\":" << std::fixed << std::setprecision(3)
        << e.ts_us << ",\"dur\":" << e.dur_us << std::defaultfloat
        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":";
-    args_into(os, e.args);
+    args_into(os, e.args, e.ctx);
     os << '}';
+    if (e.ctx.valid()) {
+      const auto& [first_i, last_i] = chains.at(e.ctx.trace_id);
+      const char* ph = i == first_i ? "s" : (i == last_i ? "f" : "t");
+      if (first_i != last_i) {
+        // The flow event's timestamp sits inside the span so the viewer
+        // binds it to this slice (Chrome binds flows positionally).
+        const double fts = e.ts_us + e.dur_us * 0.5;
+        os << ",{\"name\":\"request\",\"cat\":\"flow\",\"ph\":\"" << ph
+           << "\",\"id\":" << e.ctx.trace_id << ",\"ts\":" << std::fixed
+           << std::setprecision(3) << fts << std::defaultfloat
+           << ",\"pid\":1,\"tid\":" << e.tid;
+        if (*ph == 'f') os << ",\"bp\":\"e\"";
+        os << '}';
+      }
+    }
   }
   if (include_metrics) {
     // Counters ride along as Chrome counter ("C") events stamped at the end
@@ -285,6 +334,7 @@ ScopedSpan::ScopedSpan(const char* name, const char* cat) {
   ev_.name = name;
   ev_.cat = cat;
   ev_.tid = Tracer::thread_id();
+  ev_.ctx = g_context;
   start_us_ = t.now_us();
 }
 
@@ -295,6 +345,7 @@ ScopedSpan::ScopedSpan(const std::string& name, const char* cat) {
   ev_.name = name;
   ev_.cat = cat;
   ev_.tid = Tracer::thread_id();
+  ev_.ctx = g_context;
   start_us_ = t.now_us();
 }
 
@@ -338,6 +389,20 @@ Suppress::Suppress() { ++g_suppress_depth; }
 Suppress::~Suppress() { --g_suppress_depth; }
 
 // ---------------------------------------------------------------------------
+// Context propagation
+
+Context current_context() { return g_context; }
+
+std::uint64_t new_trace_id() {
+  // Monotonic and process-unique; starts at 1 so 0 stays "no context".
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ContextScope::ContextScope(Context ctx) : prev_(g_context) { g_context = ctx; }
+ContextScope::~ContextScope() { g_context = prev_; }
+
+// ---------------------------------------------------------------------------
 // Metrics
 
 void Distribution::record(double v) {
@@ -366,6 +431,7 @@ Distribution::Summary Distribution::summary() const {
   std::lock_guard lock(mu_);
   Summary s;
   s.count = count_;
+  s.samples = static_cast<std::int64_t>(samples_.size());
   s.sum = sum_;
   s.min = min_;
   s.max = max_;
@@ -390,6 +456,119 @@ void Distribution::reset() {
   samples_.clear();
 }
 
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN → bottom bucket
+  const int e = std::ilogb(v);
+  const int idx = e - kMinExp;
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_lo(int i) {
+  return i <= 0 ? 0.0 : std::ldexp(1.0, i + kMinExp);
+}
+
+double Histogram::bucket_hi(int i) { return std::ldexp(1.0, i + 1 + kMinExp); }
+
+namespace {
+
+/// Relaxed CAS-accumulate / CAS-min / CAS-max on atomic doubles (record()
+/// must stay lock-free; exactness of the *sum* under contention is all CAS
+/// gives us, and bucket counts are plain atomic adds).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Better>
+void atomic_extreme(std::atomic<double>& a, double v, Better better) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(double v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  // First recorder initializes min/max from 0: seed both with v when the
+  // count was zero. A racing second recorder still converges via the CAS
+  // extremes below.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_add(sum_, v);
+  atomic_extreme(min_, v, [](double a, double b) { return a < b; });
+  atomic_extreme(max_, v, [](double a, double b) { return a > b; });
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among `count` recorded values.
+  const double rank = q * static_cast<double>(count - 1);
+  std::int64_t before = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t n = buckets[static_cast<std::size_t>(i)];
+    if (n > 0 && rank < static_cast<double>(before + n)) {
+      // Linear interpolation inside the covering bucket, clamped to the
+      // observed extremes (the open-ended edge buckets would otherwise
+      // report their nominal power-of-two edges).
+      const double frac =
+          (rank - static_cast<double>(before)) / static_cast<double>(n);
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    before += n;
+  }
+  return max;
+}
+
+void Histogram::Snapshot::merge(const Snapshot& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[static_cast<std::size_t>(i)] +=
+        o.buckets[static_cast<std::size_t>(i)];
+  }
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   // Leaked for the same reason as Tracer::global(): the registry may be
   // first used (and its static therefore constructed) after the at-exit
@@ -412,6 +591,13 @@ Distribution& MetricsRegistry::distribution(const std::string& name) {
   return *slot;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mu_);
   Snapshot snap;
@@ -420,6 +606,9 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   }
   for (const auto& [name, d] : distributions_) {
     snap.distributions.emplace_back(name, d->summary());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
   }
   return snap;
 }
@@ -435,10 +624,78 @@ std::string MetricsRegistry::text_report() const {
   }
   os << std::setprecision(6);
   for (const auto& [name, s] : snap.distributions) {
+    // '~' marks percentiles estimated from a saturated reservoir — a
+    // long-running process exceeds the 2^14-sample reservoir in seconds,
+    // and silently-approximate p50/p99 misled more than they informed.
+    const char* approx = s.degraded() ? "~" : "";
     os << "dist     " << std::left << std::setw(36) << name << std::right
        << " count=" << s.count << " sum=" << s.sum << " mean=" << s.mean()
-       << " min=" << s.min << " p50=" << s.p50 << " p99=" << s.p99
-       << " max=" << s.max << '\n';
+       << " min=" << s.min << " p50=" << approx << s.p50 << " p99=" << approx
+       << s.p99 << " max=" << s.max;
+    if (s.degraded()) {
+      os << " (~approx: " << s.samples << '/' << s.count << " samples)";
+    }
+    os << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "hist     " << std::left << std::setw(36) << name << std::right
+       << " count=" << h.count << " sum=" << h.sum << " mean=" << h.mean()
+       << " min=" << h.min << " p50=" << h.quantile(0.50) << " p99="
+       << h.quantile(0.99) << " max=" << h.max << '\n';
+  }
+  return os.str();
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(9);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, s] : snap.distributions) {
+    // Reservoir distributions export as Prometheus summaries; quantiles are
+    // approximate once the reservoir saturates (same caveat as the '~'
+    // marker in the text report).
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << s.p50 << '\n';
+    os << n << "{quantile=\"0.99\"} " << s.p99 << '\n';
+    os << n << "_sum " << s.sum << '\n';
+    os << n << "_count " << s.count << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = sanitize_metric_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative buckets; emitting only the occupied range (plus +Inf) is
+    // valid exposition and keeps the page compact for 64-bucket histograms.
+    std::int64_t cum = 0;
+    int last_used = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets[static_cast<std::size_t>(i)] > 0) last_used = i;
+    }
+    for (int i = 0; i <= last_used; ++i) {
+      cum += h.buckets[static_cast<std::size_t>(i)];
+      os << n << "_bucket{le=\"" << Histogram::bucket_hi(i) << "\"} " << cum
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << h.sum << '\n';
+    os << n << "_count " << h.count << '\n';
   }
   return os.str();
 }
@@ -447,18 +704,22 @@ void MetricsRegistry::reset() {
   std::lock_guard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, d] : distributions_) d->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 void init_from_env() { Tracer::global(); }
 
 void set_report_paths(const std::string& trace_path,
-                      const std::string& metrics_path) {
+                      const std::string& metrics_path,
+                      const std::string& prometheus_path) {
   Tracer& tracer = Tracer::global();  // runs init_from_env_once first
   {
     std::lock_guard lock(g_report_mu);
     g_trace_path = trace_path;
     g_metrics_path = metrics_path;
-    if (!g_trace_path.empty() || !g_metrics_path.empty()) {
+    g_prom_path = prometheus_path;
+    if (!g_trace_path.empty() || !g_metrics_path.empty() ||
+        !g_prom_path.empty()) {
       register_exit_writer_locked();
     }
   }

@@ -21,12 +21,26 @@
 // process, so hot paths cache references. reset() zeroes values but never
 // invalidates those references.
 //
+// The tracer also acts as a request-scoped flight recorder: a thread-local
+// trace::Context (trace_id/request_id) is inherited by every span opened
+// while a ContextScope is alive, and chrome_json() emits Perfetto flow
+// events ("s"/"t"/"f") chaining a request's spans across threads — the
+// serving path hands the Context from the client thread through the
+// RequestQueue and Batcher to the worker explicitly, so one request's
+// enqueue → dispatch → complete renders as arrows in the trace viewer.
+//
+// The metrics registry holds named monotonic counters, reservoir
+// distributions, and exact lock-free log2-bucket histograms, with both a
+// human text report and a Prometheus text exposition.
+//
 // Environment wiring (read once, at first use or via init_from_env()):
-//   IWG_TRACE=trace.json   enable tracing; write Chrome JSON at exit
-//   IWG_METRICS=-          print the metrics text report to stderr at exit
-//   IWG_METRICS=path.txt   … or write it to a file
+//   IWG_TRACE=trace.json       enable tracing; write Chrome JSON at exit
+//   IWG_METRICS=-              print the metrics text report to stderr at exit
+//   IWG_METRICS=path.txt       … or write it to a file
+//   IWG_METRICS_PROM=path.prom write the Prometheus exposition to a file
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -49,6 +63,41 @@ struct Arg {
   std::int64_t inum = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Request-scoped context (the Dapper-style propagation unit).
+
+/// Identity a span inherits from the request being served. A nonzero
+/// trace_id groups every span that worked on one request, across threads;
+/// chrome_json() turns each group into a Perfetto flow ("s"/"t"/"f" events)
+/// so the enqueue → batch → complete path renders as arrows.
+struct Context {
+  std::uint64_t trace_id = 0;  ///< 0 = no context (plain span)
+  std::uint64_t request_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The context spans on this thread currently inherit (invalid by default).
+Context current_context();
+
+/// Process-unique nonzero flow id for a new request.
+std::uint64_t new_trace_id();
+
+/// RAII: install `ctx` as this thread's current context. The serving layer
+/// hands a request's Context across the queue/batcher/worker boundary
+/// explicitly (it rides in serve::Request) and re-installs it with this
+/// scope wherever work happens on the request's behalf; every span opened
+/// underneath — nn layers, conv segments, sim launches — inherits it.
+class ContextScope {
+ public:
+  explicit ContextScope(Context ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  Context prev_;
+};
+
 /// One completed span.
 struct Event {
   std::string name;
@@ -56,6 +105,7 @@ struct Event {
   double ts_us = 0.0;  ///< start, microseconds since the tracer epoch
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  Context ctx;  ///< inherited request context (may be invalid)
   std::vector<Arg> args;
 };
 
@@ -169,11 +219,15 @@ class Counter {
 };
 
 /// Value distribution: exact count/sum/min/max plus p50/p99 over a bounded
-/// reservoir (exact until kMaxSamples values have been recorded).
+/// reservoir (exact until kMaxSamples values have been recorded; degraded —
+/// approximate — beyond that, which Summary::degraded() makes visible).
+/// Prefer Histogram for hot, unbounded streams (serve latencies, per-conv
+/// metrics): its counts stay exact forever and it merges across processes.
 class Distribution {
  public:
   struct Summary {
     std::int64_t count = 0;
+    std::int64_t samples = 0;  ///< resident reservoir size backing p50/p99
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
@@ -182,6 +236,9 @@ class Distribution {
     double mean() const {
       return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
+    /// Percentiles are estimates once the reservoir saturated (the text
+    /// report marks them with '~').
+    bool degraded() const { return count > samples; }
   };
 
   void record(double v);
@@ -200,23 +257,85 @@ class Distribution {
   std::vector<double> samples_;
 };
 
-/// Process-wide named metrics. counter()/distribution() create on first use
-/// and return references that stay valid for the life of the process.
+/// Lock-free fixed-log2-bucket value histogram.
+///
+/// Bucket i counts values v with 2^(i+kMinExp) <= v < 2^(i+1+kMinExp)
+/// (bucket 0 additionally absorbs everything below its lower edge,
+/// including zero and negatives; the last bucket is open above). Unlike the
+/// reservoir Distribution, counts stay *exact* for the life of the process
+/// — a long-running server never silently degrades its percentiles — and
+/// two snapshots merge by bucket-wise addition, so per-shard histograms
+/// aggregate losslessly. Quantiles come from linear interpolation inside
+/// the covering bucket, clamped to the observed [min, max].
+///
+/// record() is a handful of relaxed atomics (no mutex, no allocation):
+/// cheap enough for per-request serving paths and safe under parallel_for.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -16;  ///< bucket 0 lower edge = 2^-16
+
+  void record(double v);
+
+  /// Lower/upper edge of bucket i (lo(0) = 0 for reporting purposes).
+  static double bucket_lo(int i);
+  static double bucket_hi(int i);
+  static int bucket_index(double v);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::int64_t, kBuckets> buckets{};
+
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    /// Interpolated value at quantile q in [0, 1].
+    double quantile(double q) const;
+    /// Bucket-wise merge (counts add; min/max/sum combine).
+    void merge(const Snapshot& o);
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};  ///< CAS-accumulated
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+};
+
+/// Process-wide named metrics. counter()/distribution()/histogram() create
+/// on first use and return references that stay valid for the life of the
+/// process.
 class MetricsRegistry {
  public:
   static MetricsRegistry& global();
 
   Counter& counter(const std::string& name);
   Distribution& distribution(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::int64_t>> counters;
     std::vector<std::pair<std::string, Distribution::Summary>> distributions;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
   };
   Snapshot snapshot() const;  ///< sorted by name
 
-  /// Human-readable report of every counter and distribution.
+  /// Human-readable report of every counter, distribution, and histogram.
   std::string text_report() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as `counter`,
+  /// histograms as `histogram` with cumulative `_bucket{le="..."}` lines
+  /// plus `_sum`/`_count`, distributions as `summary` quantiles. Metric
+  /// names are sanitized to [a-zA-Z0-9_:] (dots become underscores). A
+  /// scraper pointed at the IWG_METRICS_PROM file — or a caller of
+  /// ServingSession::stats_report() — gets standard scrape-able telemetry.
+  std::string prometheus_text() const;
 
   /// Zero every metric. Registered objects survive (references stay valid).
   void reset();
@@ -225,19 +344,25 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Distribution>> distributions_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Maps a metric name onto the Prometheus charset [a-zA-Z0-9_:] (anything
+/// else becomes '_'; a leading digit gets a '_' prefix).
+std::string sanitize_metric_name(const std::string& name);
 
 /// Read IWG_TRACE / IWG_METRICS once and register the at-exit writers.
 /// Implicit in Tracer::global(); call early in a driver to be explicit.
 void init_from_env();
 
 /// Set/override the report output paths programmatically (same semantics as
-/// IWG_TRACE / IWG_METRICS; empty string disables that output; metrics path
-/// "-" writes to stderr). Enables the tracer when a trace path is given and
-/// registers the at-exit writers, so a long-running server can configure
-/// reporting without touching the environment.
+/// IWG_TRACE / IWG_METRICS / IWG_METRICS_PROM; empty string disables that
+/// output; metrics path "-" writes to stderr). Enables the tracer when a
+/// trace path is given and registers the at-exit writers, so a long-running
+/// server can configure reporting without touching the environment.
 void set_report_paths(const std::string& trace_path,
-                      const std::string& metrics_path);
+                      const std::string& metrics_path,
+                      const std::string& prometheus_path = "");
 
 /// Write the trace JSON and metrics report to their configured outputs
 /// *now*, atomically replacing the previous flush (write-to-temp + rename).

@@ -1,0 +1,144 @@
+#include "core/conflict_model.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace iwg::core {
+
+namespace {
+
+using LaneList = std::vector<std::pair<std::int64_t, int>>;  // (byte, width)
+
+/// Accumulate the cost of one warp-wide request into `total`.
+void price(sim::SmemRequestCost& total, const LaneList& lanes) {
+  if (lanes.empty()) return;
+  const sim::SmemRequestCost c = sim::smem_request_cost(lanes);
+  total.passes += c.passes;
+  total.ideal += c.ideal;
+}
+
+}  // namespace
+
+GammaConflictPrediction predict_gamma_conflicts(const GammaConfig& cfg) {
+  GammaConflictPrediction pred;
+
+  const int alpha = cfg.alpha;
+  const int threads = cfg.threads();
+  const int bn = cfg.bn;
+  const int bm = cfg.bm;
+  const int ds_last = bm + ((cfg.pad_smem && !cfg.swizzle_ds) ? 4 : 0);
+  // Region word bases inside the block's smem arena: Gs is allocated first,
+  // Ds follows it (the double buffer doubles both).
+  const int bufs = cfg.double_buffer ? 2 : 1;
+  const std::int64_t gs_base = 0;
+  const std::int64_t ds_base =
+      static_cast<std::int64_t>(bufs) * cfg.bk * alpha * bn;
+
+  const int ftpt = cfg.filter_tiles_per_thread;
+  const int itpt = cfg.input_tiles_per_thread;
+  const int gc = bn / cfg.a_len;
+  const int dc = bm / cfg.b_len;
+  const int tps = threads / alpha;  // outer-product threads per state
+
+  // Per-thread staging/outer-product indices — the §5.2 / Figure-4 mapping,
+  // written down from the formulas rather than shared with the kernel so the
+  // test compares two independent derivations.
+  struct Lane {
+    int gk, gi;    // filter staging: k-channel in chunk, first OC column
+    int xk, xi;    // input staging: k-channel in chunk, first tile column
+    int ux;        // outer-product state
+    int gidx, didx;
+  };
+  auto lane_of = [&](int flat) {
+    Lane ln;
+    const int tx = flat % cfg.threads_x;
+    const int ty = flat / cfg.threads_x;
+    ln.gk = ty % 8;
+    ln.xk = tx % 8;
+    const int slot_g = threads == 256 ? 2 * tx + (ty > 7 ? 1 : 0) : tx;
+    const int slot_d = 2 * ty + (tx > 7 ? 1 : 0);
+    ln.gi = slot_g * ftpt;
+    ln.xi = slot_d * itpt;
+    ln.ux = flat / tps;
+    const int uy = flat % tps;
+    int gcell, dcell;
+    if (cfg.zshape_lanes && gc >= 2) {
+      gcell = (uy % 2) + (uy / (2 * dc)) * 2;
+      dcell = (uy % (2 * dc)) / 2;
+    } else {
+      gcell = uy % gc;
+      dcell = uy / gc;
+    }
+    ln.gidx = gcell * cfg.a_len;
+    ln.didx = dcell * cfg.b_len;
+    return ln;
+  };
+
+  auto gs_word = [&](int k, int s, int col) {
+    return gs_base + (static_cast<std::int64_t>(k) * alpha + s) * bn + col;
+  };
+  auto ds_word = [&](int k, int s, int col) {
+    return ds_base + (static_cast<std::int64_t>(k) * alpha + s) * ds_last +
+           col;
+  };
+
+  for (int warp0 = 0; warp0 < threads; warp0 += 32) {
+    const int wend = std::min(threads, warp0 + 32);
+
+    // ---- Staging stores. The kernel's per-lane store sequence is uniform
+    // across the warp, so occurrence k of every lane forms one request:
+    // (f, s) for the Gs stores, (it, s) for the Ds stores.
+    for (int f = 0; f < ftpt; ++f) {
+      for (int s = 0; s < alpha; ++s) {
+        LaneList lanes;
+        for (int flat = warp0; flat < wend; ++flat) {
+          const Lane ln = lane_of(flat);
+          lanes.emplace_back(gs_word(ln.gk, s, ln.gi + f) * 4, 4);
+        }
+        price(pred.gs_store, lanes);
+      }
+    }
+    for (int it = 0; it < itpt; ++it) {
+      for (int s = 0; s < alpha; ++s) {
+        LaneList lanes;
+        for (int flat = warp0; flat < wend; ++flat) {
+          const Lane ln = lane_of(flat);
+          const int col_raw = ln.xi + it;
+          const int col =
+              cfg.swizzle_ds ? (col_raw + 4 * ln.xk) % bm : col_raw;
+          lanes.emplace_back(ds_word(ln.xk, s, col) * 4, 4);
+        }
+        price(pred.ds_store, lanes);
+      }
+    }
+
+    // ---- Outer-product loads: 128-bit, one request per (ik, c4).
+    for (int ik = 0; ik < cfg.bk; ++ik) {
+      for (int c4 = 0; c4 < cfg.a_len / 4; ++c4) {
+        LaneList lanes;
+        for (int flat = warp0; flat < wend; ++flat) {
+          const Lane ln = lane_of(flat);
+          lanes.emplace_back(
+              gs_word(ik, ln.ux, ln.gidx + 4 * c4) * 4, 16);
+        }
+        price(pred.gs_load, lanes);
+      }
+      for (int c4 = 0; c4 < cfg.b_len / 4; ++c4) {
+        LaneList lanes;
+        for (int flat = warp0; flat < wend; ++flat) {
+          const Lane ln = lane_of(flat);
+          const int col0 = cfg.swizzle_ds
+                               ? (ln.didx + 4 * c4 + 4 * ik) % bm
+                               : ln.didx + 4 * c4;
+          lanes.emplace_back(ds_word(ik, ln.ux, col0) * 4, 16);
+        }
+        price(pred.ds_load, lanes);
+      }
+    }
+  }
+
+  return pred;
+}
+
+}  // namespace iwg::core

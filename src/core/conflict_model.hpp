@@ -1,0 +1,45 @@
+// Analytic bank-conflict model for the Γ kernel's shared-memory sites.
+//
+// The paper's §5.2 claims — Ds padding fixes Γ4/Γ16, the (Xi + 4·Xk) % BM
+// swizzle is *required* for Γ8 because padding cannot help it, and the
+// Figure-4 Z-shaped lane arrangement keeps the outer-product loads clean —
+// are usually asserted from the index formulas. This model turns them into
+// numbers: it rebuilds each warp's (address, width) access list for the
+// staging stores and outer-product loads directly from the GammaConfig
+// geometry (independently of the kernel's execution path), then prices the
+// lists with sim::smem_request_cost — the exact measurement rule the SIMT
+// simulator applies to executed accesses. Because predicted and measured
+// requests are priced by the same rule, the per-site conflict factors are
+// directly comparable, and sim_counters_test asserts they agree for the
+// swizzled and unswizzled kernels alike.
+//
+// Why Γ8 needs the swizzle and padding does nothing for it: an unswizzled
+// thread stores its Ds column col_raw = Xi at word (Xk·α·ds_last + s·ds_last
+// + Xi). Within a Γ8 warp (tx = 0..15, two ty rows) the 32 lanes cover only
+// 4 distinct Xi values while Xk walks 0..7, so 8 lanes collide on each of 4
+// banks → an 8-way conflict. Padding ds_last 32→36 shifts each Xk row by
+// Xk·8·36 = 288·Xk ≡ 0 (mod 32): every row lands on the same banks again.
+// The swizzle makes the column Xk-dependent — (Xi + 4·Xk) % 32 — which
+// spreads the 32 lanes over all 32 banks: conflict-free by construction.
+#pragma once
+
+#include "core/gamma_config.hpp"
+#include "gpusim/sim.hpp"
+
+namespace iwg::core {
+
+/// Predicted per-site smem request costs for one staging phase plus one
+/// outer-product pass over every warp of a Γ thread block. Conflict factors
+/// (passes / ideal) are scale-invariant, so they equal the factors a full
+/// counted launch measures — the kernel repeats the same access pattern
+/// every (fh, ic-chunk) iteration.
+struct GammaConflictPrediction {
+  sim::SmemRequestCost gs_store;  ///< kSiteGsSt — transformed filter staging
+  sim::SmemRequestCost ds_store;  ///< kSiteDsSt — transformed input staging
+  sim::SmemRequestCost gs_load;   ///< kSiteGsLd — outer-product a operand
+  sim::SmemRequestCost ds_load;   ///< kSiteDsLd — outer-product b operand
+};
+
+GammaConflictPrediction predict_gamma_conflicts(const GammaConfig& cfg);
+
+}  // namespace iwg::core

@@ -30,6 +30,37 @@ void tag_segment(trace::ScopedSpan& span, const Segment& seg) {
   }
 }
 
+/// Export one kernel launch's measured hardware counters into the flight
+/// recorder: per-kernel span args (readable next to the slice in Perfetto)
+/// plus process-level metrics, so the paper's §5.2 bank-conflict and NHWC
+/// coalescing claims are continuously measured numbers rather than one-off
+/// bench output.
+void export_sim_stats(trace::ScopedSpan& span, const sim::LaunchStats& st) {
+  span.arg("sim.blocks", st.blocks)
+      .arg("sim.fma", st.fma)
+      .arg("sim.gld_sectors", st.gld_sectors)
+      .arg("sim.gst_sectors", st.gst_sectors)
+      .arg("sim.gld_efficiency", st.gld_efficiency())
+      .arg("sim.smem_ld_passes", st.smem_ld_passes)
+      .arg("sim.smem_ld_ideal", st.smem_ld_ideal)
+      .arg("sim.smem_st_passes", st.smem_st_passes)
+      .arg("sim.smem_st_ideal", st.smem_st_ideal)
+      .arg("sim.smem_ld_conflict_factor", st.smem_ld_conflict_factor())
+      .arg("sim.smem_st_conflict_factor", st.smem_st_conflict_factor())
+      .arg("sim.barriers", st.barriers);
+  auto& reg = trace::MetricsRegistry::global();
+  static trace::Counter& launches = reg.counter("sim.counted_launches");
+  static trace::Histogram& ld_cf =
+      reg.histogram("sim.smem_ld_conflict_factor");
+  static trace::Histogram& st_cf =
+      reg.histogram("sim.smem_st_conflict_factor");
+  static trace::Histogram& gld_eff = reg.histogram("sim.gld_efficiency");
+  launches.add();
+  ld_cf.record(st.smem_ld_conflict_factor());
+  st_cf.record(st.smem_st_conflict_factor());
+  gld_eff.record(st.gld_efficiency());
+}
+
 }  // namespace
 
 std::vector<Segment> plan_for(const ConvShape& s, const ConvOptions& opts) {
@@ -137,17 +168,22 @@ TensorF run_plan_sim(const TensorF& x, const TensorF& w_orig,
     covered += seg.ow_len;
     IWG_TRACE_SPAN(span, seg.is_gemm ? "gemm_sim" : "gamma_sim", "sim");
     tag_segment(span, seg);
+    // When the flight recorder is on, run the launch with hardware counters
+    // and attach the measurements to this kernel's span.
+    const bool counting = span.active();
     if (seg.is_gemm) {
       if (wgemm.empty())
         wgemm = precompute_gemm_filter(w_orig, GemmLayout::kNHWC);
       sim::GmemBuf wg(wgemm.data(), wgemm.size());
       ImplicitGemmKernel k(s, GemmLayout::kNHWC, xbuf, wg, ybuf, seg.ow_start,
                            seg.ow_len);
-      sim::launch_all(k, k.grid());
+      const sim::LaunchStats st = sim::launch_all(k, k.grid(), counting);
+      if (counting) export_sim_stats(span, st);
     } else {
       GammaKernel k(seg.cfg, s, ConvDir::kForward, xbuf, wbuf, ybuf,
                     seg.ow_start, seg.ow_len);
-      sim::launch_all(k, k.grid());
+      const sim::LaunchStats st = sim::launch_all(k, k.grid(), counting);
+      if (counting) export_sim_stats(span, st);
     }
   }
   IWG_CHECK_MSG(covered == s.ow(), "plan does not cover OW");
@@ -190,6 +226,7 @@ TensorF deconv2d_sim(const TensorF& dy, const TensorF& w, const ConvShape& s,
     covered += seg.ow_len;
     IWG_TRACE_SPAN(span, seg.is_gemm ? "gemm_sim" : "gamma_sim", "sim");
     tag_segment(span, seg);
+    const bool counting = span.active();
     if (seg.is_gemm) {
       if (wgemm.empty()) {
         wrot = deconv_filter(w);
@@ -198,11 +235,13 @@ TensorF deconv2d_sim(const TensorF& dy, const TensorF& w, const ConvShape& s,
       sim::GmemBuf wg(wgemm.data(), wgemm.size());
       ImplicitGemmKernel k(b, GemmLayout::kNHWC, xbuf, wg, ybuf, seg.ow_start,
                            seg.ow_len);
-      sim::launch_all(k, k.grid());
+      const sim::LaunchStats st = sim::launch_all(k, k.grid(), counting);
+      if (counting) export_sim_stats(span, st);
     } else {
       GammaKernel k(seg.cfg, b, ConvDir::kBackwardData, xbuf, wbuf, ybuf,
                     seg.ow_start, seg.ow_len);
-      sim::launch_all(k, k.grid());
+      const sim::LaunchStats st = sim::launch_all(k, k.grid(), counting);
+      if (counting) export_sim_stats(span, st);
     }
   }
   IWG_CHECK_MSG(covered == b.ow(), "plan does not cover the deconv output");
@@ -238,15 +277,20 @@ ConvPerfReport profile_conv2d(const ConvShape& s, const sim::DeviceProfile& dev,
                    "profile");
     tag_segment(span, seg);
     sim::PerfEstimate est;
+    sim::LaunchStats seg_stats;
     if (seg.is_gemm) {
       ImplicitGemmKernel k(s, GemmLayout::kNHWC, xbuf, wgemm, ybuf,
                            seg.ow_start, seg.ow_len);
-      est = profile_gemm(k, dev, seg_flops, footprint * frac, max_samples, 1);
+      est = profile_gemm(k, dev, seg_flops, footprint * frac, max_samples, 1,
+                         &seg_stats);
     } else {
       GammaKernel k(seg.cfg, s, ConvDir::kForward, xbuf, wbuf, ybuf,
                     seg.ow_start, seg.ow_len);
-      est = profile_gamma(k, dev, seg_flops, footprint * frac, max_samples, 1);
+      est = profile_gamma(k, dev, seg_flops, footprint * frac, max_samples, 1,
+                          &seg_stats);
     }
+    rep.stats.merge(seg_stats);
+    export_sim_stats(span, seg_stats);
     // The paper's roofline attribution (§6): per-resource analytic split.
     span.arg("time_s", est.time_s)
         .arg("gflops", est.gflops)
@@ -283,8 +327,9 @@ ConvPerfReport profile_gemm_conv2d(const ConvShape& s,
   sim::GmemBuf ybuf(static_cast<float*>(nullptr),
                     s.n * s.oh() * s.ow() * s.oc);
   ImplicitGemmKernel k(s, layout, xbuf, wbuf, ybuf, 0, s.ow());
-  const sim::PerfEstimate est = profile_gemm(
-      k, dev, s.flops(), xbytes + wbytes + ybytes, max_samples, 1);
+  const sim::PerfEstimate est =
+      profile_gemm(k, dev, s.flops(), xbytes + wbytes + ybytes, max_samples, 1,
+                   &rep.stats);
   rep.segments.push_back(est);
   rep.time_s = est.time_s;
   rep.gflops = est.gflops;

@@ -9,23 +9,6 @@ using sim::Block;
 using sim::Smem;
 using sim::Thread;
 
-namespace {
-
-// Access-site ids for the counter analyzers.
-enum Site : int {
-  kSiteW = 0,    // filter loads (global)
-  kSiteX = 1,    // input loads (global, texture-like)
-  kSiteGsSt = 2, // transformed filter stores (SMEM)
-  kSiteDsSt = 3, // transformed input stores (SMEM)
-  kSiteGsLd = 4, // outer-product a loads (SMEM)
-  kSiteDsLd = 5, // outer-product b loads (SMEM)
-  kSiteYsSt = 6, // output-transform staging stores (SMEM)
-  kSiteYsLd = 7, // output-transform staging loads (SMEM)
-  kSiteY = 8,    // output stores (global)
-};
-
-}  // namespace
-
 ConvShape GammaKernel::make_backward_shape(const ConvShape& s) {
   ConvShape b;
   b.n = s.n;
@@ -449,9 +432,11 @@ sim::LaunchStats run_gamma(const GammaKernel& k, bool counting) {
 sim::PerfEstimate profile_gamma(const GammaKernel& k,
                                 const sim::DeviceProfile& dev,
                                 double conv_flops, double footprint_bytes,
-                                int max_samples, int num_launches) {
+                                int max_samples, int num_launches,
+                                sim::LaunchStats* stats_out) {
   sim::PerfInput in;
   in.stats = sim::launch_sample(k, k.grid(), max_samples);
+  if (stats_out != nullptr) *stats_out = in.stats;
   in.grid_blocks = k.grid().count();
   in.threads_per_block = k.config().threads();
   in.smem_per_block = k.config().smem_bytes();

@@ -28,6 +28,22 @@
 
 namespace iwg::core {
 
+/// Access-site ids the Γ kernel tags its memory operations with. Public so
+/// per-site counters in sim::LaunchStats (and the analytic predictions in
+/// core/conflict_model) can name the specific access they talk about — e.g.
+/// "the Ds staging store" rather than a whole-kernel aggregate.
+enum GammaSite : int {
+  kSiteW = 0,     ///< filter loads (global)
+  kSiteX = 1,     ///< input loads (global, texture-like)
+  kSiteGsSt = 2,  ///< transformed filter stores (SMEM)
+  kSiteDsSt = 3,  ///< transformed input stores (SMEM)
+  kSiteGsLd = 4,  ///< outer-product a loads (SMEM)
+  kSiteDsLd = 5,  ///< outer-product b loads (SMEM)
+  kSiteYsSt = 6,  ///< output-transform staging stores (SMEM)
+  kSiteYsLd = 7,  ///< output-transform staging loads (SMEM)
+  kSiteY = 8,     ///< output stores (global)
+};
+
 /// Which convolution the kernel computes.
 enum class ConvDir {
   kForward,       ///< filter passed in transposed FH,FW,IC,OC layout
@@ -84,10 +100,13 @@ class GammaKernel final : public sim::Kernel {
 /// Run the kernel functionally over the full grid (tests, small shapes).
 sim::LaunchStats run_gamma(const GammaKernel& k, bool counting = false);
 
-/// Sampled profile + analytic estimate for one segment on `dev`.
+/// Sampled profile + analytic estimate for one segment on `dev`. When
+/// `stats_out` is non-null it receives the measured (extrapolated) hardware
+/// counters the estimate was computed from, so callers can export them.
 sim::PerfEstimate profile_gamma(const GammaKernel& k,
                                 const sim::DeviceProfile& dev,
                                 double conv_flops, double footprint_bytes,
-                                int max_samples = 8, int num_launches = 1);
+                                int max_samples = 8, int num_launches = 1,
+                                sim::LaunchStats* stats_out = nullptr);
 
 }  // namespace iwg::core

@@ -301,9 +301,11 @@ void ImplicitGemmKernel::run_block(Block& blk) const {
 sim::PerfEstimate profile_gemm(const ImplicitGemmKernel& k,
                                const sim::DeviceProfile& dev,
                                double conv_flops, double footprint_bytes,
-                               int max_samples, int num_launches) {
+                               int max_samples, int num_launches,
+                               sim::LaunchStats* stats_out) {
   sim::PerfInput in;
   in.stats = sim::launch_sample(k, k.grid(), max_samples);
+  if (stats_out != nullptr) *stats_out = in.stats;
   in.grid_blocks = k.grid().count();
   in.threads_per_block = 256;
   in.smem_per_block = k.smem_bytes();

@@ -72,6 +72,7 @@ class ImplicitGemmKernel final : public sim::Kernel {
 sim::PerfEstimate profile_gemm(const ImplicitGemmKernel& k,
                                const sim::DeviceProfile& dev,
                                double conv_flops, double footprint_bytes,
-                               int max_samples = 8, int num_launches = 1);
+                               int max_samples = 8, int num_launches = 1,
+                               sim::LaunchStats* stats_out = nullptr);
 
 }  // namespace iwg::core

@@ -23,6 +23,12 @@ void LaunchStats::merge(const LaunchStats& o) {
   smem_st_requests += o.smem_st_requests;
   smem_st_passes += o.smem_st_passes;
   smem_st_ideal += o.smem_st_ideal;
+  for (int i = 0; i < kMaxSites; ++i) {
+    site_ld_passes[i] += o.site_ld_passes[i];
+    site_ld_ideal[i] += o.site_ld_ideal[i];
+    site_st_passes[i] += o.site_st_passes[i];
+    site_st_ideal[i] += o.site_st_ideal[i];
+  }
   barriers += o.barriers;
   blocks += o.blocks;
 }
@@ -45,8 +51,43 @@ void LaunchStats::scale(double factor) {
   s(smem_st_requests);
   s(smem_st_passes);
   s(smem_st_ideal);
+  for (int i = 0; i < kMaxSites; ++i) {
+    s(site_ld_passes[i]);
+    s(site_ld_ideal[i]);
+    s(site_st_passes[i]);
+    s(site_st_ideal[i]);
+  }
   s(barriers);
   s(blocks);
+}
+
+SmemRequestCost smem_request_cost(
+    std::span<const std::pair<std::int64_t, int>> lanes) {
+  SmemRequestCost cost;
+  int max_width = 4;
+  for (const auto& [addr, width] : lanes)
+    max_width = std::max(max_width, width);
+  const std::size_t lanes_per_group =
+      static_cast<std::size_t>(std::max(1, 32 / (max_width / 4)));
+  for (std::size_t g0 = 0; g0 < lanes.size(); g0 += lanes_per_group) {
+    std::int64_t word_buf[160];
+    int nw = 0;
+    const std::size_t g1 = std::min(lanes.size(), g0 + lanes_per_group);
+    for (std::size_t i = g0; i < g1; ++i) {
+      const auto& [addr, width] = lanes[i];
+      for (int w = 0; w < width / 4 && nw < 160; ++w)
+        word_buf[nw++] = addr / 4 + w;
+    }
+    std::sort(word_buf, word_buf + nw);
+    const std::int64_t nwords = std::unique(word_buf, word_buf + nw) - word_buf;
+    std::int64_t per_bank[32] = {0};
+    for (std::int64_t i = 0; i < nwords; ++i) ++per_bank[word_buf[i] % 32];
+    std::int64_t group_passes = 0;
+    for (std::int64_t c : per_bank) group_passes = std::max(group_passes, c);
+    cost.passes += std::max<std::int64_t>(group_passes, nwords == 0 ? 0 : 1);
+    cost.ideal += (nwords + 31) / 32;
+  }
+  return cost;
 }
 
 // ---------------------------------------------------------------------------
@@ -184,7 +225,7 @@ void Block::flush_warp() const {
   struct Group {
     std::vector<std::pair<std::int64_t, int>> lanes;  // (addr, width)
   };
-  constexpr int kMaxSites = 16;
+  constexpr int kMaxSites = LaunchStats::kMaxSites;
   constexpr int kSlots = 4 * kMaxSites;  // kind × site
   // groups_scratch_[slot] = per-occurrence request list.
   static thread_local std::vector<std::vector<Group>> slots;
@@ -208,16 +249,22 @@ void Block::flush_warp() const {
     lane_log_[lane].clear();
   }
 
-  std::vector<std::pair<Kind, const Group*>> flat;
+  struct FlatReq {
+    Kind kind;
+    int site;
+    const Group* group;
+  };
+  std::vector<FlatReq> flat;
   for (int slot : used_slots) {
     auto& vec = slots[static_cast<std::size_t>(slot)];
     for (auto& g : vec) {
       if (!g.lanes.empty())
-        flat.emplace_back(static_cast<Kind>(slot / kMaxSites), &g);
+        flat.push_back(
+            FlatReq{static_cast<Kind>(slot / kMaxSites), slot % kMaxSites, &g});
     }
   }
 
-  for (const auto& [kind_v, gp] : flat) {
+  for (const auto& [kind_v, site, gp] : flat) {
     const Kind kind = kind_v;
     const Group& g = *gp;
     if (kind == Kind::kGld || kind == Kind::kGst) {
@@ -244,45 +291,23 @@ void Block::flush_warp() const {
         stats_.gst_ideal_bytes += ideal;
       }
     } else {
-      // Bank conflicts. Hardware splits wide accesses into sub-warp
-      // transactions (64-bit → half warps, 128-bit → quarter warps); within
-      // each transaction a pass serves at most one distinct 4-byte word per
-      // bank, broadcast to any number of lanes.
-      int max_width = 4;
-      for (const auto& [addr, width] : g.lanes)
-        max_width = std::max(max_width, width);
-      const std::size_t lanes_per_group =
-          static_cast<std::size_t>(std::max(1, 32 / (max_width / 4)));
-      std::int64_t passes = 0;
-      std::int64_t ideal = 0;
-      for (std::size_t g0 = 0; g0 < g.lanes.size(); g0 += lanes_per_group) {
-        std::int64_t word_buf[160];
-        int nw = 0;
-        const std::size_t g1 = std::min(g.lanes.size(), g0 + lanes_per_group);
-        for (std::size_t i = g0; i < g1; ++i) {
-          const auto& [addr, width] = g.lanes[i];
-          for (int w = 0; w < width / 4 && nw < 160; ++w)
-            word_buf[nw++] = addr / 4 + w;
-        }
-        std::sort(word_buf, word_buf + nw);
-        const std::int64_t nwords =
-            std::unique(word_buf, word_buf + nw) - word_buf;
-        std::int64_t per_bank[32] = {0};
-        for (std::int64_t i = 0; i < nwords; ++i) ++per_bank[word_buf[i] % 32];
-        std::int64_t group_passes = 0;
-        for (std::int64_t c : per_bank)
-          group_passes = std::max(group_passes, c);
-        passes += std::max<std::int64_t>(group_passes, nwords == 0 ? 0 : 1);
-        ideal += (nwords + 31) / 32;
-      }
+      // Bank conflicts, priced by the shared measurement rule (the analytic
+      // model in core/conflict_model uses the same function on *predicted*
+      // access patterns, so measured and analytic factors are comparable by
+      // construction).
+      const SmemRequestCost cost = smem_request_cost(g.lanes);
       if (kind == Kind::kSld) {
         stats_.smem_ld_requests += 1;
-        stats_.smem_ld_passes += passes;
-        stats_.smem_ld_ideal += ideal;
+        stats_.smem_ld_passes += cost.passes;
+        stats_.smem_ld_ideal += cost.ideal;
+        stats_.site_ld_passes[site] += cost.passes;
+        stats_.site_ld_ideal[site] += cost.ideal;
       } else {
         stats_.smem_st_requests += 1;
-        stats_.smem_st_passes += passes;
-        stats_.smem_st_ideal += ideal;
+        stats_.smem_st_passes += cost.passes;
+        stats_.smem_st_ideal += cost.ideal;
+        stats_.site_st_passes[site] += cost.passes;
+        stats_.site_st_ideal[site] += cost.ideal;
       }
     }
   }

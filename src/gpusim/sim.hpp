@@ -23,6 +23,7 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -85,6 +86,10 @@ struct Smem {
 
 /// Aggregated measurements for one launch (or one sampled block set).
 struct LaunchStats {
+  /// Access-site id space (kernels tag every memory access with a site id;
+  /// per-site shared-memory counters are kept for site ids 0..kMaxSites-1).
+  static constexpr int kMaxSites = 16;
+
   std::int64_t fma = 0;  ///< FP32 multiply-add operations
   std::int64_t alu = 0;  ///< other FP32 ops (transform adds, scaling)
 
@@ -101,6 +106,16 @@ struct LaunchStats {
   std::int64_t smem_st_requests = 0;
   std::int64_t smem_st_passes = 0;
   std::int64_t smem_st_ideal = 0;
+
+  /// Per-access-site breakdown of the smem pass counters above (indexed by
+  /// the kernel's site id mod kMaxSites). This is what lets a test — or the
+  /// flight recorder — pin the bank-conflict factor on one specific store
+  /// (e.g. the Γ kernel's Ds staging store) instead of a whole-kernel
+  /// aggregate that averages conflicting and clean sites together.
+  std::int64_t site_ld_passes[kMaxSites] = {0};
+  std::int64_t site_ld_ideal[kMaxSites] = {0};
+  std::int64_t site_st_passes[kMaxSites] = {0};
+  std::int64_t site_st_ideal[kMaxSites] = {0};
 
   std::int64_t barriers = 0;
   std::int64_t blocks = 0;
@@ -127,7 +142,39 @@ struct LaunchStats {
                               : static_cast<double>(smem_st_passes) /
                                     static_cast<double>(smem_st_ideal);
   }
+  double site_ld_conflict_factor(int site) const {
+    const int i = site % kMaxSites;
+    return site_ld_ideal[i] == 0 ? 1.0
+                                 : static_cast<double>(site_ld_passes[i]) /
+                                       static_cast<double>(site_ld_ideal[i]);
+  }
+  double site_st_conflict_factor(int site) const {
+    const int i = site % kMaxSites;
+    return site_st_ideal[i] == 0 ? 1.0
+                                 : static_cast<double>(site_st_passes[i]) /
+                                       static_cast<double>(site_st_ideal[i]);
+  }
 };
+
+/// Cost of one warp-wide shared-memory request, given each participating
+/// lane's (byte address, byte width). This is the simulator's measurement
+/// rule — hardware splits wide accesses into sub-warp transactions (64-bit →
+/// half warps, 128-bit → quarter warps); within each transaction a pass
+/// serves at most one distinct 4-byte word per bank (of 32), broadcast to
+/// any number of lanes. Exposed so the analytic performance model can price
+/// a *predicted* access pattern with the exact same rule the simulator uses
+/// to measure an executed one (single source of truth; see
+/// core/conflict_model.hpp).
+struct SmemRequestCost {
+  std::int64_t passes = 0;  ///< serialized conflict passes
+  std::int64_t ideal = 0;   ///< conflict-free passes for the same request
+  double conflict_factor() const {
+    return ideal == 0 ? 1.0
+                      : static_cast<double>(passes) / static_cast<double>(ideal);
+  }
+};
+SmemRequestCost smem_request_cost(
+    std::span<const std::pair<std::int64_t, int>> lanes);
 
 class Block;
 

@@ -12,6 +12,12 @@ trace::Counter& expired_counter() {
   return c;
 }
 
+trace::Histogram& expired_latency_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.latency_us.expired");
+  return h;
+}
+
 }  // namespace
 
 Batcher::Batch Batcher::next_batch() {
@@ -33,6 +39,11 @@ Batcher::Batch Batcher::next_batch() {
     const Clock::time_point now = Clock::now();
     for (Request& r : popped) {
       if (r.deadline.expired(now)) {
+        // The request's context crossed the thread boundary inside the
+        // Request itself; restoring it here puts the expiry span into the
+        // request's flow chain (enqueue → expired, no complete).
+        trace::ContextScope ctx_scope(r.ctx);
+        IWG_TRACE_SPAN(span, "serve.expired", "serve");
         expired_counter().add();
         ++b.expired;
         Response resp;
@@ -42,6 +53,8 @@ Batcher::Batch Batcher::next_batch() {
                             now - r.enqueue_time)
                             .count();
         resp.latency_us = resp.queue_us;
+        span.arg("queue_us", resp.queue_us);
+        expired_latency_hist().record(resp.latency_us);
         r.promise.set_value(std::move(resp));
       } else {
         b.requests.push_back(std::move(r));

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "common/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace iwg::serve {
@@ -77,6 +78,11 @@ struct Request {
   TensorF input;  ///< H×W×C (rank 3)
   Deadline deadline;
   Clock::time_point enqueue_time;
+  /// Flight-recorder identity, minted at submit. The request object is the
+  /// explicit hand-off across threads: whichever thread touches the request
+  /// next (batcher shed, worker dispatch/complete) restores this context via
+  /// trace::ContextScope so its spans join the request's flow chain.
+  trace::Context ctx;
   std::promise<Response> promise;
 };
 

@@ -18,19 +18,29 @@ trace::Counter& rejected_counter() {
   return c;
 }
 
-trace::Distribution& depth_dist() {
-  static trace::Distribution& d =
-      trace::MetricsRegistry::global().distribution("serve.queue_depth");
-  return d;
+trace::Histogram& depth_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.queue_depth");
+  return h;
 }
 
 void resolve(Request& r, Status status, const char* reason) {
+  // Restore the request's flight-recorder context so the terminal span
+  // joins its flow chain even on the reject/shed path.
+  trace::ContextScope ctx_scope(r.ctx);
+  IWG_TRACE_SPAN(span, "serve.reject", "serve");
+  span.arg("status", status_name(status));
   Response resp;
   resp.status = status;
   resp.reason = reason;
   resp.latency_us = std::chrono::duration<double, std::micro>(
                         Clock::now() - r.enqueue_time)
                         .count();
+  // Per-status latency histogram (serve.latency_us.rejected / .shutdown):
+  // cold path, so the registry lookup per call is fine.
+  trace::MetricsRegistry::global()
+      .histogram(std::string("serve.latency_us.") + status_name(status))
+      .record(resp.latency_us);
   r.promise.set_value(std::move(resp));
 }
 
@@ -45,7 +55,7 @@ RequestQueue::Admit RequestQueue::push(Request&& r) {
     if (!closed_ && q_.size() < capacity_) {
       q_.push_back(std::move(r));
       enqueued_counter().add();
-      depth_dist().record(static_cast<double>(q_.size()));
+      depth_hist().record(static_cast<double>(q_.size()));
       cv_.notify_one();
       return Admit::kAccepted;
     }

@@ -10,22 +10,44 @@ namespace iwg::serve {
 
 namespace {
 
-trace::Distribution& batch_size_dist() {
-  static trace::Distribution& d =
-      trace::MetricsRegistry::global().distribution("serve.batch_size");
-  return d;
+// Hot serve metrics are log2-bucket Histograms, not reservoir Distributions:
+// a loaded server records millions of latencies and the reservoir's
+// percentiles go silently approximate after 2^14 samples. Histogram counts
+// stay exact forever and the snapshots merge.
+trace::Histogram& batch_size_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.batch_size");
+  return h;
 }
 
-trace::Distribution& latency_dist() {
-  static trace::Distribution& d =
-      trace::MetricsRegistry::global().distribution("serve.latency_us");
-  return d;
+trace::Histogram& latency_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.latency_us");
+  return h;
 }
 
-trace::Distribution& queue_wait_dist() {
-  static trace::Distribution& d =
-      trace::MetricsRegistry::global().distribution("serve.queue_us");
-  return d;
+trace::Histogram& queue_wait_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.queue_us");
+  return h;
+}
+
+trace::Histogram& ok_latency_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.latency_us.ok");
+  return h;
+}
+
+trace::Histogram& headroom_hist() {
+  static trace::Histogram& h = trace::MetricsRegistry::global().histogram(
+      "serve.deadline_headroom_us");
+  return h;
+}
+
+trace::Counter& deadline_missed_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.deadline_missed");
+  return c;
 }
 
 trace::Counter& completed_counter() {
@@ -104,6 +126,13 @@ std::future<Response> ServingSession::submit(TensorF image, Deadline deadline) {
   r.input = std::move(image);
   r.deadline = deadline;
   r.enqueue_time = Clock::now();
+  // Mint the flight-recorder identity here: the enqueue span below carries
+  // it on the client thread, and the Request hands it to whichever worker
+  // thread dispatches/completes it, linking the whole path in the trace.
+  r.ctx.trace_id = trace::new_trace_id();
+  r.ctx.request_id = r.id;
+  trace::ContextScope ctx_scope(r.ctx);
+  IWG_TRACE_SPAN(span, "serve.enqueue", "serve");
   std::future<Response> fut = r.promise.get_future();
   switch (queue_.push(std::move(r))) {
     case RequestQueue::Admit::kAccepted:
@@ -168,6 +197,10 @@ void ServingSession::run_batch(std::vector<Request> batch) {
                 std::max(cfg_.batch.max_batch, k))
           : static_cast<std::int64_t>(k);
 
+  // The batch span (and everything nested under it — the model's conv
+  // spans included) inherits the batch leader's context, so the leader's
+  // flow chain reaches into the actual compute in the trace view.
+  trace::ContextScope lead_scope(batch.front().ctx);
   IWG_TRACE_SPAN(span, "serve.batch", "serve");
   span.arg("batch_size", static_cast<std::int64_t>(k))
       .arg("padded_slots", n - static_cast<std::int64_t>(k));
@@ -175,6 +208,12 @@ void ServingSession::run_batch(std::vector<Request> batch) {
   TensorF xb({n, h, w, c});  // zero-initialized
   const std::int64_t image_elems = h * w * c;
   for (std::size_t i = 0; i < k; ++i) {
+    // Per-request dispatch span: marks this request joining the micro-batch
+    // on the worker thread (covers staging its image into the batch tensor).
+    trace::ContextScope req_scope(batch[i].ctx);
+    IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
+    dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
+        .arg("slot", static_cast<std::int64_t>(i));
     std::memcpy(xb.data() + static_cast<std::int64_t>(i) * image_elems,
                 batch[i].input.data(),
                 static_cast<std::size_t>(image_elems) * sizeof(float));
@@ -192,6 +231,8 @@ void ServingSession::run_batch(std::vector<Request> batch) {
 
   const Clock::time_point done = Clock::now();
   for (std::size_t i = 0; i < k; ++i) {
+    trace::ContextScope req_scope(batch[i].ctx);
+    IWG_TRACE_SPAN(complete_span, "serve.complete", "serve");
     Response resp;
     resp.status = Status::kOk;
     resp.batch_size = static_cast<std::int64_t>(k);
@@ -201,16 +242,29 @@ void ServingSession::run_batch(std::vector<Request> batch) {
     resp.latency_us = std::chrono::duration<double, std::micro>(
                           done - batch[i].enqueue_time)
                           .count();
+    complete_span.arg("latency_us", resp.latency_us)
+        .arg("queue_us", resp.queue_us);
     resp.output.reset(out_dims);
     std::memcpy(resp.output.data(),
                 y.data() + static_cast<std::int64_t>(i) * per,
                 static_cast<std::size_t>(per) * sizeof(float));
-    queue_wait_dist().record(resp.queue_us);
-    latency_dist().record(resp.latency_us);
+    queue_wait_hist().record(resp.queue_us);
+    latency_hist().record(resp.latency_us);
+    ok_latency_hist().record(resp.latency_us);
+    if (batch[i].deadline.has_deadline()) {
+      // Headroom left at completion — the SLO margin. A served-but-late
+      // request records zero headroom and bumps the missed counter (it was
+      // dispatched in time but finished past its budget).
+      const double headroom_us = std::chrono::duration<double, std::micro>(
+                                     batch[i].deadline.at() - done)
+                                     .count();
+      headroom_hist().record(std::max(0.0, headroom_us));
+      if (headroom_us < 0.0) deadline_missed_counter().add();
+    }
     batch[i].promise.set_value(std::move(resp));
   }
 
-  batch_size_dist().record(static_cast<double>(k));
+  batch_size_hist().record(static_cast<double>(k));
   batches_counter().add();
   padded_counter().add(n - static_cast<std::int64_t>(k));
   completed_counter().add(static_cast<std::int64_t>(k));
@@ -233,6 +287,10 @@ void ServingSession::stop(bool drain) {
   // stop can race a worker that already popped its batch — that batch is
   // served, which is the stronger guarantee.
   stopped_.store(true);
+}
+
+std::string ServingSession::stats_report() const {
+  return trace::MetricsRegistry::global().prometheus_text();
 }
 
 ServingSession::Stats ServingSession::stats() const {

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -116,6 +117,11 @@ class ServingSession {
     bool all_resolved() const { return accepted == completed + expired + shed; }
   };
   Stats stats() const;
+
+  /// Prometheus text exposition of the process metrics registry (serve.*
+  /// counters/histograms plus whatever the conv engine recorded). A
+  /// scrape-by-file or embedding server can serve this page directly.
+  std::string stats_report() const;
 
   const nn::Model& model() const { return model_; }
   const SessionConfig& config() const { return cfg_; }

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -457,6 +459,337 @@ TEST(Metrics, FlushReportWritesMetricsFileOnDemand) {
   EXPECT_FALSE(tmp.good());
 
   set_report_paths("", "");  // unconfigure so later tests aren't affected
+  EXPECT_FALSE(flush_report());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped context and flow events (the flight-recorder layer).
+
+TEST_F(TraceTest, ContextScopeInheritsIntoSpansAndRestores) {
+  EXPECT_FALSE(current_context().valid());
+  Context ctx;
+  ctx.trace_id = new_trace_id();
+  ctx.request_id = 42;
+
+  Tracer& t = Tracer::global();
+  t.enable();
+  {
+    ContextScope scope(ctx);
+    EXPECT_EQ(current_context().trace_id, ctx.trace_id);
+    { IWG_TRACE_SCOPE("with_ctx", "test"); }
+    {
+      Context inner;
+      inner.trace_id = new_trace_id();
+      inner.request_id = 7;
+      ContextScope nested(inner);
+      EXPECT_EQ(current_context().request_id, 7u);
+    }
+    EXPECT_EQ(current_context().request_id, 42u);  // nested scope restored
+  }
+  EXPECT_FALSE(current_context().valid());  // outer scope restored
+  { IWG_TRACE_SCOPE("no_ctx", "test"); }
+  t.disable();
+
+  const Json doc = parse_trace(t.chrome_json(/*include_metrics=*/false));
+  const Json* with_ctx = nullptr;
+  const Json* no_ctx = nullptr;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("name").str == "with_ctx") with_ctx = &e;
+    if (e.at("name").str == "no_ctx") no_ctx = &e;
+  }
+  ASSERT_NE(with_ctx, nullptr);
+  ASSERT_NE(no_ctx, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(with_ctx->at("args").at("trace_id").num),
+            ctx.trace_id);
+  EXPECT_EQ(with_ctx->at("args").at("request_id").num, 42.0);
+  EXPECT_FALSE(no_ctx->at("args").has("trace_id"));
+}
+
+TEST_F(TraceTest, FlowEventsChainRequestSpansAcrossThreads) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  Context req;
+  req.trace_id = new_trace_id();
+  req.request_id = 1;
+  {
+    ContextScope scope(req);  // "client" side of the hand-off
+    IWG_TRACE_SCOPE("enqueue", "test");
+  }
+  std::thread worker([&] {  // "worker" side: context re-installed explicitly
+    ContextScope scope(req);
+    { IWG_TRACE_SCOPE("dispatch", "test"); }
+    { IWG_TRACE_SCOPE("complete", "test"); }
+  });
+  worker.join();
+  Context lone;  // a one-span chain must NOT emit flow events
+  lone.trace_id = new_trace_id();
+  lone.request_id = 2;
+  {
+    ContextScope scope(lone);
+    IWG_TRACE_SCOPE("lone_span", "test");
+  }
+  t.disable();
+
+  const Json doc = parse_trace(t.chrome_json(/*include_metrics=*/false));
+  std::vector<const Json*> flows;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("cat").str == "flow") flows.push_back(&e);
+  }
+  ASSERT_EQ(flows.size(), 3u);  // enqueue/dispatch/complete, nothing for lone
+  EXPECT_EQ(flows[0]->at("ph").str, "s");
+  EXPECT_EQ(flows[1]->at("ph").str, "t");
+  EXPECT_EQ(flows[2]->at("ph").str, "f");
+  EXPECT_EQ(flows[2]->at("bp").str, "e");  // bind to enclosing slice
+  for (const Json* f : flows) {
+    EXPECT_EQ(static_cast<std::uint64_t>(f->at("id").num), req.trace_id);
+  }
+  // The chain genuinely crosses threads: enqueue on this thread, the rest on
+  // the worker. That is the hand-off the arrows render in Perfetto.
+  EXPECT_NE(flows[0]->at("tid").num, flows[1]->at("tid").num);
+  EXPECT_EQ(flows[1]->at("tid").num, flows[2]->at("tid").num);
+
+  // Each flow event's ts lies inside its span so viewers bind it to the
+  // right slice (Chrome binds flows positionally, not by id alone).
+  const char* names[] = {"enqueue", "dispatch", "complete"};
+  for (int i = 0; i < 3; ++i) {
+    const Json* span = nullptr;
+    for (const Json& e : doc.at("traceEvents").arr) {
+      if (e.at("name").str == names[i]) span = &e;
+    }
+    ASSERT_NE(span, nullptr);
+    EXPECT_GE(flows[static_cast<std::size_t>(i)]->at("ts").num,
+              span->at("ts").num);
+    EXPECT_LE(flows[static_cast<std::size_t>(i)]->at("ts").num,
+              span->at("ts").num + span->at("dur").num);
+  }
+}
+
+TEST_F(TraceTest, ControlCharsInNamesAndArgsExportValidJson) {
+  Tracer& t = Tracer::global();
+  t.enable();
+  {
+    IWG_TRACE_SPAN(span, std::string("multi\nline\tname"), "test");
+    span.arg("note", std::string("ctl\x01" "end"));
+  }
+  t.disable();
+
+  const std::string json = t.chrome_json(/*include_metrics=*/false);
+  // Raw control characters would be invalid JSON; they must leave as
+  // escapes (\n, \t, \u0001).
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("multi\\nline\\tname"), std::string::npos);
+
+  const Json doc = parse_trace(json);
+  const Json* ev = nullptr;
+  for (const Json& e : doc.at("traceEvents").arr) {
+    if (e.at("name").str == "multi\nline\tname") ev = &e;
+  }
+  ASSERT_NE(ev, nullptr);  // \n and \t round-trip through the parser
+  // The mini parser maps \uXXXX escapes to '?' — good enough to prove the
+  // arg survived as a parseable string.
+  EXPECT_EQ(ev->at("args").at("note").str, "ctl?end");
+}
+
+TEST_F(TraceTest, RingWraparoundUnderParallelForKeepsAccounting) {
+  Tracer& t = Tracer::global();
+  constexpr std::int64_t kCap = 32;
+  constexpr int kSpans = 500;
+  t.enable(/*capacity=*/kCap);
+  ThreadPool::global().parallel_for(kSpans, [](std::int64_t i) {
+    IWG_TRACE_SPAN(span, "wrap", "test");
+    span.arg("job", i);
+  });
+  t.disable();
+
+  EXPECT_EQ(t.recorded(), kSpans);
+  EXPECT_EQ(t.dropped(), kSpans - kCap);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), static_cast<std::size_t>(kCap));
+  // Residents are distinct jobs (no event duplicated or torn by the wrap).
+  std::vector<bool> seen(kSpans, false);
+  for (const Event& e : evs) {
+    EXPECT_EQ(e.name, "wrap");
+    ASSERT_EQ(e.args.size(), 1u);
+    const auto job = static_cast<std::size_t>(e.args[0].inum);
+    ASSERT_LT(job, seen.size());
+    EXPECT_FALSE(seen[job]);
+    seen[job] = true;
+  }
+  // And the post-wrap ring still exports parseable JSON.
+  parse_trace(t.chrome_json(/*include_metrics=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram (exact, lock-free, mergeable) and Prometheus exposition.
+
+TEST(Metrics, HistogramCountsAreExactAndQuantilesInterpolate) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_DOUBLE_EQ(s.sum, 500500.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);  // every value landed in some bucket
+  // Log2 buckets are coarse, but interpolation must keep quantiles ordered
+  // and inside the observed range.
+  EXPECT_GE(s.quantile(0.5), 256.0);
+  EXPECT_LE(s.quantile(0.5), 1000.0);
+  EXPECT_GE(s.quantile(0.99), s.quantile(0.5));
+  EXPECT_LE(s.quantile(1.0), 1000.0);
+  EXPECT_GE(s.quantile(0.0), 1.0);
+
+  // A constant stream clamps every quantile to the single observed value.
+  Histogram c;
+  for (int i = 0; i < 100; ++i) c.record(5.0);
+  EXPECT_DOUBLE_EQ(c.snapshot().quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(c.snapshot().quantile(0.99), 5.0);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(Metrics, HistogramSnapshotsMergeLosslessly) {
+  Histogram a;
+  a.record(0.0);  // bucket 0 absorbs zero and negatives
+  a.record(-3.0);
+  a.record(10.0);
+  Histogram b;
+  for (int i = 1; i <= 100; ++i) b.record(static_cast<double>(i));
+
+  auto merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 103);
+  EXPECT_DOUBLE_EQ(merged.min, -3.0);
+  EXPECT_DOUBLE_EQ(merged.max, 100.0);
+  EXPECT_DOUBLE_EQ(merged.sum, 7.0 + 5050.0);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t v : merged.buckets) bucket_total += v;
+  EXPECT_EQ(bucket_total, merged.count);
+}
+
+TEST(Metrics, HistogramBucketEdgesCoverValues) {
+  for (const double v : {0.0001, 0.5, 1.0, 3.0, 1024.0, 1e9}) {
+    const int i = Histogram::bucket_index(v);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_LT(v, Histogram::bucket_hi(i));
+    if (i > 0) {
+      EXPECT_GE(v, Histogram::bucket_lo(i));
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-7.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Metrics, HistogramIsExactUnderParallelFor) {
+  Histogram h;
+  const int kN = 20000;
+  ThreadPool::global().parallel_for(kN, [&](std::int64_t i) {
+    h.record(static_cast<double>(i % 7 + 1));
+  });
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kN);  // exact: no sample is dropped under contention
+  double expect_sum = 0.0;
+  for (int i = 0; i < kN; ++i) expect_sum += static_cast<double>(i % 7 + 1);
+  EXPECT_DOUBLE_EQ(s.sum, expect_sum);  // small-int adds are exact in double
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(Metrics, DistributionMarksSaturatedReservoirAsApproximate) {
+  Distribution d;
+  const auto kN =
+      static_cast<std::int64_t>(Distribution::kMaxSamples) + 1024;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    d.record(static_cast<double>(i));
+  }
+  const auto s = d.summary();
+  EXPECT_EQ(s.count, kN);
+  EXPECT_EQ(s.samples, static_cast<std::int64_t>(Distribution::kMaxSamples));
+  EXPECT_TRUE(s.degraded());
+
+  Distribution& reg =
+      MetricsRegistry::global().distribution("test.degraded_dist");
+  for (std::int64_t i = 0; i < kN; ++i) {
+    reg.record(static_cast<double>(i));
+  }
+  const std::string report = MetricsRegistry::global().text_report();
+  // The saturated reservoir must be marked, not silently approximate.
+  EXPECT_NE(report.find("~"), std::string::npos);
+  EXPECT_NE(report.find("approx:"), std::string::npos);
+}
+
+TEST(Metrics, SanitizeMetricNameMapsToPrometheusCharset) {
+  EXPECT_EQ(sanitize_metric_name("serve.latency_us.ok"),
+            "serve_latency_us_ok");
+  EXPECT_EQ(sanitize_metric_name("a:b_c1"), "a:b_c1");  // colons are legal
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name("spaces and-dashes"), "spaces_and_dashes");
+}
+
+TEST(Metrics, PrometheusTextExposition) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.prom/counter").add(7);
+  Histogram& h = reg.histogram("test.prom_hist");
+  h.reset();
+  h.record(1.0);
+  h.record(2.0);
+  h.record(1000.0);
+  reg.distribution("test.prom_dist").record(2.5);
+
+  const std::string page = reg.prometheus_text();
+  const auto npos = std::string::npos;
+  EXPECT_NE(page.find("# TYPE test_prom_counter counter"), npos);
+  EXPECT_NE(page.find("test_prom_counter 7\n"), npos);
+  EXPECT_NE(page.find("# TYPE test_prom_hist histogram"), npos);
+  EXPECT_NE(page.find("test_prom_hist_bucket{le=\"+Inf\"} 3\n"), npos);
+  EXPECT_NE(page.find("test_prom_hist_sum 1003\n"), npos);
+  EXPECT_NE(page.find("test_prom_hist_count 3\n"), npos);
+  EXPECT_NE(page.find("# TYPE test_prom_dist summary"), npos);
+  EXPECT_NE(page.find("test_prom_dist{quantile=\"0.5\"} 2.5\n"), npos);
+  EXPECT_NE(page.find("test_prom_dist_count 1\n"), npos);
+
+  // Bucket lines must be cumulative (non-decreasing) and end at _count.
+  std::istringstream in(page);
+  std::string line;
+  std::int64_t prev = 0;
+  int bucket_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("test_prom_hist_bucket", 0) != 0) continue;
+    const auto pos = line.find("} ");
+    ASSERT_NE(pos, npos);
+    const std::int64_t cum = std::stoll(line.substr(pos + 2));
+    EXPECT_GE(cum, prev);
+    prev = cum;
+    ++bucket_lines;
+  }
+  EXPECT_GE(bucket_lines, 2);
+  EXPECT_EQ(prev, 3);  // the +Inf bucket agrees with _count
+}
+
+TEST(Metrics, FlushReportWritesPrometheusFileOnDemand) {
+  const std::string path = testing::TempDir() + "iwg_flush_report_test.prom";
+  std::remove(path.c_str());
+  MetricsRegistry::global().counter("test.prom_flush_counter").add(3);
+  set_report_paths(/*trace_path=*/"", /*metrics_path=*/"",
+                   /*prometheus_path=*/path);
+  ASSERT_TRUE(flush_report());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "flush_report did not create " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("test_prom_flush_counter 3"), std::string::npos);
+  EXPECT_NE(ss.str().find("# TYPE"), std::string::npos);
+
+  set_report_paths("", "", "");  // unconfigure for later tests
   EXPECT_FALSE(flush_report());
   std::remove(path.c_str());
 }
