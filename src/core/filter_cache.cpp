@@ -1,7 +1,9 @@
 #include "core/filter_cache.hpp"
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "core/host_kernels.hpp"
 #include "winograd/plan.hpp"
 
 namespace iwg::core {
@@ -23,21 +25,29 @@ std::vector<float> transform_filter_host(const TensorF& w, const ConvShape& s,
   const int alpha = cfg.alpha;
   const int r = cfg.r;
   const WinogradPlan& plan = get_plan(cfg.n, r);
-  const TransformEval g_eval(alpha, r, plan.g_f, /*paired=*/true);
+  const HostKernels& hk = host_kernels();
   std::vector<float> ghat(static_cast<std::size_t>(s.fh) * alpha * s.ic *
                           s.oc);
-  parallel_for(s.fh * s.ic, [&](std::int64_t job) {
-    const std::int64_t fh = job / s.ic;
-    const std::int64_t ic = job % s.ic;
-    float taps[16];
-    float gh[16];
-    for (std::int64_t oc = 0; oc < s.oc; ++oc) {
-      for (int j = 0; j < r; ++j) taps[j] = w.at(oc, fh, j, ic);
-      g_eval.apply(taps, 1, gh, 1);
-      for (int t = 0; t < alpha; ++t) {
-        ghat[((fh * alpha + t) * s.ic + ic) * static_cast<std::size_t>(s.oc) +
-             static_cast<std::size_t>(oc)] = gh[t];
-      }
+  // The r filter taps of one (oc, fh) slice are IC-contiguous NHWC-style
+  // rows, so the G transform runs IC-lane-parallel; the scatter into the
+  // ĝ[fh][t][ic][oc] layout (OC innermost for the axpy kernel) is the only
+  // scalar step left.
+  parallel_for(s.fh * s.oc, [&](std::int64_t job) {
+    const std::int64_t fh = job / s.oc;
+    const std::int64_t oc = job % s.oc;
+    ScratchArena& arena = ScratchArena::local();
+    const ScratchArena::Scope scope(arena);
+    float* ghat_ic =
+        arena.alloc_floats(static_cast<std::size_t>(alpha) * s.ic);
+    const float* taps[16];
+    for (int j = 0; j < r; ++j) taps[j] = &w.at(oc, fh, j, 0);
+    hk.transform_cols(plan.g_f.data(), alpha, r, taps, s.ic, ghat_ic, s.ic);
+    for (int t = 0; t < alpha; ++t) {
+      const float* src = ghat_ic + static_cast<std::int64_t>(t) * s.ic;
+      float* dst = ghat.data() +
+                   ((fh * alpha + t) * s.ic) * static_cast<std::size_t>(s.oc) +
+                   static_cast<std::size_t>(oc);
+      for (std::int64_t ic = 0; ic < s.ic; ++ic) dst[ic * s.oc] = src[ic];
     }
   });
   return ghat;

@@ -7,46 +7,11 @@
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "core/filter_cache.hpp"
+#include "core/host_kernels.hpp"
 #include "tensor/layout.hpp"
 #include "winograd/plan.hpp"
 
 namespace iwg::core {
-
-namespace {
-
-// Rank-1 state-domain accumulation m[j] += Σ_k d[k]·g[k·nj + j], the host
-// engine's innermost loop. Unrolling k by 4 keeps one load+store of m per
-// four updates instead of one per update; the additions stay in ascending-k
-// order, so results match the rolled loop bit for bit.
-inline void axpy_rank1(const float* __restrict d, const float* __restrict g,
-                       float* __restrict m, std::int64_t kc, std::int64_t nj) {
-  std::int64_t k = 0;
-  for (; k + 4 <= kc; k += 4) {
-    const float d0 = d[k];
-    const float d1 = d[k + 1];
-    const float d2 = d[k + 2];
-    const float d3 = d[k + 3];
-    const float* __restrict g0 = g + k * nj;
-    const float* __restrict g1 = g0 + nj;
-    const float* __restrict g2 = g1 + nj;
-    const float* __restrict g3 = g2 + nj;
-    for (std::int64_t j = 0; j < nj; ++j) {
-      float acc = m[j];
-      acc += d0 * g0[j];
-      acc += d1 * g1[j];
-      acc += d2 * g2[j];
-      acc += d3 * g3[j];
-      m[j] = acc;
-    }
-  }
-  for (; k < kc; ++k) {
-    const float dv = d[k];
-    const float* __restrict gr = g + k * nj;
-    for (std::int64_t j = 0; j < nj; ++j) m[j] += dv * gr[j];
-  }
-}
-
-}  // namespace
 
 void conv2d_gamma_host_segment_pretransformed(
     const TensorF& x, const float* ghat, const ConvShape& s,
@@ -59,16 +24,30 @@ void conv2d_gamma_host_segment_pretransformed(
   const int alpha = cfg.alpha;
   const int n_out = cfg.n;
   const WinogradPlan& plan = get_plan(n_out, cfg.r);
-  const TransformEval d_eval(alpha, alpha, plan.bt_f, /*paired=*/true);
+  const float* bt = plan.bt_f.data();
+  const HostKernels& hk = host_kernels();
 
   const std::int64_t oh = s.oh();
   const std::int64_t tiles_w = ow_len / n_out;
   const std::int64_t dstride = static_cast<std::int64_t>(alpha) * s.ic;
   const std::int64_t gstride = s.ic * s.oc;  // one ĝ[fh][t] plane
 
-  // One task per (image, tile column); each walks all OH output rows with a
-  // ring of the last FH transformed input rows (slot = ihp mod FH), so
-  // d̂(ihp) is computed once and reused by every filter row that reads it.
+  // One task per (image, tile column); each walks the OH output rows in
+  // blocks of kRowBlock with a ring of the transformed input rows the block
+  // can see (slot = ihp mod ring_rows), so d̂(ihp) is computed once and
+  // reused by every filter row that reads it. Row-blocking is what lets the
+  // accumulation run through axpy_rank1_multi: the kRowBlock output rows of
+  // a block consume the same ĝ[fh][t] planes, so the blocked kernel loads
+  // each ĝ vector once and feeds kRowBlock FMA chains with it — a single
+  // rank-1 update is load-bound at one ĝ load per FMA and leaves the FMA
+  // units half idle.
+  // 16 output rows per block = two octet passes of the 8-row kernel. The
+  // block size sets how often ĝ is streamed from L2 (once per block), and
+  // the second octet of a block reuses the (fh, t) plane the first octet
+  // just pulled into L1 — at 64×64 channels ĝ is ~0.5 MB per segment, so
+  // halving the passes is worth more than the larger macc footprint.
+  constexpr std::int64_t kRowBlock = 16;
+  const std::int64_t ring_rows = s.fh + kRowBlock - 1;
   const std::int64_t cols = s.n * tiles_w;
   parallel_for(cols, parallel_grain(cols), [&](std::int64_t col) {
     const std::int64_t ni = col / tiles_w;
@@ -76,51 +55,65 @@ void conv2d_gamma_host_segment_pretransformed(
     ScratchArena& arena = ScratchArena::local();
     const ScratchArena::Scope scope(arena);
     float* ring =
-        arena.alloc_floats(static_cast<std::size_t>(s.fh * dstride));
-    float* macc = arena.alloc_floats(static_cast<std::size_t>(alpha * s.oc));
+        arena.alloc_floats(static_cast<std::size_t>(ring_rows * dstride));
+    float* macc = arena.alloc_floats(
+        static_cast<std::size_t>(kRowBlock * alpha * s.oc));
     const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
-    float dt[16];
-    float dh[16];
+    // The α taps of one tile are NHWC row slices IC floats apart: the
+    // transform runs lane-parallel over channels, in-bounds taps as
+    // contiguous loads, padding taps as null rows (DESIGN §8).
+    const float* taps[16];
     std::int64_t next_row = -s.ph;  // next input row to transform
-    for (std::int64_t hi = 0; hi < oh; ++hi) {
-      const std::int64_t win_lo = hi - s.ph;
-      const std::int64_t win_hi = win_lo + s.fh;  // exclusive
+    for (std::int64_t hi0 = 0; hi0 < oh; hi0 += kRowBlock) {
+      const std::int64_t rb = std::min(kRowBlock, oh - hi0);
+      const std::int64_t win_hi = hi0 + rb - 1 - s.ph + s.fh;  // exclusive
       for (; next_row < win_hi; ++next_row) {
         if (next_row < 0 || next_row >= s.ih) continue;  // zero padding
-        float* slot = ring + (next_row % s.fh) * dstride;
-        for (std::int64_t ic = 0; ic < s.ic; ++ic) {
-          for (int e = 0; e < alpha; ++e) {
-            const std::int64_t iw = iw0 + e;
-            dt[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, next_row, iw, ic) : 0.0f;
-          }
-          d_eval.apply(dt, 1, dh, 1);
-          for (int t = 0; t < alpha; ++t) slot[t * s.ic + ic] = dh[t];
+        float* slot = ring + (next_row % ring_rows) * dstride;
+        for (int e = 0; e < alpha; ++e) {
+          const std::int64_t iw = iw0 + e;
+          taps[e] = (iw >= 0 && iw < s.iw) ? &x.at(ni, next_row, iw, 0)
+                                           : nullptr;
         }
+        hk.transform_cols(bt, alpha, alpha, taps, s.ic, slot, s.ic);
       }
-      // State-domain accumulation: α rank-1 updates (1×IC)·(IC×OC) per
-      // valid filter row.
-      std::fill(macc, macc + alpha * s.oc, 0.0f);
+      // State-domain accumulation: per filter row, α blocked rank-1
+      // updates (rb×IC)·(IC×OC); output rows whose input row falls in the
+      // zero padding pass a null d̂ and are skipped by the kernel.
+      std::fill(macc, macc + rb * alpha * s.oc, 0.0f);
+      const float* drow[kRowBlock];
+      const float* ds[kRowBlock];
+      float* ms[kRowBlock];
       for (std::int64_t fh = 0; fh < s.fh; ++fh) {
-        const std::int64_t ihp = win_lo + fh;
-        if (ihp < 0 || ihp >= s.ih) continue;  // whole row is zero padding
-        const float* dhat = ring + (ihp % s.fh) * dstride;
+        bool any = false;
+        for (std::int64_t r = 0; r < rb; ++r) {
+          const std::int64_t ihp = hi0 + r - s.ph + fh;
+          const bool valid = ihp >= 0 && ihp < s.ih;
+          drow[r] = valid ? ring + (ihp % ring_rows) * dstride : nullptr;
+          any = any || valid;
+        }
+        if (!any) continue;  // every row of the block sees zero padding
         const float* gbase = ghat + fh * alpha * gstride;
         for (int t = 0; t < alpha; ++t) {
-          axpy_rank1(dhat + static_cast<std::int64_t>(t) * s.ic,
-                     gbase + static_cast<std::int64_t>(t) * gstride,
-                     macc + static_cast<std::int64_t>(t) * s.oc, s.ic, s.oc);
+          for (std::int64_t r = 0; r < rb; ++r) {
+            ds[r] = drow[r] != nullptr
+                        ? drow[r] + static_cast<std::int64_t>(t) * s.ic
+                        : nullptr;
+            ms[r] = macc + (r * alpha + t) * s.oc;
+          }
+          hk.axpy_rank1_multi(ds, gbase + static_cast<std::int64_t>(t) *
+                                              gstride,
+                              ms, static_cast<int>(rb), s.ic, s.oc);
         }
       }
-      // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc].
-      for (int i = 0; i < n_out; ++i) {
-        float* yrow = &y.at(ni, hi, ow_start + tw * n_out + i, 0);
-        const float* at_row = &plan.at_f[static_cast<std::size_t>(i) * alpha];
-        for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] = 0.0f;
-        for (int t = 0; t < alpha; ++t) {
-          const float a = at_row[t];
-          if (a == 0.0f) continue;
-          const float* mrow = macc + static_cast<std::int64_t>(t) * s.oc;
-          for (std::int64_t oc = 0; oc < s.oc; ++oc) yrow[oc] += a * mrow[oc];
+      // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc], per row.
+      for (std::int64_t r = 0; r < rb; ++r) {
+        const float* mrow = macc + r * alpha * s.oc;
+        for (int i = 0; i < n_out; ++i) {
+          float* yrow = &y.at(ni, hi0 + r, ow_start + tw * n_out + i, 0);
+          const float* at_row =
+              &plan.at_f[static_cast<std::size_t>(i) * alpha];
+          hk.out_transform(at_row, alpha, mrow, s.oc, yrow, s.oc);
         }
       }
     }
@@ -140,6 +133,7 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
                               const ConvShape& s, std::int64_t ow_start,
                               std::int64_t ow_len, TensorF& y) {
   s.validate();
+  const HostKernels& hk = host_kernels();
   const std::int64_t oh = s.oh();
   const std::int64_t gk = s.fh * s.fw * s.ic;
   const std::int64_t rows = s.n * oh;
@@ -162,10 +156,7 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
         }
       }
       for (std::int64_t oc = 0; oc < s.oc; ++oc) {
-        const float* wp = w.data() + oc * gk;
-        float accv = 0.0f;
-        for (std::int64_t kk = 0; kk < gk; ++kk) accv += patch[kk] * wp[kk];
-        y.at(ni, hi, wo, oc) = accv;
+        y.at(ni, hi, wo, oc) = hk.dot(patch, w.data() + oc * gk, gk);
       }
     }
   });
@@ -183,7 +174,8 @@ TensorF conv2d_gamma_host(const TensorF& x, const TensorF& w,
   IWG_TRACE_SPAN(conv_span, "conv2d_host", "host");
   if (conv_span.active()) {
     conv_span.arg("shape", s.to_string())
-        .arg("segments", static_cast<std::int64_t>(plan.size()));
+        .arg("segments", static_cast<std::int64_t>(plan.size()))
+        .arg("isa", host_kernels().name);
   }
   static trace::Counter& gamma_segs =
       trace::MetricsRegistry::global().counter("conv.segments_gamma");
@@ -301,8 +293,7 @@ TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
   const int alpha = s.fw <= 7 ? 8 : 16;
   const int m = alpha + 1 - static_cast<int>(s.fw);
   const WinogradPlan& plan = get_plan(static_cast<int>(s.fw), m);
-  const TransformEval g_eval(alpha, m, plan.g_f, /*paired=*/true);
-  const TransformEval d_eval(alpha, alpha, plan.bt_f, /*paired=*/true);
+  const HostKernels& hk = host_kernels();
 
   const std::int64_t oh = s.oh();
   const std::int64_t ow = s.ow();
@@ -321,49 +312,38 @@ TensorF conv2d_filter_grad_winograd(const TensorF& x, const TensorF& dy,
     float* dhat = arena.alloc_floats(static_cast<std::size_t>(alpha) * s.ic);
     std::fill(macc, macc + static_cast<std::int64_t>(alpha) * s.ic * s.oc,
               0.0f);
-    float taps[16];
-    float th[16];
+    const float* taps[16];
     for (std::int64_t ni = 0; ni < s.n; ++ni) {
       for (std::int64_t h = 0; h < oh; ++h) {
         const std::int64_t ihp = h + fh - s.ph;
         if (ihp < 0 || ihp >= s.ih) continue;
         for (std::int64_t tw = 0; tw < tiles_w; ++tw) {
           const std::int64_t ow0 = tw * m;
-          // ĝ[t][oc] — the dY chunk is the Winograd "filter".
-          for (std::int64_t oc = 0; oc < s.oc; ++oc) {
-            for (int i = 0; i < m; ++i) {
-              const std::int64_t o = ow0 + i;
-              taps[i] = o < ow ? dy.at(ni, h, o, oc) : 0.0f;
-            }
-            g_eval.apply(taps, 1, th, 1);
-            for (int t = 0; t < alpha; ++t)
-              ghat[static_cast<std::size_t>(t) * s.oc + oc] = th[t];
+          // ĝ[t][oc] — the dY chunk is the Winograd "filter"; its m taps
+          // are NHWC row slices, so the transform runs OC-lane-parallel.
+          for (int i = 0; i < m; ++i) {
+            taps[i] = ow0 + i < ow ? &dy.at(ni, h, ow0 + i, 0) : nullptr;
           }
+          hk.transform_cols(plan.g_f.data(), alpha, m, taps, s.oc, ghat,
+                            s.oc);
           // d̂[t][ic] — the α-wide X window is the Winograd "input".
           const std::int64_t iw0 = ow0 - s.pw;
-          for (std::int64_t ic = 0; ic < s.ic; ++ic) {
-            for (int e = 0; e < alpha; ++e) {
-              const std::int64_t iw = iw0 + e;
-              taps[e] = (iw >= 0 && iw < s.iw) ? x.at(ni, ihp, iw, ic) : 0.0f;
-            }
-            d_eval.apply(taps, 1, th, 1);
-            for (int t = 0; t < alpha; ++t)
-              dhat[static_cast<std::size_t>(t) * s.ic + ic] = th[t];
+          for (int e = 0; e < alpha; ++e) {
+            const std::int64_t iw = iw0 + e;
+            taps[e] = (iw >= 0 && iw < s.iw) ? &x.at(ni, ihp, iw, 0)
+                                             : nullptr;
           }
+          hk.transform_cols(plan.bt_f.data(), alpha, alpha, taps, s.ic, dhat,
+                            s.ic);
           // State-domain outer-product accumulation over (row, tile).
           for (int t = 0; t < alpha; ++t) {
-            const float* __restrict grow =
-                ghat + static_cast<std::size_t>(t) * s.oc;
-            const float* __restrict drow =
-                dhat + static_cast<std::size_t>(t) * s.ic;
-            float* __restrict mbase =
-                macc + static_cast<std::size_t>(t) * s.ic * s.oc;
+            const float* grow = ghat + static_cast<std::size_t>(t) * s.oc;
+            const float* drow = dhat + static_cast<std::size_t>(t) * s.ic;
+            float* mbase = macc + static_cast<std::size_t>(t) * s.ic * s.oc;
             for (std::int64_t ic = 0; ic < s.ic; ++ic) {
               const float dv = drow[ic];
               if (dv == 0.0f) continue;
-              float* __restrict mrow = mbase + ic * s.oc;
-              for (std::int64_t oc = 0; oc < s.oc; ++oc)
-                mrow[oc] += dv * grow[oc];
+              hk.saxpy(dv, grow, mbase + ic * s.oc, s.oc);
             }
           }
         }

@@ -1,0 +1,117 @@
+// Dispatcher: picks the host-kernel table once (env override, else best
+// supported ISA) and publishes it through one atomic pointer. The choice is
+// exported as a host.kernels.isa.<name> counter so metrics reports and the
+// Prometheus exposition show which engine produced every number.
+#include "core/host_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/trace.hpp"
+
+namespace iwg::core {
+
+namespace {
+
+std::atomic<const HostKernels*> g_active{nullptr};
+std::once_flag g_init_once;
+
+void note_selection(const HostKernels* t) {
+  trace::MetricsRegistry::global()
+      .counter(std::string("host.kernels.isa.") + t->name)
+      .add();
+}
+
+const HostKernels* best_supported() {
+#ifndef IWG_HOST_SCALAR_ONLY
+  if (const HostKernels* t = detail::host_kernels_avx2()) return t;
+  if (const HostKernels* t = detail::host_kernels_neon()) return t;
+#endif
+  return &detail::host_kernels_scalar();
+}
+
+void init_from_env() {
+  const HostKernels* chosen = best_supported();
+  if (const char* env = std::getenv("IWG_HOST_ISA")) {
+    // An explicit, available ISA pins the table; "native", unknown names,
+    // and unavailable ISAs keep the autodetected choice (a downgrade
+    // request can always be honored — scalar is always compiled — so the
+    // only unhonorable requests are upgrades the CPU or build cannot do).
+    if (const auto isa = parse_host_isa(env)) {
+      if (const HostKernels* t = host_kernels_for(*isa)) chosen = t;
+    }
+  }
+  g_active.store(chosen, std::memory_order_release);
+  note_selection(chosen);
+}
+
+const HostKernels* active() {
+  const HostKernels* t = g_active.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  std::call_once(g_init_once, init_from_env);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+const HostKernels& host_kernels() { return *active(); }
+
+HostIsa host_isa() { return active()->isa; }
+
+const HostKernels* host_kernels_for(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::kScalar:
+      return &detail::host_kernels_scalar();
+#ifndef IWG_HOST_SCALAR_ONLY
+    case HostIsa::kAvx2:
+      return detail::host_kernels_avx2();
+    case HostIsa::kNeon:
+      return detail::host_kernels_neon();
+#else
+    case HostIsa::kAvx2:
+    case HostIsa::kNeon:
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<HostIsa> host_isa_available() {
+  std::vector<HostIsa> out{HostIsa::kScalar};
+  for (HostIsa isa : {HostIsa::kAvx2, HostIsa::kNeon}) {
+    if (host_kernels_for(isa) != nullptr) out.push_back(isa);
+  }
+  return out;
+}
+
+bool set_host_isa(HostIsa isa) {
+  const HostKernels* t = host_kernels_for(isa);
+  if (t == nullptr) return false;
+  active();  // ensure first-use init doesn't later clobber the override
+  g_active.store(t, std::memory_order_release);
+  note_selection(t);
+  return true;
+}
+
+const char* host_isa_name(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::kScalar:
+      return "scalar";
+    case HostIsa::kAvx2:
+      return "avx2";
+    case HostIsa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<HostIsa> parse_host_isa(std::string_view name) {
+  if (name == "scalar") return HostIsa::kScalar;
+  if (name == "avx2") return HostIsa::kAvx2;
+  if (name == "neon") return HostIsa::kNeon;
+  return std::nullopt;
+}
+
+}  // namespace iwg::core

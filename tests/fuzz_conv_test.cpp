@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "core/conv_api.hpp"
+#include "core/host_kernels.hpp"
 #include "core/selector.hpp"
 #include "tensor/layout.hpp"
 #include "reference/direct_conv.hpp"
@@ -100,6 +101,79 @@ TEST(FuzzConv, BackwardMatchesDirectOnRandomGeometries) {
     const double tol = s.fw >= 7 ? 1e-2 : 5e-4;  // r >= 7 plans use alpha = 16
     EXPECT_LT(max_rel_diff(got, want), tol)
         << "trial " << trial << " shape " << s.to_string();
+  }
+}
+
+// Dispatch-aware fuzz: each trial force-selects a random ISA from whatever
+// this build/CPU carries, then runs the full conv2d/deconv2d path against
+// an FP64 direct reference. Together with the IWG_HOST_ISA env override in
+// the dispatcher, this keeps the downgrade paths (scalar on an AVX2 host,
+// scalar-only CI leg) exercised by the same property suite as the fast
+// tables.
+TEST(FuzzConv, RandomIsaDowngradeMatchesFp64Direct) {
+  struct IsaRestore {
+    HostIsa prev = host_isa();
+    ~IsaRestore() { set_host_isa(prev); }
+  } restore;
+  const auto avail = host_isa_available();
+  Rng rng(424242);
+  for (int trial = 0; trial < 32; ++trial) {
+    const HostIsa isa = avail[rng.below(avail.size())];
+    ASSERT_TRUE(set_host_isa(isa));
+    const ConvShape s = random_shape(rng);
+    Rng data(6000 + static_cast<unsigned>(trial));
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const double tol = s.fw >= 7 ? 1e-2 : 5e-4;
+    if (trial % 3 == 2) {
+      TensorF dy({s.n, s.oh(), s.ow(), s.oc});
+      dy.fill_uniform(data, -1.0f, 1.0f);
+      const TensorF got = deconv2d(dy, w, s);
+      const TensorF want = ref::deconv2d_direct(dy, w, s);
+      EXPECT_LT(max_rel_diff(got, want), tol)
+          << "trial " << trial << " isa " << host_isa_name(isa) << " shape "
+          << s.to_string();
+    } else {
+      TensorF x({s.n, s.ih, s.iw, s.ic});
+      x.fill_uniform(data, -1.0f, 1.0f);
+      const TensorF got = conv2d(x, w, s);
+      const TensorD want = ref::conv2d_direct_fp64(x, w, s);
+      EXPECT_LT(average_relative_error(got, want), tol)
+          << "trial " << trial << " isa " << host_isa_name(isa) << " shape "
+          << s.to_string();
+    }
+  }
+}
+
+TEST(FuzzConv, RandomIsaSelectorRoutedPlansMatchFp64Direct) {
+  // A few selector-routed trials per ISA: the tuned plan (Γ chain or GEMM
+  // fallback) must stay correct whichever kernel table executes it.
+  struct IsaRestore {
+    HostIsa prev = host_isa();
+    ~IsaRestore() { set_host_isa(prev); }
+  } restore;
+  const auto dev = sim::DeviceProfile::rtx3060ti();
+  Rng rng(515151);
+  for (int trial = 0; trial < 6; ++trial) {
+    const HostIsa isa =
+        host_isa_available()[rng.below(host_isa_available().size())];
+    ASSERT_TRUE(set_host_isa(isa));
+    const ConvShape s = random_shape(rng);
+    const auto choice = select_algorithm(s, dev, /*samples=*/1,
+                                         TuningBudget{8});
+    const auto plan = choice.executable_plan(s);
+    ASSERT_FALSE(plan.empty()) << s.to_string();
+    Rng data(7000 + static_cast<unsigned>(trial));
+    TensorF x({s.n, s.ih, s.iw, s.ic});
+    x.fill_uniform(data, -1.0f, 1.0f);
+    TensorF w({s.oc, s.fh, s.fw, s.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    const TensorD want = ref::conv2d_direct_fp64(x, w, s);
+    const TensorF got = conv2d(x, w, s, plan);
+    const double tol = s.fw >= 7 ? 1e-2 : 5e-4;
+    EXPECT_LT(average_relative_error(got, want), tol)
+        << "trial " << trial << " isa " << host_isa_name(isa) << " shape "
+        << s.to_string() << " plan " << choice.description;
   }
 }
 

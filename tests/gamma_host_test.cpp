@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "core/conv_api.hpp"
 #include "core/gamma_host.hpp"
+#include "core/host_kernels.hpp"
 #include "reference/direct_conv.hpp"
 #include "tensor/metrics.hpp"
 
@@ -246,6 +247,11 @@ TEST(GammaHost, GemmOnlyOptionMatches) {
 
 TEST(GammaHost, WinogradIsMoreAccurateThanGemmAtLargeChannels) {
   // The Table-3 effect: fewer multiplications → smaller rounding error.
+  // Pin the scalar engine: the effect is about operation counts under
+  // sequential accumulation, and the SIMD dot's lane-parallel partial sums
+  // would shrink the GEMM path's error independent of operation count.
+  const HostIsa prev = host_isa();
+  ASSERT_TRUE(set_host_isa(HostIsa::kScalar));
   ConvShape s;
   s.n = 1;
   s.ic = 128;
@@ -265,6 +271,7 @@ TEST(GammaHost, WinogradIsMoreAccurateThanGemmAtLargeChannels) {
   const double err_wino = average_relative_error(conv2d(x, w, s), truth);
   const double err_gemm =
       average_relative_error(conv2d(x, w, s, gemm_only), truth);
+  set_host_isa(prev);
   EXPECT_LT(err_wino, err_gemm);
 }
 
