@@ -24,16 +24,29 @@
 //   4. Open loop — a fixed arrival rate (fractions of the measured cap-8
 //      capacity) with per-request deadlines; reports achieved rate, p50/p99
 //      latency, and how admission control + deadline shedding degrade.
+//   5. Mixed-shape traffic (the ragged-batching 3x gate) — arrivals drawn
+//      from a realistic multi-resolution distribution (8px 50%, 6px 20%,
+//      10px 15%, 12px 10%, 16px 5%) are served by the legacy
+//      split-on-mismatch policy (batch-1/2 ping-pong, every dispatch padded
+//      to the cap) and by the indirect policy (one ragged Γ dispatch per
+//      window). The enforced gate is device-modeled and deterministic:
+//      replaying the same arrival sequence through both batching policies,
+//      costed with profile_conv2d, the indirect schedule must be >= 3x
+//      cheaper. Wall-clock closed-loop rps for both policies is reported
+//      too (gated on >= 4 cores, like experiment 3), plus per-image bitwise
+//      parity and the padded-slots == 0 invariant of the indirect path.
 //
 //   build/bench/serving_throughput [--smoke] [--json <path>]
 //
-// Results land in BENCH_serving.json (see --json).
+// Results land in BENCH_serving.json (see --json) as an array with one run
+// record, matching the array-of-runs layout of BENCH_host_hotpath.json.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -95,14 +108,14 @@ serve::SessionConfig base_config(std::size_t max_batch) {
   return cfg;
 }
 
-TensorF random_image(Rng& rng) {
-  TensorF img({kImage, kImage, 3});
+TensorF random_image(Rng& rng, std::int64_t hw = kImage) {
+  TensorF img({hw, hw, 3});
   img.fill_uniform(rng, -1.0f, 1.0f);
   return img;
 }
 
 TensorF infer_single(const nn::Model& m, const TensorF& img) {
-  TensorF x({1, kImage, kImage, 3});
+  TensorF x({1, img.dim(0), img.dim(1), img.dim(2)});
   std::memcpy(x.data(), img.data(),
               static_cast<std::size_t>(img.size()) * sizeof(float));
   return m.infer(x);
@@ -146,13 +159,15 @@ bool check_parity(int num_images) {
 // ---------------------------------------------------------------------------
 // Experiment 2: device-modeled dispatch throughput.
 
-/// The served model's unit-stride conv stack as ConvShapes at batch n.
-std::vector<ConvShape> model_conv_shapes(std::int64_t n) {
-  auto mk = [n](std::int64_t hw, std::int64_t ic, std::int64_t oc) {
+/// The served model's unit-stride conv stack as ConvShapes at batch n for
+/// an hw×hw input image.
+std::vector<ConvShape> model_conv_shapes(std::int64_t n,
+                                         std::int64_t hw = kImage) {
+  auto mk = [n](std::int64_t hw2, std::int64_t ic, std::int64_t oc) {
     ConvShape s;
     s.n = n;
-    s.ih = hw;
-    s.iw = hw;
+    s.ih = hw2;
+    s.iw = hw2;
     s.ic = ic;
     s.oc = oc;
     s.fh = 3;
@@ -162,17 +177,31 @@ std::vector<ConvShape> model_conv_shapes(std::int64_t n) {
     s.validate();
     return s;
   };
-  return {mk(kImage, 3, 8), mk(kImage, 8, 8), mk(kImage / 2, 8, 16)};
+  return {mk(hw, 3, 8), mk(hw, 8, 8), mk(hw / 2, 8, 16)};
+}
+
+/// Modeled device time for the conv stack at (hw, n) — memoized; the mixed
+/// replay asks for the same handful of (size, batch) points thousands of
+/// times.
+double stack_time(std::int64_t hw, std::int64_t n,
+                  const sim::DeviceProfile& dev) {
+  static std::map<std::pair<std::int64_t, std::int64_t>, double> memo;
+  const auto key = std::make_pair(hw, n);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  double total_s = 0.0;
+  for (const ConvShape& s : model_conv_shapes(n, hw)) {
+    total_s += core::profile_conv2d(s, dev, core::plan_for(s)).time_s;
+  }
+  memo.emplace(key, total_s);
+  return total_s;
 }
 
 /// Modeled requests/s when every dispatch carries `n` images: n over the
 /// summed per-layer kernel times on `dev` (default §5.5 plans, the same
 /// plans the session executes).
 double modeled_dispatch_rps(std::int64_t n, const sim::DeviceProfile& dev) {
-  double total_s = 0.0;
-  for (const ConvShape& s : model_conv_shapes(n)) {
-    total_s += core::profile_conv2d(s, dev, core::plan_for(s)).time_s;
-  }
+  const double total_s = stack_time(kImage, n, dev);
   return total_s > 0.0 ? static_cast<double>(n) / total_s : 0.0;
 }
 
@@ -280,6 +309,153 @@ OpenLoopResult run_open_loop(double offered_rps, std::chrono::milliseconds
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 5: mixed-shape traffic — split-on-mismatch vs indirect.
+
+/// Realistic multi-resolution serving mix (even sizes — the model has a
+/// MaxPool2x2): 8px 50%, 6px 20%, 10px 15%, 12px 10%, 16px 5%.
+std::int64_t draw_mixed_size(Rng& rng) {
+  static constexpr std::int64_t kDist[20] = {8, 8, 8,  8,  8,  8,  8,
+                                             8, 8, 8,  6,  6,  6,  6,
+                                             10, 10, 10, 12, 12, 16};
+  return kDist[rng.below(20)];
+}
+
+std::vector<std::int64_t> mixed_arrival_sequence(int n, unsigned seed = 2024) {
+  Rng rng(seed);
+  std::vector<std::int64_t> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) seq.push_back(draw_mixed_size(rng));
+  return seq;
+}
+
+struct MixedModeled {
+  double split_s = 0.0;
+  double indirect_s = 0.0;
+  double speedup = 0.0;
+  int split_dispatches = 0;
+  int indirect_dispatches = 0;
+};
+
+/// Deterministic replay of one arrival sequence through both batching
+/// policies, costed on the device model. Split (today's shipped behavior):
+/// the queue is cut at every shape mismatch, each cut padded to the cap —
+/// interleaved traffic degenerates to short runs that still pay full
+/// batch-8 dispatches. Indirect: each window of max_batch consecutive
+/// arrivals ships as ONE ragged dispatch; the merged grid has a full
+/// batch's worth of tile rows, so per-image cost is the full-batch
+/// amortized cost of its own shape (that occupancy is exactly what
+/// experiment 2 measures) and no pad slots exist.
+MixedModeled modeled_mixed(const std::vector<std::int64_t>& seq,
+                           std::size_t max_batch,
+                           const sim::DeviceProfile& dev) {
+  MixedModeled m;
+  for (std::size_t i = 0; i < seq.size();) {
+    std::size_t j = i;
+    while (j < seq.size() && seq[j] == seq[i] && j - i < max_batch) ++j;
+    m.split_s += stack_time(seq[i], static_cast<std::int64_t>(max_batch), dev);
+    ++m.split_dispatches;
+    i = j;
+  }
+  for (std::size_t i = 0; i < seq.size(); i += max_batch) {
+    const std::size_t end = std::min(i + max_batch, seq.size());
+    for (std::size_t k = i; k < end; ++k) {
+      m.indirect_s += stack_time(seq[k], static_cast<std::int64_t>(max_batch),
+                                 dev) /
+                      static_cast<double>(max_batch);
+    }
+    ++m.indirect_dispatches;
+  }
+  m.speedup = m.indirect_s > 0.0 ? m.split_s / m.indirect_s : 0.0;
+  return m;
+}
+
+struct MixedLoopResult {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+  std::int64_t batches = 0;
+  std::int64_t indirect_batches = 0;
+  std::int64_t padded_slots = 0;  ///< serve.padded_slots delta for this run
+  bool all_resolved = false;
+};
+
+/// Closed loop over mixed-shape traffic: every client draws its image sizes
+/// from the same distribution the modeled replay uses.
+MixedLoopResult run_closed_loop_mixed(serve::MixedMode mode, int clients,
+                                      int per_client) {
+  serve::SessionConfig cfg = base_config(8);
+  cfg.batch.mixed = mode;
+  auto& padded =
+      trace::MetricsRegistry::global().counter("serve.padded_slots");
+  const std::int64_t padded_before = padded.value();
+  serve::ServingSession session(make_model(), cfg);
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  Timer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(static_cast<unsigned>(500 + c));
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const std::int64_t hw = draw_mixed_size(rng);
+        const serve::Response r =
+            session.submit(random_image(rng, hw)).get();
+        if (r.ok()) mine.push_back(r.latency_us);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = wall.seconds();
+  session.stop();
+
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  MixedLoopResult res;
+  res.rps = static_cast<double>(all.size()) / secs;
+  res.p50_us = percentile(all, 0.50);
+  res.p99_us = percentile(all, 0.99);
+  const auto stats = session.stats();
+  res.batches = stats.batches;
+  res.indirect_batches = stats.indirect_batches;
+  res.mean_batch = stats.batches > 0 ? static_cast<double>(stats.completed) /
+                                           static_cast<double>(stats.batches)
+                                     : 0.0;
+  res.padded_slots = padded.value() - padded_before;
+  res.all_resolved = stats.all_resolved();
+  return res;
+}
+
+/// Mixed-traffic parity: every image served through an indirect session
+/// must match a per-image Model::infer at its own shape, bitwise.
+bool check_parity_mixed(int num_images) {
+  const nn::Model reference = make_model();
+  serve::ServingSession session(make_model(), base_config(8));
+  Rng rng(55);
+  std::vector<TensorF> images;
+  std::vector<std::future<serve::Response>> futs;
+  for (int i = 0; i < num_images; ++i) {
+    images.push_back(random_image(rng, draw_mixed_size(rng)));
+  }
+  for (const TensorF& img : images) futs.push_back(session.submit(img));
+  bool ok = true;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const serve::Response r = futs[i].get();
+    if (!r.ok()) return false;
+    const TensorF want = infer_single(reference, images[i]);
+    ok = ok && r.output.size() == want.size() &&
+         std::memcmp(r.output.data(), want.data(),
+                     static_cast<std::size_t>(want.size()) * sizeof(float)) ==
+             0;
+  }
+  session.stop();
+  return ok && session.stats().all_resolved();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +497,41 @@ int main(int argc, char** argv) {
               batch8.rps, batch8.p50_us, batch8.p99_us, batch8.mean_batch);
   std::printf("  batching speedup: %.2fx\n", speedup);
 
+  // Mixed-shape traffic: deterministic modeled replay (the 3x gate) plus
+  // wall-clock closed loop under both policies.
+  const auto arrivals = mixed_arrival_sequence(smoke ? 64 : 512);
+  const MixedModeled mm = modeled_mixed(arrivals, 8, dev);
+  std::printf("mixed-shape modeled replay (%zu arrivals, 8:50%% 6:20%% "
+              "10:15%% 12:10%% 16:5%%):\n",
+              arrivals.size());
+  std::printf("  split+pad: %8.2f ms over %d dispatches\n"
+              "  indirect : %8.2f ms over %d dispatches\n"
+              "  ragged-batching speedup: %.2fx\n",
+              mm.split_s * 1e3, mm.split_dispatches, mm.indirect_s * 1e3,
+              mm.indirect_dispatches, mm.speedup);
+  const bool mixed_parity = check_parity_mixed(smoke ? 12 : 32);
+  std::printf("mixed parity (indirect vs per-request, bitwise): %s\n",
+              mixed_parity ? "identical" : "MISMATCH");
+  const int mixed_per_client = smoke ? 12 : 48;
+  const MixedLoopResult msplit =
+      run_closed_loop_mixed(serve::MixedMode::kSplit, clients,
+                            mixed_per_client);
+  const MixedLoopResult mind =
+      run_closed_loop_mixed(serve::MixedMode::kIndirect, clients,
+                            mixed_per_client);
+  const double mixed_speedup = msplit.rps > 0.0 ? mind.rps / msplit.rps : 0.0;
+  std::printf("mixed closed loop, %d clients:\n", clients);
+  std::printf("  split   : %8.1f req/s   p50 %7.0f us   p99 %7.0f us   "
+              "mean batch %.2f   padded %lld\n",
+              msplit.rps, msplit.p50_us, msplit.p99_us, msplit.mean_batch,
+              static_cast<long long>(msplit.padded_slots));
+  std::printf("  indirect: %8.1f req/s   p50 %7.0f us   p99 %7.0f us   "
+              "mean batch %.2f   padded %lld   indirect batches %lld\n",
+              mind.rps, mind.p50_us, mind.p99_us, mind.mean_batch,
+              static_cast<long long>(mind.padded_slots),
+              static_cast<long long>(mind.indirect_batches));
+  std::printf("  wall-clock speedup: %.2fx\n", mixed_speedup);
+
   // Open loop at fractions of the measured cap-8 capacity.
   const auto duration = smoke ? 300ms : 1500ms;
   std::vector<OpenLoopResult> open;
@@ -336,9 +547,11 @@ int main(int argc, char** argv) {
   }
 
   if (json_path != nullptr) {
+    // Array-of-runs layout (one run per invocation), matching
+    // BENCH_host_hotpath.json so records can be appended across PRs.
     std::FILE* f = std::fopen(json_path, "w");
     if (f != nullptr) {
-      std::fprintf(f, "{\n  \"bench\": \"serving_throughput\",\n");
+      std::fprintf(f, "[\n {\n  \"bench\": \"serving_throughput\",\n");
       std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
       std::fprintf(f, "  \"parity_bit_identical\": %s,\n",
                    parity ? "true" : "false");
@@ -360,6 +573,35 @@ int main(int argc, char** argv) {
                    batch8.rps, batch8.p50_us, batch8.p99_us,
                    batch8.mean_batch);
       std::fprintf(f, "    \"speedup\": %.3f\n  },\n", speedup);
+      std::fprintf(f, "  \"mixed\": {\n");
+      std::fprintf(f, "    \"distribution\": \"8:50%% 6:20%% 10:15%% "
+                      "12:10%% 16:5%%\",\n");
+      std::fprintf(f, "    \"arrivals\": %zu,\n", arrivals.size());
+      std::fprintf(f,
+                   "    \"modeled\": {\"split_ms\": %.3f, \"split_dispatches"
+                   "\": %d, \"indirect_ms\": %.3f, \"indirect_dispatches\": "
+                   "%d, \"speedup\": %.3f},\n",
+                   mm.split_s * 1e3, mm.split_dispatches, mm.indirect_s * 1e3,
+                   mm.indirect_dispatches, mm.speedup);
+      std::fprintf(f, "    \"parity_bit_identical\": %s,\n",
+                   mixed_parity ? "true" : "false");
+      std::fprintf(f, "    \"closed_loop\": {\n");
+      std::fprintf(f,
+                   "      \"split\": {\"rps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f, \"mean_batch\": %.2f, \"padded_slots\""
+                   ": %lld},\n",
+                   msplit.rps, msplit.p50_us, msplit.p99_us,
+                   msplit.mean_batch,
+                   static_cast<long long>(msplit.padded_slots));
+      std::fprintf(f,
+                   "      \"indirect\": {\"rps\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f, \"mean_batch\": %.2f, \"padded_slots\""
+                   ": %lld, \"indirect_batches\": %lld},\n",
+                   mind.rps, mind.p50_us, mind.p99_us, mind.mean_batch,
+                   static_cast<long long>(mind.padded_slots),
+                   static_cast<long long>(mind.indirect_batches));
+      std::fprintf(f, "      \"speedup\": %.3f\n    }\n  },\n",
+                   mixed_speedup);
       std::fprintf(f, "  \"open_loop\": [\n");
       for (std::size_t i = 0; i < open.size(); ++i) {
         const OpenLoopResult& o = open[i];
@@ -373,7 +615,7 @@ int main(int argc, char** argv) {
                      static_cast<long long>(o.expired),
                      i + 1 < open.size() ? "," : "");
       }
-      std::fprintf(f, "  ]\n}\n");
+      std::fprintf(f, "  ]\n }\n]\n");
       std::fclose(f);
     }
   }
@@ -389,6 +631,27 @@ int main(int argc, char** argv) {
                 dev_speedup);
     fail = true;
   }
+  if (!mixed_parity) {
+    std::printf("FAIL: indirect mixed-shape outputs differ from per-request "
+                "inference\n");
+    fail = true;
+  }
+  if (mm.speedup < 3.0) {
+    std::printf("FAIL: modeled ragged-batching speedup %.2fx below the 3x "
+                "bound\n",
+                mm.speedup);
+    fail = true;
+  }
+  if (mind.padded_slots != 0) {
+    std::printf("FAIL: indirect policy materialized %lld pad slots (must "
+                "be 0)\n",
+                static_cast<long long>(mind.padded_slots));
+    fail = true;
+  }
+  if (!msplit.all_resolved || !mind.all_resolved) {
+    std::printf("FAIL: mixed closed loop leaked unresolved requests\n");
+    fail = true;
+  }
   // The wall-clock gate needs cores for the batch to fan out over; on a
   // 1-2 core box per-image compute serializes either way (see file comment).
   const unsigned cores = std::thread::hardware_concurrency();
@@ -400,6 +663,17 @@ int main(int argc, char** argv) {
   } else if (speedup < 2.0) {
     std::printf("note: wall-clock speedup %.2fx not gated (%s, %u cores)\n",
                 speedup, smoke ? "smoke mode" : "needs >= 4 cores", cores);
+  }
+  if (!smoke && cores >= 4 && mixed_speedup < 3.0) {
+    std::printf("FAIL: wall-clock ragged-batching speedup %.2fx below the "
+                "3x bound (%u cores)\n",
+                mixed_speedup, cores);
+    fail = true;
+  } else if (mixed_speedup < 3.0) {
+    std::printf("note: mixed wall-clock speedup %.2fx not gated (%s, %u "
+                "cores)\n",
+                mixed_speedup, smoke ? "smoke mode" : "needs >= 4 cores",
+                cores);
   }
   std::printf(fail ? "FAIL\n" : "PASS\n");
   return fail ? 1 : 0;

@@ -15,8 +15,14 @@
 // (serve.latency_us vs serve.completed, serve.batch_size vs serve.batches),
 // exiting nonzero on disagreement.
 //
+// With --mixed the clients interleave four image sizes request-by-request —
+// the head-of-line worst case for the legacy split policy — and the demo
+// additionally asserts that the session's indirect batcher actually
+// coalesced shapes (at least one mixed-shape dispatch, serve.batch.mode.*
+// counters covering every batch).
+//
 //   build/examples/serve_demo [--clients N] [--requests N] [--metrics path]
-//                             [--prom]
+//                             [--prom] [--mixed]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
   int clients = 4;
   int requests_per_client = 64;
   bool prom = false;
+  bool mixed = false;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
@@ -73,6 +80,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
       metrics_path = argv[++i];
     if (std::strcmp(argv[i], "--prom") == 0) prom = true;
+    if (std::strcmp(argv[i], "--mixed") == 0) mixed = true;
   }
   if (!metrics_path.empty()) {
     trace::set_report_paths(/*trace_path=*/"", metrics_path);
@@ -89,9 +97,11 @@ int main(int argc, char** argv) {
   cfg.flush_period = metrics_path.empty() ? 0us : 200000us;  // periodic flush
   serve::ServingSession session(make_model(/*seed=*/42), cfg);
 
-  std::printf("serve_demo: %d clients x %d requests, batch cap %zu, "
+  std::printf("serve_demo: %d clients x %d requests%s, batch cap %zu, "
               "%u workers, queue %zu\n",
-              clients, requests_per_client, cfg.batch.max_batch, cfg.workers,
+              clients, requests_per_client,
+              mixed ? " (interleaved mixed shapes)" : "",
+              cfg.batch.max_batch, cfg.workers,
               static_cast<std::size_t>(cfg.queue_capacity));
 
   // Client threads: every 8th request gets a deliberately hopeless deadline
@@ -105,8 +115,12 @@ int main(int argc, char** argv) {
       Rng rng(static_cast<unsigned>(1000 + c));
       auto& mine = futures[static_cast<std::size_t>(c)];
       mine.reserve(static_cast<std::size_t>(requests_per_client));
+      // --mixed: cycle four resolutions request-by-request (even sizes —
+      // the model has a MaxPool2x2; the GAP head accepts any of them).
+      static constexpr std::int64_t kMixedSizes[4] = {16, 12, 8, 10};
       for (int i = 0; i < requests_per_client; ++i) {
-        TensorF img({kImage, kImage, 3});
+        const std::int64_t hw = mixed ? kMixedSizes[i % 4] : kImage;
+        TensorF img({hw, hw, 3});
         img.fill_uniform(rng, -1.0f, 1.0f);
         const serve::Deadline d = (i % 8 == 7)
                                       ? serve::Deadline::after(1us)
@@ -149,11 +163,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(ok), static_cast<long long>(rejected),
               static_cast<long long>(expired),
               static_cast<long long>(shutdown), static_cast<long long>(total));
-  std::printf("session:  accepted %lld  completed %lld  batches %lld  "
-              "mean batch %.2f  mean latency %.0f us\n",
+  std::printf("session:  accepted %lld  completed %lld  batches %lld "
+              "(indirect %lld)  mean batch %.2f  mean latency %.0f us\n",
               static_cast<long long>(stats.accepted),
               static_cast<long long>(stats.completed),
               static_cast<long long>(stats.batches),
+              static_cast<long long>(stats.indirect_batches),
               stats.batches > 0
                   ? static_cast<double>(stats.completed) /
                         static_cast<double>(stats.batches)
@@ -177,6 +192,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.completed),
                 static_cast<long long>(stats.expired),
                 static_cast<long long>(stats.shed));
+    fail = true;
+  }
+  if (mixed && stats.indirect_batches == 0) {
+    std::printf("FAIL: interleaved mixed-shape load produced no indirect "
+                "(ragged) dispatches\n");
     fail = true;
   }
   if (prom) {

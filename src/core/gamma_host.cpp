@@ -13,6 +13,166 @@
 
 namespace iwg::core {
 
+namespace detail {
+
+void fill_row_table(const float** rows, const float* x, std::int64_t ih,
+                    std::int64_t iw, std::int64_t ic, std::int64_t ph) {
+  for (std::int64_t ihp = -ph; ihp < ih + ph; ++ihp) {
+    rows[ihp + ph] =
+        (ihp >= 0 && ihp < ih) ? x + ihp * iw * ic : nullptr;
+  }
+}
+
+// One (image, tile column) task; it walks the OH output rows in blocks of
+// kRowBlock with a ring of the transformed input rows the block can see
+// (slot = ihp mod ring_rows), so d̂(ihp) is computed once and reused by
+// every filter row that reads it. Row-blocking is what lets the
+// accumulation run through axpy_rank1_multi: the kRowBlock output rows of
+// a block consume the same ĝ[fh][t] planes, so the blocked kernel loads
+// each ĝ vector once and feeds kRowBlock FMA chains with it — a single
+// rank-1 update is load-bound at one ĝ load per FMA and leaves the FMA
+// units half idle.
+// 16 output rows per block = two octet passes of the 8-row kernel. The
+// block size sets how often ĝ is streamed from L2 (once per block), and
+// the second octet of a block reuses the (fh, t) plane the first octet
+// just pulled into L1 — at 64×64 channels ĝ is ~0.5 MB per segment, so
+// halving the passes is worth more than the larger macc footprint.
+//
+// Input rows arrive exclusively through img.rows: the dense path points the
+// table into a batch tensor, the indirect path into per-image buffers, and
+// padding rows are nullptr either way — so the ring, the kernels, and every
+// accumulation order are identical for both callers.
+void gamma_tile_column(const ImageTask& img, const ConvShape& geom,
+                       const GammaConfig& cfg, const WinogradPlan& plan,
+                       const float* ghat, const HostKernels& hk,
+                       std::int64_t ow_start, std::int64_t tw) {
+  const int alpha = cfg.alpha;
+  const int n_out = cfg.n;
+  const float* bt = plan.bt_f.data();
+  const std::int64_t dstride = static_cast<std::int64_t>(alpha) * geom.ic;
+  const std::int64_t gstride = geom.ic * geom.oc;  // one ĝ[fh][t] plane
+  constexpr std::int64_t kRowBlock = 16;
+  const std::int64_t ring_rows = geom.fh + kRowBlock - 1;
+  ScratchArena& arena = ScratchArena::local();
+  const ScratchArena::Scope scope(arena);
+  float* ring =
+      arena.alloc_floats(static_cast<std::size_t>(ring_rows * dstride));
+  float* macc = arena.alloc_floats(
+      static_cast<std::size_t>(kRowBlock * alpha * geom.oc));
+  const std::int64_t iw0 = ow_start + tw * n_out - geom.pw;
+  // The α taps of one tile are NHWC row slices IC floats apart: the
+  // transform runs lane-parallel over channels, in-bounds taps as
+  // contiguous loads, padding taps as null rows (DESIGN §8).
+  const float* taps[16];
+  std::int64_t next_row = -geom.ph;  // next input row to transform
+  for (std::int64_t hi0 = 0; hi0 < img.oh; hi0 += kRowBlock) {
+    const std::int64_t rb = std::min(kRowBlock, img.oh - hi0);
+    const std::int64_t win_hi = hi0 + rb - 1 - geom.ph + geom.fh;  // excl.
+    for (; next_row < win_hi; ++next_row) {
+      const float* xrow = img.rows[next_row + geom.ph];
+      if (xrow == nullptr) continue;  // zero padding
+      float* slot = ring + (next_row % ring_rows) * dstride;
+      for (int e = 0; e < alpha; ++e) {
+        const std::int64_t iw = iw0 + e;
+        taps[e] = (iw >= 0 && iw < img.iw) ? xrow + iw * geom.ic : nullptr;
+      }
+      hk.transform_cols(bt, alpha, alpha, taps, geom.ic, slot, geom.ic);
+    }
+    // State-domain accumulation: per filter row, α blocked rank-1
+    // updates (rb×IC)·(IC×OC); output rows whose input row falls in the
+    // zero padding pass a null d̂ and are skipped by the kernel.
+    std::fill(macc, macc + rb * alpha * geom.oc, 0.0f);
+    const float* drow[kRowBlock];
+    const float* ds[kRowBlock];
+    float* ms[kRowBlock];
+    for (std::int64_t fh = 0; fh < geom.fh; ++fh) {
+      bool any = false;
+      for (std::int64_t r = 0; r < rb; ++r) {
+        const std::int64_t ihp = hi0 + r - geom.ph + fh;
+        const bool valid = img.rows[ihp + geom.ph] != nullptr;
+        drow[r] = valid ? ring + (ihp % ring_rows) * dstride : nullptr;
+        any = any || valid;
+      }
+      if (!any) continue;  // every row of the block sees zero padding
+      const float* gbase = ghat + fh * alpha * gstride;
+      for (int t = 0; t < alpha; ++t) {
+        for (std::int64_t r = 0; r < rb; ++r) {
+          ds[r] = drow[r] != nullptr
+                      ? drow[r] + static_cast<std::int64_t>(t) * geom.ic
+                      : nullptr;
+          ms[r] = macc + (r * alpha + t) * geom.oc;
+        }
+        hk.axpy_rank1_multi(ds, gbase + static_cast<std::int64_t>(t) *
+                                            gstride,
+                            ms, static_cast<int>(rb), geom.ic, geom.oc);
+      }
+    }
+    // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc], per row.
+    for (std::int64_t r = 0; r < rb; ++r) {
+      const float* mrow = macc + r * alpha * geom.oc;
+      for (int i = 0; i < n_out; ++i) {
+        float* yrow = img.y + ((hi0 + r) * img.ow + ow_start + tw * n_out +
+                               i) * geom.oc;
+        const float* at_row =
+            &plan.at_f[static_cast<std::size_t>(i) * alpha];
+        hk.out_transform(at_row, alpha, mrow, geom.oc, yrow, geom.oc);
+      }
+    }
+  }
+}
+
+void gemm_row(const ImageTask& img, const ConvShape& geom, const float* w,
+              const HostKernels& hk, std::int64_t hi, std::int64_t ow_start,
+              std::int64_t ow_len) {
+  const std::int64_t gk = geom.fh * geom.fw * geom.ic;
+  ScratchArena& arena = ScratchArena::local();
+  const ScratchArena::Scope scope(arena);
+  float* patch = arena.alloc_floats(static_cast<std::size_t>(gk));
+  for (std::int64_t wo = ow_start; wo < ow_start + ow_len; ++wo) {
+    float* dst = patch;
+    for (std::int64_t fh = 0; fh < geom.fh; ++fh) {
+      const std::int64_t ihp = hi + fh - geom.ph;
+      const float* xrow = img.rows[ihp + geom.ph];
+      for (std::int64_t fw = 0; fw < geom.fw; ++fw) {
+        const std::int64_t iwp = wo + fw - geom.pw;
+        const bool in = xrow != nullptr && iwp >= 0 && iwp < img.iw;
+        const float* src = in ? xrow + iwp * geom.ic : nullptr;
+        for (std::int64_t ic = 0; ic < geom.ic; ++ic)
+          *dst++ = in ? src[ic] : 0.0f;
+      }
+    }
+    float* yrow = img.y + (hi * img.ow + wo) * geom.oc;
+    for (std::int64_t oc = 0; oc < geom.oc; ++oc) {
+      yrow[oc] = hk.dot(patch, w + oc * gk, gk);
+    }
+  }
+}
+
+// Dense batch as an ImageTask array: one row table per image, bump-allocated
+// from the caller's arena (valid across the blocking parallel_for below —
+// task bodies open nested scopes on their own threads' arenas).
+std::vector<ImageTask> dense_tasks(const TensorF& x, TensorF& y,
+                                   const ConvShape& s, ScratchArena& arena) {
+  const std::int64_t table_len = s.ih + 2 * s.ph;
+  std::vector<ImageTask> tasks(static_cast<std::size_t>(s.n));
+  for (std::int64_t ni = 0; ni < s.n; ++ni) {
+    auto** rows = static_cast<const float**>(
+        arena.alloc(static_cast<std::size_t>(table_len) * sizeof(float*)));
+    fill_row_table(rows, x.data() + ni * s.ih * s.iw * s.ic, s.ih, s.iw,
+                   s.ic, s.ph);
+    ImageTask& t = tasks[static_cast<std::size_t>(ni)];
+    t.rows = rows;
+    t.y = y.data() + ni * s.oh() * s.ow() * s.oc;
+    t.ih = s.ih;
+    t.iw = s.iw;
+    t.oh = s.oh();
+    t.ow = s.ow();
+  }
+  return tasks;
+}
+
+}  // namespace detail
+
 void conv2d_gamma_host_segment_pretransformed(
     const TensorF& x, const float* ghat, const ConvShape& s,
     const GammaConfig& cfg, std::int64_t ow_start, std::int64_t ow_len,
@@ -21,102 +181,21 @@ void conv2d_gamma_host_segment_pretransformed(
   IWG_CHECK(cfg.r == s.fw);
   IWG_CHECK(ow_len % cfg.n == 0);
   IWG_CHECK(ow_start >= 0 && ow_start + ow_len <= s.ow());
-  const int alpha = cfg.alpha;
-  const int n_out = cfg.n;
-  const WinogradPlan& plan = get_plan(n_out, cfg.r);
-  const float* bt = plan.bt_f.data();
+  const WinogradPlan& plan = get_plan(cfg.n, cfg.r);
   const HostKernels& hk = host_kernels();
+  const std::int64_t tiles_w = ow_len / cfg.n;
 
-  const std::int64_t oh = s.oh();
-  const std::int64_t tiles_w = ow_len / n_out;
-  const std::int64_t dstride = static_cast<std::int64_t>(alpha) * s.ic;
-  const std::int64_t gstride = s.ic * s.oc;  // one ĝ[fh][t] plane
+  ScratchArena& arena = ScratchArena::local();
+  const ScratchArena::Scope scope(arena);
+  const std::vector<detail::ImageTask> tasks =
+      detail::dense_tasks(x, y, s, arena);
 
-  // One task per (image, tile column); each walks the OH output rows in
-  // blocks of kRowBlock with a ring of the transformed input rows the block
-  // can see (slot = ihp mod ring_rows), so d̂(ihp) is computed once and
-  // reused by every filter row that reads it. Row-blocking is what lets the
-  // accumulation run through axpy_rank1_multi: the kRowBlock output rows of
-  // a block consume the same ĝ[fh][t] planes, so the blocked kernel loads
-  // each ĝ vector once and feeds kRowBlock FMA chains with it — a single
-  // rank-1 update is load-bound at one ĝ load per FMA and leaves the FMA
-  // units half idle.
-  // 16 output rows per block = two octet passes of the 8-row kernel. The
-  // block size sets how often ĝ is streamed from L2 (once per block), and
-  // the second octet of a block reuses the (fh, t) plane the first octet
-  // just pulled into L1 — at 64×64 channels ĝ is ~0.5 MB per segment, so
-  // halving the passes is worth more than the larger macc footprint.
-  constexpr std::int64_t kRowBlock = 16;
-  const std::int64_t ring_rows = s.fh + kRowBlock - 1;
   const std::int64_t cols = s.n * tiles_w;
   parallel_for(cols, parallel_grain(cols), [&](std::int64_t col) {
     const std::int64_t ni = col / tiles_w;
     const std::int64_t tw = col % tiles_w;
-    ScratchArena& arena = ScratchArena::local();
-    const ScratchArena::Scope scope(arena);
-    float* ring =
-        arena.alloc_floats(static_cast<std::size_t>(ring_rows * dstride));
-    float* macc = arena.alloc_floats(
-        static_cast<std::size_t>(kRowBlock * alpha * s.oc));
-    const std::int64_t iw0 = ow_start + tw * n_out - s.pw;
-    // The α taps of one tile are NHWC row slices IC floats apart: the
-    // transform runs lane-parallel over channels, in-bounds taps as
-    // contiguous loads, padding taps as null rows (DESIGN §8).
-    const float* taps[16];
-    std::int64_t next_row = -s.ph;  // next input row to transform
-    for (std::int64_t hi0 = 0; hi0 < oh; hi0 += kRowBlock) {
-      const std::int64_t rb = std::min(kRowBlock, oh - hi0);
-      const std::int64_t win_hi = hi0 + rb - 1 - s.ph + s.fh;  // exclusive
-      for (; next_row < win_hi; ++next_row) {
-        if (next_row < 0 || next_row >= s.ih) continue;  // zero padding
-        float* slot = ring + (next_row % ring_rows) * dstride;
-        for (int e = 0; e < alpha; ++e) {
-          const std::int64_t iw = iw0 + e;
-          taps[e] = (iw >= 0 && iw < s.iw) ? &x.at(ni, next_row, iw, 0)
-                                           : nullptr;
-        }
-        hk.transform_cols(bt, alpha, alpha, taps, s.ic, slot, s.ic);
-      }
-      // State-domain accumulation: per filter row, α blocked rank-1
-      // updates (rb×IC)·(IC×OC); output rows whose input row falls in the
-      // zero padding pass a null d̂ and are skipped by the kernel.
-      std::fill(macc, macc + rb * alpha * s.oc, 0.0f);
-      const float* drow[kRowBlock];
-      const float* ds[kRowBlock];
-      float* ms[kRowBlock];
-      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
-        bool any = false;
-        for (std::int64_t r = 0; r < rb; ++r) {
-          const std::int64_t ihp = hi0 + r - s.ph + fh;
-          const bool valid = ihp >= 0 && ihp < s.ih;
-          drow[r] = valid ? ring + (ihp % ring_rows) * dstride : nullptr;
-          any = any || valid;
-        }
-        if (!any) continue;  // every row of the block sees zero padding
-        const float* gbase = ghat + fh * alpha * gstride;
-        for (int t = 0; t < alpha; ++t) {
-          for (std::int64_t r = 0; r < rb; ++r) {
-            ds[r] = drow[r] != nullptr
-                        ? drow[r] + static_cast<std::int64_t>(t) * s.ic
-                        : nullptr;
-            ms[r] = macc + (r * alpha + t) * s.oc;
-          }
-          hk.axpy_rank1_multi(ds, gbase + static_cast<std::int64_t>(t) *
-                                              gstride,
-                              ms, static_cast<int>(rb), s.ic, s.oc);
-        }
-      }
-      // Output transform: y[i][oc] = Σ_t A^T[i][t] · m[t][oc], per row.
-      for (std::int64_t r = 0; r < rb; ++r) {
-        const float* mrow = macc + r * alpha * s.oc;
-        for (int i = 0; i < n_out; ++i) {
-          float* yrow = &y.at(ni, hi0 + r, ow_start + tw * n_out + i, 0);
-          const float* at_row =
-              &plan.at_f[static_cast<std::size_t>(i) * alpha];
-          hk.out_transform(at_row, alpha, mrow, s.oc, yrow, s.oc);
-        }
-      }
-    }
+    detail::gamma_tile_column(tasks[static_cast<std::size_t>(ni)], s, cfg,
+                              plan, ghat, hk, ow_start, tw);
   });
 }
 
@@ -135,30 +214,18 @@ void conv2d_gemm_host_segment(const TensorF& x, const TensorF& w,
   s.validate();
   const HostKernels& hk = host_kernels();
   const std::int64_t oh = s.oh();
-  const std::int64_t gk = s.fh * s.fw * s.ic;
+
+  ScratchArena& arena = ScratchArena::local();
+  const ScratchArena::Scope scope(arena);
+  const std::vector<detail::ImageTask> tasks =
+      detail::dense_tasks(x, y, s, arena);
+
   const std::int64_t rows = s.n * oh;
   parallel_for(rows, parallel_grain(rows), [&](std::int64_t row) {
     const std::int64_t ni = row / oh;
     const std::int64_t hi = row % oh;
-    ScratchArena& arena = ScratchArena::local();
-    const ScratchArena::Scope scope(arena);
-    float* patch = arena.alloc_floats(static_cast<std::size_t>(gk));
-    for (std::int64_t wo = ow_start; wo < ow_start + ow_len; ++wo) {
-      float* dst = patch;
-      for (std::int64_t fh = 0; fh < s.fh; ++fh) {
-        const std::int64_t ihp = hi + fh - s.ph;
-        for (std::int64_t fw = 0; fw < s.fw; ++fw) {
-          const std::int64_t iwp = wo + fw - s.pw;
-          const bool in = ihp >= 0 && ihp < s.ih && iwp >= 0 && iwp < s.iw;
-          const float* src = in ? &x.at(ni, ihp, iwp, 0) : nullptr;
-          for (std::int64_t ic = 0; ic < s.ic; ++ic)
-            *dst++ = in ? src[ic] : 0.0f;
-        }
-      }
-      for (std::int64_t oc = 0; oc < s.oc; ++oc) {
-        y.at(ni, hi, wo, oc) = hk.dot(patch, w.data() + oc * gk, gk);
-      }
-    }
+    detail::gemm_row(tasks[static_cast<std::size_t>(ni)], s, w.data(), hk,
+                     hi, ow_start, ow_len);
   });
 }
 

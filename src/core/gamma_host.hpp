@@ -26,9 +26,54 @@
 #include "tensor/conv_shape.hpp"
 #include "tensor/tensor.hpp"
 
+namespace iwg {
+struct WinogradPlan;
+}
+
 namespace iwg::core {
 
 class FilterTransformCache;
+struct HostKernels;
+
+namespace detail {
+
+/// One image slot of a Γ dispatch, dense or indirect. `rows` is the row
+/// indirection: rows[ihp + ph] is input row ihp (an IW·IC NHWC slice),
+/// nullptr for rows inside the zero padding — null is the shared zero row
+/// the host kernels already understand (transform_cols reads a null tap as
+/// zeros, axpy_rank1_multi skips null d̂ rows), so padding is an address,
+/// never materialized storage. Table length is ih + 2·ph.
+struct ImageTask {
+  const float* const* rows = nullptr;
+  float* y = nullptr;  ///< OH×OW×OC output base for this image
+  std::int64_t ih = 0;
+  std::int64_t iw = 0;
+  std::int64_t oh = 0;
+  std::int64_t ow = 0;
+};
+
+/// One (image, tile-column) Γ task: the sliding-window ring over OH row
+/// blocks. Shared verbatim by the dense segment entry points and
+/// conv2d_gamma_host_indirect, so the two paths produce bitwise-identical
+/// outputs per image by construction. `geom` contributes the fields every
+/// image of a dispatch shares (ic/oc/fh/ph/pw); per-image extents live in
+/// `img`.
+void gamma_tile_column(const ImageTask& img, const ConvShape& geom,
+                       const GammaConfig& cfg, const WinogradPlan& plan,
+                       const float* ghat, const HostKernels& hk,
+                       std::int64_t ow_start, std::int64_t tw);
+
+/// One output row of the implicit-GEMM boundary tail, same sharing story.
+void gemm_row(const ImageTask& img, const ConvShape& geom, const float* w,
+              const HostKernels& hk, std::int64_t hi, std::int64_t ow_start,
+              std::int64_t ow_len);
+
+/// Fill a row table (length ih + 2·ph) for a densely stored image: in-bounds
+/// rows point into `x`, padding rows stay nullptr.
+void fill_row_table(const float** rows, const float* x, std::int64_t ih,
+                    std::int64_t iw, std::int64_t ic, std::int64_t ph);
+
+}  // namespace detail
 
 /// How the host engine obtains (and possibly reuses) transformed filters.
 /// Default-constructed: no cross-call cache — transforms are still shared

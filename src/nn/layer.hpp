@@ -79,6 +79,20 @@ class Layer {
   /// concurrently — the contract the serving subsystem's worker pool
   /// relies on.
   virtual TensorF infer(const TensorF& x) const = 0;
+  /// Ragged inference: one independent rank-4 N = 1 tensor per image, whose
+  /// spatial extents may differ between entries. The default runs infer()
+  /// per image — the batch-1 baseline — so every layer supports mixed-shape
+  /// batches; layers with a fused mixed-shape path (Conv2D's indirect Γ
+  /// dispatch) override it. Outputs must be bitwise identical per image to
+  /// infer() on that image alone. Same const/concurrency contract as
+  /// infer().
+  virtual std::vector<TensorF> infer_ragged(
+      const std::vector<TensorF>& xs) const {
+    std::vector<TensorF> ys;
+    ys.reserve(xs.size());
+    for (const TensorF& x : xs) ys.push_back(infer(x));
+    return ys;
+  }
   /// Backward pass: consumes dL/dy, returns dL/dx, accumulates param grads.
   virtual TensorF backward(const TensorF& dy) = 0;
 

@@ -6,6 +6,7 @@
 #include "core/conv_api.hpp"
 #include "core/filter_cache.hpp"
 #include "core/gamma_host.hpp"
+#include "core/indirect.hpp"
 #include "core/plan_cache.hpp"
 #include "reference/direct_conv.hpp"
 #include "reference/im2col_gemm.hpp"
@@ -159,6 +160,39 @@ TensorF Conv2D::forward(const TensorF& x, bool train) {
 }
 
 TensorF Conv2D::infer(const TensorF& x) const { return apply(x, shape_for(x)); }
+
+std::vector<TensorF> Conv2D::infer_ragged(
+    const std::vector<TensorF>& xs) const {
+  // Strided layers have no indirect path — keep the per-image baseline.
+  if (stride_ != 1 || xs.empty()) return Layer::infer_ragged(xs);
+  const std::int64_t oc = w_.value.dim(0);
+  // Dispatch-wide geometry (channels/filter/padding); spatial extents are
+  // per image. plan_for never sees N, and the indirect entry reuses the
+  // dense task bodies, so each image's output matches batch-1 infer() bit
+  // for bit.
+  const ConvShape geom = shape_for(xs.front());
+  std::vector<TensorF> ys(xs.size());
+  std::vector<core::ImageView> views(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const ConvShape si = shape_for(xs[i]);
+    IWG_CHECK_MSG(si.n == 1, "infer_ragged expects one image per tensor");
+    ys[i].reset({1, si.oh(), si.ow(), oc});
+    views[i] = core::ImageView{xs[i].data(), ys[i].data(), si.ih, si.iw};
+  }
+  core::IndirectOptions opts;
+  opts.use_winograd = engine_ == ConvEngine::kWinograd;
+  opts.fc.cache = &core::FilterTransformCache::global();
+  opts.fc.version = w_.version;
+  core::conv2d_gamma_host_indirect(views, w_.value, geom, opts);
+  for (TensorF& y : ys) {
+    const std::int64_t pixels = y.size() / oc;
+    for (std::int64_t m = 0; m < pixels; ++m) {
+      float* row = y.data() + m * oc;
+      for (std::int64_t c = 0; c < oc; ++c) row[c] += b_.value[c];
+    }
+  }
+  return ys;
+}
 
 Dims4 Conv2D::pretune(const Dims4& in, AutotuneContext& ctx) {
   ConvShape s;

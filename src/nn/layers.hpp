@@ -31,6 +31,11 @@ class Conv2D final : public Layer {
   std::string name() const override { return label_; }
   TensorF forward(const TensorF& x, bool train) override;
   TensorF infer(const TensorF& x) const override;
+  /// Mixed-shape batch: every unit-stride image runs in ONE indirect Γ
+  /// dispatch (conv2d_gamma_host_indirect); strided layers fall back to the
+  /// per-image default. Bitwise identical per image to infer().
+  std::vector<TensorF> infer_ragged(
+      const std::vector<TensorF>& xs) const override;
   TensorF backward(const TensorF& dy) override;
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::int64_t activation_bytes() const override { return x_cache_.size() * 4; }

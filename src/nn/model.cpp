@@ -23,6 +23,16 @@ TensorF Model::infer(const TensorF& x) const {
   return h;
 }
 
+std::vector<TensorF> Model::infer_ragged(
+    const std::vector<TensorF>& xs) const {
+  std::vector<TensorF> hs = xs;
+  for (const auto& l : layers_) {
+    IWG_TRACE_SPAN(span, l->name(), "nn.infer");
+    hs = l->infer_ragged(hs);
+  }
+  return hs;
+}
+
 TensorF Model::backward(const TensorF& dloss) {
   TensorF g = dloss;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -23,6 +23,12 @@ class Model {
   /// threads on one Model instance (see Layer::infer). Numerically identical
   /// to `forward(x, false)`.
   TensorF infer(const TensorF& x) const;
+  /// Mixed-shape inference: one rank-4 N = 1 tensor per image (spatial
+  /// extents may differ). Each layer processes the whole set at once —
+  /// Conv2D via one indirect Γ dispatch, everything else per image — and
+  /// every output is bitwise identical to infer() on that image alone.
+  /// Const and concurrency-safe like infer().
+  std::vector<TensorF> infer_ragged(const std::vector<TensorF>& xs) const;
   /// Returns dL/dinput (rarely needed; gradients accumulate in params).
   TensorF backward(const TensorF& dloss);
 

@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+
 #include "common/trace.hpp"
 
 namespace iwg::serve {
@@ -18,9 +20,35 @@ trace::Histogram& expired_latency_hist() {
   return h;
 }
 
+/// Resolve one request kExpired (deadline passed before dispatch), emitting
+/// the expiry span into its flow chain.
+void resolve_expired(Request& r, Clock::time_point now, Batcher::Batch& b) {
+  // The request's context crossed the thread boundary inside the Request
+  // itself; restoring it here puts the expiry span into the request's flow
+  // chain (enqueue → expired, no complete).
+  trace::ContextScope ctx_scope(r.ctx);
+  IWG_TRACE_SPAN(span, "serve.expired", "serve");
+  expired_counter().add();
+  ++b.expired;
+  Response resp;
+  resp.status = Status::kExpired;
+  resp.reason = "deadline expired before dispatch";
+  resp.queue_us =
+      std::chrono::duration<double, std::micro>(now - r.enqueue_time).count();
+  resp.latency_us = resp.queue_us;
+  span.arg("queue_us", resp.queue_us);
+  expired_latency_hist().record(resp.latency_us);
+  r.promise.set_value(std::move(resp));
+}
+
 }  // namespace
 
 Batcher::Batch Batcher::next_batch() {
+  return policy_.mixed == MixedMode::kSplit ? next_batch_split()
+                                            : next_batch_indirect();
+}
+
+Batcher::Batch Batcher::next_batch_split() {
   Batch b;  // carries the expired count across assembly retries
   for (;;) {
     if (!queue_.wait_nonempty(policy_.idle_wait)) {
@@ -39,23 +67,7 @@ Batcher::Batch Batcher::next_batch() {
     const Clock::time_point now = Clock::now();
     for (Request& r : popped) {
       if (r.deadline.expired(now)) {
-        // The request's context crossed the thread boundary inside the
-        // Request itself; restoring it here puts the expiry span into the
-        // request's flow chain (enqueue → expired, no complete).
-        trace::ContextScope ctx_scope(r.ctx);
-        IWG_TRACE_SPAN(span, "serve.expired", "serve");
-        expired_counter().add();
-        ++b.expired;
-        Response resp;
-        resp.status = Status::kExpired;
-        resp.reason = "deadline expired before dispatch";
-        resp.queue_us = std::chrono::duration<double, std::micro>(
-                            now - r.enqueue_time)
-                            .count();
-        resp.latency_us = resp.queue_us;
-        span.arg("queue_us", resp.queue_us);
-        expired_latency_hist().record(resp.latency_us);
-        r.promise.set_value(std::move(resp));
+        resolve_expired(r, now, b);
       } else {
         b.requests.push_back(std::move(r));
       }
@@ -63,6 +75,150 @@ Batcher::Batch Batcher::next_batch() {
     if (!b.requests.empty()) return b;
     // Everything popped had expired, or another worker raced us to the
     // queue; go around again rather than report an idle tick.
+  }
+}
+
+void Batcher::drain_into_park() {
+  std::lock_guard lock(park_mu_);
+  if (parked_total_ >= park_cap()) return;
+  std::vector<Request> in = queue_.pop_upto(park_cap() - parked_total_);
+  if (in.empty()) return;
+  const Clock::time_point now = Clock::now();
+  for (Request& r : in) {
+    const std::int64_t h = r.input.dim(0);
+    const std::int64_t w = r.input.dim(1);
+    const std::int64_t c = r.input.dim(2);
+    ShapeClass* cls = nullptr;
+    for (ShapeClass& sc : parked_) {
+      if (sc.h == h && sc.w == w && sc.c == c) {
+        cls = &sc;
+        break;
+      }
+    }
+    if (cls == nullptr) {
+      parked_.push_back(ShapeClass{h, w, c, {}});
+      cls = &parked_.back();
+    }
+    cls->entries.push_back(Parked{std::move(r), now});
+    ++parked_total_;
+  }
+}
+
+void Batcher::shed_expired_parked(Batch& b) {
+  const Clock::time_point now = Clock::now();
+  for (ShapeClass& cls : parked_) {
+    for (auto it = cls.entries.begin(); it != cls.entries.end();) {
+      if (it->r.deadline.expired(now)) {
+        resolve_expired(it->r, now, b);
+        it = cls.entries.erase(it);
+        --parked_total_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  drop_empty_classes();
+}
+
+Clock::time_point Batcher::oldest_seen_parked() const {
+  Clock::time_point oldest = Clock::time_point::max();
+  for (const ShapeClass& cls : parked_) {
+    for (const Parked& p : cls.entries) oldest = std::min(oldest, p.seen);
+  }
+  return oldest;
+}
+
+void Batcher::take_dense(ShapeClass& cls, Batch& b) {
+  while (!cls.entries.empty() && b.requests.size() < policy_.max_batch) {
+    b.requests.push_back(std::move(cls.entries.front().r));
+    cls.entries.pop_front();
+    --parked_total_;
+  }
+  b.mode = Batch::Mode::kDense;
+  b.shape_classes = 1;
+  drop_empty_classes();
+}
+
+void Batcher::assemble_mixed(Batch& b) {
+  // Global-FIFO merge: repeatedly take the earliest-seen front entry across
+  // classes, so parking never reorders requests relative to each other.
+  std::vector<const ShapeClass*> used;
+  while (parked_total_ > 0 && b.requests.size() < policy_.max_batch) {
+    ShapeClass* best = nullptr;
+    for (ShapeClass& cls : parked_) {
+      if (cls.entries.empty()) continue;
+      if (best == nullptr || cls.entries.front().seen <
+                                 best->entries.front().seen) {
+        best = &cls;
+      }
+    }
+    if (best == nullptr) break;
+    if (std::find(used.begin(), used.end(), best) == used.end()) {
+      used.push_back(best);
+    }
+    b.requests.push_back(std::move(best->entries.front().r));
+    best->entries.pop_front();
+    --parked_total_;
+  }
+  b.shape_classes = static_cast<int>(used.size());
+  b.mode = used.size() > 1 ? Batch::Mode::kIndirect : Batch::Mode::kDense;
+  drop_empty_classes();
+}
+
+void Batcher::drop_empty_classes() {
+  parked_.erase(std::remove_if(parked_.begin(), parked_.end(),
+                               [](const ShapeClass& c) {
+                                 return c.entries.empty();
+                               }),
+                parked_.end());
+}
+
+Batcher::Batch Batcher::next_batch_indirect() {
+  Batch b;  // carries the expired count across assembly retries
+  for (;;) {
+    drain_into_park();
+    {
+      std::unique_lock lock(park_mu_);
+      shed_expired_parked(b);
+      if (parked_total_ > 0) {
+        // 1. A class that filled to max_batch ships dense immediately —
+        //    shape-identical runs coalesce exactly as in kSplit, with no
+        //    head-of-line ping-pong when another shape interleaves.
+        for (ShapeClass& cls : parked_) {
+          if (cls.entries.size() >= policy_.max_batch) {
+            take_dense(cls, b);
+            return b;
+          }
+        }
+        // 2. The remainder ships when a full mixed batch is parked, the
+        //    oldest parked request's max_wait expires, or the queue closed
+        //    (drain-to-shutdown). One shape → dense; several → indirect.
+        const Clock::time_point due = oldest_seen_parked() + policy_.max_wait;
+        if (parked_total_ >= policy_.max_batch || queue_.closed() ||
+            Clock::now() >= due) {
+          assemble_mixed(b);
+          if (!b.requests.empty()) return b;
+          continue;  // everything parked had expired
+        }
+        // Not due yet: wait (outside the park lock) for enough arrivals to
+        // complete the batch, or for the oldest request's deadline.
+        const std::size_t need = policy_.max_batch - parked_total_;
+        lock.unlock();
+        queue_.wait_depth(need, due);
+        continue;
+      }
+    }
+    // Parking lot empty: park like the split policy until traffic arrives.
+    if (!queue_.wait_nonempty(policy_.idle_wait)) {
+      bool parked_now;
+      {
+        std::lock_guard lock(park_mu_);
+        parked_now = parked_total_ > 0;
+      }
+      if (parked_now) continue;  // another worker parked in the meantime
+      b.closed = queue_.closed();
+      return b;
+    }
   }
 }
 

@@ -9,26 +9,47 @@
 // `max_wait` hoping to fill `max_batch` slots, the classic
 // latency-for-throughput trade every serving stack exposes.
 //
-// Rules:
-//   * Shape coherence: a batch only contains requests whose images agree on
-//     H×W×C; the queue is split at the first mismatch (the mismatching
-//     request seeds the next batch, so interleaved shapes ping-pong rather
-//     than starve).
+// Two mixed-shape policies (BatchPolicy::mixed):
+//
+//   * kSplit (legacy): a batch only contains requests whose images agree on
+//     H×W×C; the queue is split at the first mismatch. Interleaved A/B/A/B
+//     traffic therefore ping-pongs batch-1 dispatches — the head-of-line
+//     problem the indirect policy exists to fix.
+//   * kIndirect (default): arrivals are drained into per-shape-class parks
+//     (bounded at 2·max_batch total, a one-batch reordering buffer). A
+//     class that fills to max_batch ships as a dense batch — shape-identical
+//     runs coalesce exactly as before — and when the oldest parked request's
+//     max_wait expires (or the queue closes, or a full mixed batch is
+//     parked), the remainder ships as ONE batch: dense if a single shape is
+//     present, otherwise an indirect (ragged) batch the session routes
+//     through Model::infer_ragged. Mixed traffic costs one dispatch, not N
+//     batch-1 dispatches.
+//
+// Shared rules:
 //   * Max-wait: assembly never holds a request longer than `max_wait` past
 //     the moment a worker first saw it — a lone request ships as a batch of
 //     one when the wait expires.
-//   * Deadline shedding: requests whose deadline expired while queued are
-//     resolved kExpired here, before any model work is spent on them
-//     (serve.expired counts them).
+//   * Deadline shedding: requests whose deadline expired while queued or
+//     parked are resolved kExpired here, before any model work is spent on
+//     them (serve.expired counts them).
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "serve/request_queue.hpp"
 
 namespace iwg::serve {
+
+/// How the batcher treats traffic whose image shapes disagree.
+enum class MixedMode {
+  kSplit,     ///< legacy split-on-mismatch (batch-1 ping-pong under mixes)
+  kIndirect,  ///< park per class; mixed remainders ship as one ragged batch
+};
 
 struct BatchPolicy {
   std::size_t max_batch = 8;
@@ -38,6 +59,8 @@ struct BatchPolicy {
   /// How long an idle worker parks before returning an empty batch so the
   /// session can run idle-time work (arena trim, report flush).
   std::chrono::microseconds idle_wait{50000};
+  /// Mixed-shape dispatch policy (see file comment).
+  MixedMode mixed = MixedMode::kIndirect;
 };
 
 class Batcher {
@@ -46,7 +69,13 @@ class Batcher {
       : queue_(queue), policy_(policy) {}
 
   struct Batch {
-    std::vector<Request> requests;  ///< shape-coherent, deadlines unexpired
+    enum class Mode {
+      kDense,     ///< one shape — ships as a single batch tensor
+      kIndirect,  ///< mixed shapes — ships as one indirect (ragged) dispatch
+    };
+    std::vector<Request> requests;  ///< deadlines unexpired
+    Mode mode = Mode::kDense;
+    int shape_classes = 1;  ///< distinct H×W×C shapes among `requests`
     int expired = 0;  ///< requests shed kExpired during this assembly
     bool closed = false;  ///< queue closed and fully drained — worker exits
     bool idle() const { return requests.empty() && !closed; }
@@ -59,8 +88,42 @@ class Batcher {
   const BatchPolicy& policy() const { return policy_; }
 
  private:
+  /// One parked request plus when a worker first saw it (max_wait anchor).
+  struct Parked {
+    Request r;
+    Clock::time_point seen;
+  };
+  /// FIFO of parked requests sharing one image shape.
+  struct ShapeClass {
+    std::int64_t h = 0, w = 0, c = 0;
+    std::deque<Parked> entries;
+  };
+
+  Batch next_batch_split();    ///< legacy pop_compatible policy
+  Batch next_batch_indirect();  ///< per-class parking policy
+
+  std::size_t park_cap() const { return 2 * policy_.max_batch; }
+  /// Move queued arrivals into the parking lot (up to park_cap).
+  void drain_into_park();
+  /// Resolve kExpired for every parked request past its deadline.
+  void shed_expired_parked(Batch& b);
+  /// Earliest `seen` across all parked entries (parked nonempty).
+  Clock::time_point oldest_seen_parked() const;
+  /// Take up to max_batch front entries of one class as a dense batch.
+  void take_dense(ShapeClass& cls, Batch& b);
+  /// Merge parked entries in seen order (global FIFO) up to max_batch.
+  void assemble_mixed(Batch& b);
+  void drop_empty_classes();
+
   RequestQueue& queue_;
   BatchPolicy policy_;
+  /// Parking lot (kIndirect only): shared across workers so any worker can
+  /// complete an assembly another worker started. parked_total_ ≤ park_cap.
+  /// deque, not vector: growth must never relocate ShapeClass by copy —
+  /// Parked holds the move-only Request (std::promise member).
+  std::mutex park_mu_;
+  std::deque<ShapeClass> parked_;
+  std::size_t parked_total_ = 0;
 };
 
 }  // namespace iwg::serve

@@ -108,6 +108,16 @@ std::vector<Request> RequestQueue::pop_compatible(std::size_t max_batch) {
   return out;
 }
 
+std::vector<Request> RequestQueue::pop_upto(std::size_t max) {
+  std::vector<Request> out;
+  std::lock_guard lock(mu_);
+  while (!q_.empty() && out.size() < max) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
 void RequestQueue::close() {
   {
     std::lock_guard lock(mu_);

@@ -62,6 +62,11 @@ class RequestQueue {
   /// slow shape cannot starve behind an endless stream of another.
   std::vector<Request> pop_compatible(std::size_t max_batch);
 
+  /// Atomically pop up to `max` requests from the front regardless of
+  /// shape — the intake of the indirect batcher, which reorders into
+  /// per-shape-class parks itself instead of splitting at the queue.
+  std::vector<Request> pop_upto(std::size_t max);
+
   /// Stop admitting (pushes resolve kShutdown). Queued requests remain
   /// poppable so workers can drain them. Wakes every waiter. Idempotent.
   void close();

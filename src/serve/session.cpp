@@ -68,6 +68,24 @@ trace::Counter& padded_counter() {
   return c;
 }
 
+trace::Counter& mode_dense_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.batch.mode.dense");
+  return c;
+}
+
+trace::Counter& mode_indirect_counter() {
+  static trace::Counter& c =
+      trace::MetricsRegistry::global().counter("serve.batch.mode.indirect");
+  return c;
+}
+
+trace::Histogram& shape_classes_hist() {
+  static trace::Histogram& h =
+      trace::MetricsRegistry::global().histogram("serve.batch.shape_classes");
+  return h;
+}
+
 std::int64_t steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              Clock::now().time_since_epoch())
@@ -165,7 +183,7 @@ void ServingSession::worker_loop(unsigned worker_idx) {
       maybe_flush();
       continue;
     }
-    run_batch(std::move(b.requests));
+    run_batch(std::move(b));
     maybe_flush();
   }
 }
@@ -182,20 +200,22 @@ void ServingSession::maybe_flush() {
   }
 }
 
-void ServingSession::run_batch(std::vector<Request> batch) {
+void ServingSession::run_batch(Batcher::Batch b) {
+  std::vector<Request>& batch = b.requests;
   const std::size_t k = batch.size();
-  const TensorF& first = batch.front().input;
-  const std::int64_t h = first.dim(0);
-  const std::int64_t w = first.dim(1);
-  const std::int64_t c = first.dim(2);
-  // Zero-pad the tail up to max_batch: dispatch geometry then always
-  // matches the pre-tuned plans, and image independence in the host engine
-  // means padding changes no bits of any live request's output.
+  const bool indirect = b.mode == Batcher::Batch::Mode::kIndirect;
+  // Zero-pad the tail up to max_batch so dispatch geometry always matches
+  // the pre-tuned plans — legacy split policy only. The indirect policy
+  // replaces materialized pad slots with zero-row indirection entries
+  // (which simply don't exist for absent images), so its dense batches
+  // dispatch at their true size and padded_slots stays 0.
+  const bool pad =
+      cfg_.pad_tail_batches && cfg_.batch.mixed == MixedMode::kSplit;
   const std::int64_t n =
-      cfg_.pad_tail_batches
-          ? static_cast<std::int64_t>(
-                std::max(cfg_.batch.max_batch, k))
+      !indirect && pad
+          ? static_cast<std::int64_t>(std::max(cfg_.batch.max_batch, k))
           : static_cast<std::int64_t>(k);
+  const std::int64_t padded = indirect ? 0 : n - static_cast<std::int64_t>(k);
 
   // The batch span (and everything nested under it — the model's conv
   // spans included) inherits the batch leader's context, so the leader's
@@ -203,33 +223,70 @@ void ServingSession::run_batch(std::vector<Request> batch) {
   trace::ContextScope lead_scope(batch.front().ctx);
   IWG_TRACE_SPAN(span, "serve.batch", "serve");
   span.arg("batch_size", static_cast<std::int64_t>(k))
-      .arg("padded_slots", n - static_cast<std::int64_t>(k));
+      .arg("padded_slots", padded)
+      .arg("mode", indirect ? "indirect" : "dense")
+      .arg("shape_classes", static_cast<std::int64_t>(b.shape_classes));
 
-  TensorF xb({n, h, w, c});  // zero-initialized
-  const std::int64_t image_elems = h * w * c;
-  for (std::size_t i = 0; i < k; ++i) {
-    // Per-request dispatch span: marks this request joining the micro-batch
-    // on the worker thread (covers staging its image into the batch tensor).
-    trace::ContextScope req_scope(batch[i].ctx);
-    IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
-    dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
-        .arg("slot", static_cast<std::int64_t>(i));
-    std::memcpy(xb.data() + static_cast<std::int64_t>(i) * image_elems,
-                batch[i].input.data(),
-                static_cast<std::size_t>(image_elems) * sizeof(float));
+  // Per-request outputs, each with leading dim 1.
+  std::vector<TensorF> outs(k);
+  Clock::time_point dispatch;
+  Clock::time_point done;
+  if (indirect) {
+    // Mixed shapes: stage each image as its own N = 1 tensor and run the
+    // whole set through ONE ragged dispatch per layer. Outputs come back
+    // per image already, bit-identical to batch-1 inference.
+    std::vector<TensorF> xs(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      trace::ContextScope req_scope(batch[i].ctx);
+      IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
+      dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
+          .arg("slot", static_cast<std::int64_t>(i));
+      const TensorF& img = batch[i].input;
+      xs[i].reset({1, img.dim(0), img.dim(1), img.dim(2)});
+      std::memcpy(xs[i].data(), img.data(),
+                  static_cast<std::size_t>(img.size()) * sizeof(float));
+    }
+    dispatch = Clock::now();
+    outs = model_.infer_ragged(xs);
+    IWG_CHECK(outs.size() == k);
+    done = Clock::now();
+  } else {
+    const TensorF& first = batch.front().input;
+    const std::int64_t h = first.dim(0);
+    const std::int64_t w = first.dim(1);
+    const std::int64_t c = first.dim(2);
+    TensorF xb({n, h, w, c});  // zero-initialized
+    const std::int64_t image_elems = h * w * c;
+    for (std::size_t i = 0; i < k; ++i) {
+      // Per-request dispatch span: marks this request joining the
+      // micro-batch on the worker thread (covers staging its image into
+      // the batch tensor).
+      trace::ContextScope req_scope(batch[i].ctx);
+      IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
+      dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
+          .arg("slot", static_cast<std::int64_t>(i));
+      std::memcpy(xb.data() + static_cast<std::int64_t>(i) * image_elems,
+                  batch[i].input.data(),
+                  static_cast<std::size_t>(image_elems) * sizeof(float));
+    }
+    dispatch = Clock::now();
+    TensorF y = model_.infer(xb);
+    IWG_CHECK(y.dim(0) == n);
+    done = Clock::now();
+
+    // Slice each request's output row back out (leading dim 1).
+    std::vector<std::int64_t> out_dims;
+    out_dims.push_back(1);
+    for (int d = 1; d < y.rank(); ++d) out_dims.push_back(y.dim(d));
+    const std::int64_t per = y.size() / n;
+    for (std::size_t i = 0; i < k; ++i) {
+      outs[i].reset(out_dims);
+      std::memcpy(outs[i].data(),
+                  y.data() + static_cast<std::int64_t>(i) * per,
+                  static_cast<std::size_t>(per) * sizeof(float));
+    }
   }
 
-  const Clock::time_point dispatch = Clock::now();
-  TensorF y = model_.infer(xb);
-  IWG_CHECK(y.dim(0) == n);
-
-  // Slice each request's output row back out (leading dim 1).
-  std::vector<std::int64_t> out_dims;
-  out_dims.push_back(1);
-  for (int d = 1; d < y.rank(); ++d) out_dims.push_back(y.dim(d));
-  const std::int64_t per = y.size() / n;
-
-  const Clock::time_point done = Clock::now();
   for (std::size_t i = 0; i < k; ++i) {
     trace::ContextScope req_scope(batch[i].ctx);
     IWG_TRACE_SPAN(complete_span, "serve.complete", "serve");
@@ -244,10 +301,7 @@ void ServingSession::run_batch(std::vector<Request> batch) {
                           .count();
     complete_span.arg("latency_us", resp.latency_us)
         .arg("queue_us", resp.queue_us);
-    resp.output.reset(out_dims);
-    std::memcpy(resp.output.data(),
-                y.data() + static_cast<std::int64_t>(i) * per,
-                static_cast<std::size_t>(per) * sizeof(float));
+    resp.output = std::move(outs[i]);
     queue_wait_hist().record(resp.queue_us);
     latency_hist().record(resp.latency_us);
     ok_latency_hist().record(resp.latency_us);
@@ -266,11 +320,14 @@ void ServingSession::run_batch(std::vector<Request> batch) {
 
   batch_size_hist().record(static_cast<double>(k));
   batches_counter().add();
-  padded_counter().add(n - static_cast<std::int64_t>(k));
+  (indirect ? mode_indirect_counter() : mode_dense_counter()).add();
+  shape_classes_hist().record(static_cast<double>(b.shape_classes));
+  padded_counter().add(padded);
   completed_counter().add(static_cast<std::int64_t>(k));
   completed_.fetch_add(static_cast<std::int64_t>(k),
                        std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (indirect) indirect_batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServingSession::stop(bool drain) {
@@ -301,6 +358,7 @@ ServingSession::Stats ServingSession::stats() const {
   s.expired = expired_.load();
   s.shed = shed_.load();
   s.batches = batches_.load();
+  s.indirect_batches = indirect_batches_.load();
   return s;
 }
 

@@ -15,10 +15,17 @@
 //     populates the FilterTransformCache with every layer's ĝ, so the first
 //     request doesn't pay the α·FH·IC·OC transforms either.
 //
-// Tail batches are zero-padded up to max_batch before dispatch: every
-// dispatch then runs the exact geometry the plans were tuned for, and —
-// because the host engine computes images independently — padding changes
-// no bits of any real request's output.
+// Under the legacy split batching policy (MixedMode::kSplit), tail batches
+// are zero-padded up to max_batch before dispatch: every dispatch then runs
+// the exact geometry the plans were tuned for, and — because the host
+// engine computes images independently — padding changes no bits of any
+// real request's output. Under the indirect policy (the default), padding
+// slots are never materialized: the Γ engine reaches input rows through an
+// indirection table whose absent/pad entries are the shared zero row
+// (nullptr), so a short dense batch dispatches at its true size and
+// serve.padded_slots stays 0. Mixed-shape batches route through
+// Model::infer_ragged — one indirect Γ dispatch per conv layer instead of
+// N batch-1 dispatches.
 //
 // Workers are dedicated (pinned) threads that only assemble batches and
 // drive Model::infer; the heavy parallelism stays inside the existing
@@ -75,6 +82,9 @@ struct SessionConfig {
   /// Zero-pad tail batches to max_batch so dispatch geometry is constant
   /// (plan reuse; see file comment). Padding is compute overhead on
   /// stragglers — disable for latency-critical low-load deployments.
+  /// Only honored under MixedMode::kSplit: the indirect policy replaces
+  /// materialized pad slots with zero-row indirection entries, so its
+  /// dense batches always dispatch at their true size.
   bool pad_tail_batches = true;
 
   /// Idle workers trim scratch arenas down to this retained capacity;
@@ -111,7 +121,10 @@ class ServingSession {
     std::int64_t rejected = 0;   ///< refused at admission (full or closed)
     std::int64_t expired = 0;    ///< deadline-shed before dispatch
     std::int64_t shed = 0;       ///< kShutdown-resolved at stop
-    std::int64_t batches = 0;    ///< micro-batches dispatched
+    std::int64_t batches = 0;    ///< micro-batches dispatched (all modes)
+    /// Of `batches`, how many were mixed-shape indirect dispatches
+    /// (Model::infer_ragged) vs single-shape dense batch tensors.
+    std::int64_t indirect_batches = 0;
     /// Every admitted request reached a terminal state (refused ones were
     /// resolved synchronously at submit).
     bool all_resolved() const { return accepted == completed + expired + shed; }
@@ -129,7 +142,7 @@ class ServingSession {
 
  private:
   void worker_loop(unsigned worker_idx);
-  void run_batch(std::vector<Request> batch);
+  void run_batch(Batcher::Batch batch);
   void prewarm();
   void maybe_flush();
 
@@ -145,6 +158,7 @@ class ServingSession {
   std::atomic<std::int64_t> expired_{0};
   std::atomic<std::int64_t> shed_{0};
   std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> indirect_batches_{0};
   std::atomic<bool> stopped_{false};
   std::atomic<std::int64_t> last_flush_us_{0};  ///< steady-clock μs
   std::mutex stop_mu_;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "core/conv_api.hpp"
 #include "core/host_kernels.hpp"
+#include "core/indirect.hpp"
 #include "core/selector.hpp"
 #include "tensor/layout.hpp"
 #include "reference/direct_conv.hpp"
@@ -174,6 +175,47 @@ TEST(FuzzConv, RandomIsaSelectorRoutedPlansMatchFp64Direct) {
     EXPECT_LT(average_relative_error(got, want), tol)
         << "trial " << trial << " isa " << host_isa_name(isa) << " shape "
         << s.to_string() << " plan " << choice.description;
+  }
+}
+
+// Ragged fuzz: random mixed-shape batches through the indirect Γ dispatch,
+// each image judged against an FP64 direct reference. This covers geometry
+// combinations (shape-class counts, α mixes, pad widths) the structured
+// parity tests in indirect_conv_test.cpp don't enumerate.
+TEST(FuzzConv, IndirectRaggedBatchesMatchFp64Direct) {
+  Rng rng(868686);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Shared dispatch geometry; per-image spatial extents vary.
+    ConvShape geom = random_shape(rng);
+    geom.n = 1;
+    const std::size_t count = 2 + rng.below(5);  // 2..6 images
+    Rng data(8000 + static_cast<unsigned>(trial));
+    TensorF w({geom.oc, geom.fh, geom.fw, geom.ic});
+    w.fill_uniform(data, -1.0f, 1.0f);
+    std::vector<ConvShape> shapes;
+    std::vector<TensorF> xs(count), ys(count);
+    std::vector<ImageView> views(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ConvShape s = geom;
+      s.ih = s.fh + static_cast<std::int64_t>(rng.below(10));
+      s.iw = s.fw + static_cast<std::int64_t>(rng.below(24));
+      while (s.oh() < 1) ++s.ih;
+      while (s.ow() < 1) ++s.iw;
+      s.validate();
+      xs[i].reset({1, s.ih, s.iw, s.ic});
+      xs[i].fill_uniform(data, -1.0f, 1.0f);
+      ys[i].reset({1, s.oh(), s.ow(), s.oc});
+      views[i] = ImageView{xs[i].data(), ys[i].data(), s.ih, s.iw};
+      shapes.push_back(s);
+    }
+    conv2d_gamma_host_indirect(views, w, geom);
+    const double tol = geom.fw >= 7 ? 1e-2 : 5e-4;
+    for (std::size_t i = 0; i < count; ++i) {
+      const TensorD want = ref::conv2d_direct_fp64(xs[i], w, shapes[i]);
+      EXPECT_LT(average_relative_error(ys[i], want), tol)
+          << "trial " << trial << " image " << i << " shape "
+          << shapes[i].to_string();
+    }
   }
 }
 

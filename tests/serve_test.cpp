@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
 #include "serve/serve.hpp"
@@ -283,8 +284,10 @@ TEST(ServingSession, PaddedTailBatchChangesNoBits) {
 }
 
 TEST(ServingSession, MixedShapesSplitIntoCoherentBatches) {
+  // Legacy policy coverage: under kSplit, a batch never mixes shapes.
   SessionConfig cfg = tiny_config();
   cfg.batch.max_batch = 8;
+  cfg.batch.mixed = MixedMode::kSplit;
   ServingSession session(make_tiny_fcn(), cfg);
 
   Rng rng(5);
@@ -302,6 +305,113 @@ TEST(ServingSession, MixedShapesSplitIntoCoherentBatches) {
     EXPECT_LE(r.batch_size, 6);
   }
   session.stop();
+  EXPECT_TRUE(session.stats().all_resolved());
+}
+
+TEST(ServingSession, MixedShapesCoalesceIntoIndirectBatches) {
+  // Default policy: interleaved A/B/A/B traffic ships as a handful of
+  // mixed-shape indirect dispatches — not a batch-1 ping-pong cascade —
+  // and every output matches the per-request dense forward bit for bit.
+  nn::Model reference = make_tiny_fcn();
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait = 50ms;
+  ASSERT_EQ(cfg.batch.mixed, MixedMode::kIndirect);  // the default
+  auto& padded =
+      trace::MetricsRegistry::global().counter("serve.padded_slots");
+  const std::int64_t padded_before = padded.value();
+  ServingSession session(make_tiny_fcn(), cfg);
+
+  Rng rng(5);
+  std::vector<TensorF> images;
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 12; ++i) {
+    const std::int64_t s = (i % 2 == 0) ? 8 : 6;  // interleaved shapes
+    images.push_back(random_image(rng, s, s));
+    futs.push_back(session.submit(images.back()));
+  }
+  for (int i = 0; i < 12; ++i) {
+    const Response r = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << r.reason;
+    const std::int64_t s = (i % 2 == 0) ? 8 : 6;
+    EXPECT_EQ(r.output.dim(1), s);  // conv is same-padded: H preserved
+    EXPECT_TRUE(bits_equal(r.output,
+                           infer_single(reference, images[static_cast<std::size_t>(i)])))
+        << "request " << i;
+  }
+  session.stop();
+  const auto stats = session.stats();
+  EXPECT_TRUE(stats.all_resolved());
+  EXPECT_EQ(stats.completed, 12);
+  // Ping-pong regression: 12 interleaved requests must not cost anywhere
+  // near 12 dispatches (kSplit would ping-pong batch-1/batch-2 here).
+  EXPECT_LE(stats.batches, 4);
+  EXPECT_GE(stats.indirect_batches, 1);
+  // Satellite: the indirect policy never materializes pad slots.
+  EXPECT_EQ(padded.value() - padded_before, 0);
+}
+
+TEST(ServingSession, ShapeIdenticalRunStillShipsDenseUnderIndirectPolicy) {
+  // Uniform traffic must keep coalescing into dense batches — the parking
+  // lot only goes indirect when shapes actually mix.
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait = 50ms;
+  ServingSession session(make_tiny_fcn(), cfg);
+  Rng rng(6);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(session.submit(random_image(rng)));
+  for (auto& f : futs) ASSERT_EQ(f.get().status, Status::kOk);
+  session.stop();
+  const auto stats = session.stats();
+  EXPECT_TRUE(stats.all_resolved());
+  EXPECT_EQ(stats.indirect_batches, 0);  // one shape → dense dispatches only
+  EXPECT_LE(stats.batches, 3);
+}
+
+TEST(ServingSession, StopWithoutDrainUnderMixedTrafficResolvesEveryFuture) {
+  // The zero-unresolved-futures guarantee must survive the indirect path:
+  // parked requests are drained or shed at stop, never leaked.
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_wait = 200ms;  // park is likely still holding some at stop
+  ServingSession session(make_tiny_fcn(), cfg);
+  Rng rng(14);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 24; ++i) {
+    const std::int64_t s = (i % 3 == 0) ? 6 : ((i % 3 == 1) ? 8 : 10);
+    futs.push_back(session.submit(random_image(rng, s, s)));
+  }
+  session.stop(/*drain=*/false);
+  int ok = 0, shut = 0;
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "unresolved future";
+    const Response r = f.get();
+    ASSERT_TRUE(r.status == Status::kOk || r.status == Status::kShutdown);
+    (r.status == Status::kOk ? ok : shut)++;
+  }
+  EXPECT_EQ(ok + shut, 24);
+  const auto stats = session.stats();
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.shed, shut);
+  EXPECT_TRUE(stats.all_resolved());
+}
+
+TEST(ServingSession, DrainServesParkedMixedTraffic) {
+  // stop(drain=true) must serve requests sitting in the parking lot, not
+  // just the ones still in the queue.
+  SessionConfig cfg = tiny_config();
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_wait = 500ms;  // without drain these would sit parked
+  ServingSession session(make_tiny_fcn(), cfg);
+  Rng rng(15);
+  std::vector<std::future<Response>> futs;
+  for (int i = 0; i < 5; ++i) {
+    const std::int64_t s = (i % 2 == 0) ? 8 : 6;
+    futs.push_back(session.submit(random_image(rng, s, s)));
+  }
+  session.stop(/*drain=*/true);
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::kOk);
   EXPECT_TRUE(session.stats().all_resolved());
 }
 
