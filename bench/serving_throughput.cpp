@@ -35,6 +35,14 @@
 //      cheaper. Wall-clock closed-loop rps for both policies is reported
 //      too (gated on >= 4 cores, like experiment 3), plus per-image bitwise
 //      parity and the padded-slots == 0 invariant of the indirect path.
+//   6. Multi-tenant fleet — three tenants (weights 4/2/1) share one
+//      FleetScheduler at 2x the measured aggregate capacity. Fairness: each
+//      tenant's completion share must track weight / Σ weights (max relative
+//      deviation <= 15% in full mode); per-tenant p50/p99 show the weighted
+//      service order. Deadlines: the same overloaded traffic with a tight
+//      deadline on a quarter of the requests is replayed under FIFO and EDF
+//      intra-tenant ordering — FIFO must miss >= 2x as many tight deadlines
+//      as EDF (full mode), quantifying what EDF buys under overload.
 //
 //   build/bench/serving_throughput [--smoke] [--json <path>]
 //
@@ -456,6 +464,232 @@ bool check_parity_mixed(int num_images) {
   return ok && session.stats().all_resolved();
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 6: multi-tenant fleet — weighted-fair shares under 2x overload,
+// and FIFO-vs-EDF deadline-miss rates on the same overloaded traffic.
+
+constexpr double kFleetWeights[3] = {4.0, 2.0, 1.0};
+constexpr const char* kFleetIds[3] = {"gold", "silver", "bronze"};
+constexpr double kFleetWeightSum = 7.0;
+
+serve::FleetConfig fleet_config(serve::TenantOrder order) {
+  serve::FleetConfig fc;
+  fc.workers = 2;
+  fc.max_wait = 2ms;
+  fc.idle_wait = 5ms;
+  fc.order = order;
+  return fc;
+}
+
+serve::TenantConfig fleet_tenant(int t) {
+  serve::TenantConfig cfg;
+  cfg.id = kFleetIds[t];
+  cfg.weight = kFleetWeights[t];
+  cfg.image_h = kImage;
+  cfg.image_w = kImage;
+  cfg.channels = 3;
+  cfg.max_batch = 4;
+  // The overload experiments never want admission in the way: the queue
+  // absorbs the 2x backlog so shares/misses are pure scheduling outcomes.
+  cfg.queue_capacity = 1u << 16;
+  return cfg;
+}
+
+/// Measured aggregate capacity of the 2-worker fleet on this model: one
+/// tenant, a burst of `n` requests, capacity = n / wall seconds.
+double measure_fleet_capacity(int n) {
+  serve::FleetScheduler fleet(fleet_config(serve::TenantOrder::kEdf));
+  fleet.add_tenant(make_model(), fleet_tenant(0));
+  Rng rng(31);
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(static_cast<std::size_t>(n));
+  Timer wall;
+  for (int i = 0; i < n; ++i) {
+    futs.push_back(fleet.submit(kFleetIds[0], random_image(rng)));
+  }
+  for (auto& f : futs) f.get();
+  const double secs = wall.seconds();
+  fleet.stop();
+  return secs > 0.0 ? static_cast<double>(n) / secs : 0.0;
+}
+
+struct FleetTenantResult {
+  std::int64_t window_completed = 0;
+  double share = 0.0;
+  double weight_share = 0.0;
+  double rel_dev = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct FleetFairness {
+  double capacity_rps = 0.0;
+  double offered_rps = 0.0;
+  FleetTenantResult tenants[3];
+  double max_rel_dev = 0.0;
+  bool all_resolved = false;
+};
+
+/// Three generator threads pace submissions at 2x the measured aggregate
+/// capacity, split evenly — every tenant's arrivals exceed its weighted-fair
+/// share, so all three stay backlogged and the completion shares are the
+/// scheduler's choice alone. Shares are measured over the window from 25%
+/// of the run (past the ramp) to the end of offered load; pacing is by
+/// absolute send times, so a late wakeup self-corrects instead of drifting.
+FleetFairness run_fleet_fairness(double capacity_rps,
+                                 std::chrono::milliseconds duration) {
+  FleetFairness res;
+  res.capacity_rps = capacity_rps;
+  res.offered_rps = 2.0 * capacity_rps;
+  serve::FleetScheduler fleet(fleet_config(serve::TenantOrder::kEdf));
+  for (int t = 0; t < 3; ++t) fleet.add_tenant(make_model(), fleet_tenant(t));
+
+  const double per_rate = res.offered_rps / 3.0;
+  const auto interval = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double>(1.0 / per_rate));
+  const int per_total = static_cast<int>(
+      per_rate * std::chrono::duration<double>(duration).count());
+  std::vector<std::vector<std::future<serve::Response>>> futs(3);
+  std::vector<std::thread> gens;
+  for (int t = 0; t < 3; ++t) {
+    gens.emplace_back([&, t] {
+      Rng rng(static_cast<unsigned>(900 + t));
+      auto& mine = futs[static_cast<std::size_t>(t)];
+      mine.reserve(static_cast<std::size_t>(per_total));
+      auto next = serve::Clock::now();
+      for (int i = 0; i < per_total; ++i) {
+        mine.push_back(fleet.submit(kFleetIds[t], random_image(rng)));
+        next += interval;
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(duration / 4);  // ramp: not measured
+  std::int64_t base[3];
+  {
+    const serve::FleetScheduler::Stats s = fleet.stats();
+    for (int t = 0; t < 3; ++t) base[t] = s.tenants.at(kFleetIds[t]).completed;
+  }
+  for (auto& g : gens) g.join();
+  std::int64_t window[3];
+  std::int64_t window_total = 0;
+  {
+    const serve::FleetScheduler::Stats s = fleet.stats();
+    for (int t = 0; t < 3; ++t) {
+      window[t] = s.tenants.at(kFleetIds[t]).completed - base[t];
+      window_total += window[t];
+    }
+  }
+  fleet.stop(/*drain=*/false);  // shed the residual backlog (kShutdown)
+
+  for (int t = 0; t < 3; ++t) {
+    std::vector<double> lat;
+    for (auto& f : futs[static_cast<std::size_t>(t)]) {
+      const serve::Response r = f.get();
+      if (r.ok()) lat.push_back(r.latency_us);
+    }
+    FleetTenantResult& tr = res.tenants[t];
+    tr.window_completed = window[t];
+    tr.share = window_total > 0 ? static_cast<double>(window[t]) /
+                                      static_cast<double>(window_total)
+                                : 0.0;
+    tr.weight_share = kFleetWeights[t] / kFleetWeightSum;
+    tr.rel_dev = std::fabs(tr.share - tr.weight_share) / tr.weight_share;
+    tr.p50_us = percentile(lat, 0.50);
+    tr.p99_us = percentile(lat, 0.99);
+    res.max_rel_dev = std::max(res.max_rel_dev, tr.rel_dev);
+  }
+  res.all_resolved = fleet.stats().all_resolved();
+  return res;
+}
+
+struct FleetDeadlineRun {
+  std::int64_t tight_total = 0;     ///< tight-deadline requests submitted
+  std::int64_t tight_ok = 0;        ///< served within their deadline
+  std::int64_t tight_late = 0;      ///< served, but past the deadline
+  std::int64_t tight_expired = 0;   ///< shed before dispatch (kExpired)
+  std::int64_t tight_shutdown = 0;  ///< still queued at stop (excluded)
+  std::int64_t metric_missed = 0;   ///< serve.deadline_missed delta
+
+  std::int64_t missed() const { return tight_late + tight_expired; }
+  double miss_rate() const {
+    const std::int64_t denom = tight_total - tight_shutdown;
+    return denom > 0 ? static_cast<double>(missed()) /
+                           static_cast<double>(denom)
+                     : 0.0;
+  }
+};
+
+/// One tenant at 2x capacity, a tight deadline (duration/4) on every fourth
+/// request and a deadline far beyond the run on the rest. Tight demand is
+/// offered/4 = capacity/2 — comfortably servable IF the scheduler spends its
+/// overloaded budget on the right requests. Under FIFO a tight request waits
+/// behind the whole backlog and expires; under EDF it is pulled to the front
+/// of the queue while it can still make its deadline. The miss count is late
+/// completions + pre-dispatch expiries over tight requests only (the loose
+/// ones can't miss; requests still queued at stop resolve kShutdown and are
+/// excluded from both modes' denominators).
+FleetDeadlineRun run_fleet_deadline(serve::TenantOrder order,
+                                    double capacity_rps,
+                                    std::chrono::milliseconds duration) {
+  FleetDeadlineRun res;
+  auto& missed_counter =
+      trace::MetricsRegistry::global().counter("serve.deadline_missed");
+  const std::int64_t missed_before = missed_counter.value();
+  serve::FleetScheduler fleet(fleet_config(order));
+  fleet.add_tenant(make_model(), fleet_tenant(0));
+
+  const auto tight = duration / 4;
+  const double tight_us =
+      std::chrono::duration<double, std::micro>(tight).count();
+  const double rate = 2.0 * capacity_rps;
+  const auto interval = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double>(1.0 / rate));
+  const int total = static_cast<int>(
+      rate * std::chrono::duration<double>(duration).count());
+  struct Sub {
+    std::future<serve::Response> fut;
+    bool tight = false;
+  };
+  std::vector<Sub> subs;
+  subs.reserve(static_cast<std::size_t>(total));
+  Rng rng(700);
+  auto next = serve::Clock::now();
+  for (int i = 0; i < total; ++i) {
+    const bool is_tight = i % 4 == 3;
+    const serve::Deadline d =
+        serve::Deadline::after(is_tight ? tight : 20 * duration);
+    Sub s;
+    s.tight = is_tight;
+    s.fut = fleet.submit(kFleetIds[0], random_image(rng), d);
+    subs.push_back(std::move(s));
+    next += interval;
+    std::this_thread::sleep_until(next);
+  }
+  fleet.stop(/*drain=*/false);
+
+  for (Sub& s : subs) {
+    const serve::Response r = s.fut.get();
+    if (!s.tight) continue;
+    ++res.tight_total;
+    switch (r.status) {
+      case serve::Status::kOk:
+        if (r.latency_us > tight_us) {
+          ++res.tight_late;
+        } else {
+          ++res.tight_ok;
+        }
+        break;
+      case serve::Status::kExpired: ++res.tight_expired; break;
+      case serve::Status::kShutdown: ++res.tight_shutdown; break;
+      case serve::Status::kRejected: break;  // capacity 1<<16: none
+    }
+  }
+  res.metric_missed = missed_counter.value() - missed_before;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -546,6 +780,46 @@ int main(int argc, char** argv) {
                 static_cast<long long>(o.expired));
   }
 
+  // Multi-tenant fleet: weighted-fair shares and FIFO-vs-EDF deadline
+  // misses under 2x overload.
+  const double fleet_capacity = measure_fleet_capacity(smoke ? 200 : 800);
+  const auto fleet_duration = smoke ? 400ms : 1500ms;
+  const FleetFairness ff = run_fleet_fairness(fleet_capacity, fleet_duration);
+  std::printf("fleet fairness (3 tenants 4/2/1, offered 2x capacity "
+              "%.0f req/s):\n",
+              ff.capacity_rps);
+  for (int t = 0; t < 3; ++t) {
+    const FleetTenantResult& tr = ff.tenants[t];
+    std::printf("  %-7s weight %.0f: share %.3f (weight share %.3f, "
+                "rel dev %4.1f%%)   p50 %8.0f us   p99 %8.0f us\n",
+                kFleetIds[t], kFleetWeights[t], tr.share, tr.weight_share,
+                100.0 * tr.rel_dev, tr.p50_us, tr.p99_us);
+  }
+  const FleetDeadlineRun fifo = run_fleet_deadline(serve::TenantOrder::kFifo,
+                                                   fleet_capacity,
+                                                   fleet_duration);
+  const FleetDeadlineRun edf = run_fleet_deadline(serve::TenantOrder::kEdf,
+                                                  fleet_capacity,
+                                                  fleet_duration);
+  std::printf("fleet deadline misses (tight = %lld ms on 1/4 of traffic):\n",
+              static_cast<long long>(fleet_duration.count() / 4));
+  std::printf("  fifo: missed %5lld of %5lld tight (%5.1f%%)   "
+              "[late %lld, expired %lld]\n",
+              static_cast<long long>(fifo.missed()),
+              static_cast<long long>(fifo.tight_total - fifo.tight_shutdown),
+              100.0 * fifo.miss_rate(), static_cast<long long>(fifo.tight_late),
+              static_cast<long long>(fifo.tight_expired));
+  std::printf("  edf : missed %5lld of %5lld tight (%5.1f%%)   "
+              "[late %lld, expired %lld]\n",
+              static_cast<long long>(edf.missed()),
+              static_cast<long long>(edf.tight_total - edf.tight_shutdown),
+              100.0 * edf.miss_rate(), static_cast<long long>(edf.tight_late),
+              static_cast<long long>(edf.tight_expired));
+  std::printf("  edf miss reduction: %.2fx\n",
+              edf.missed() > 0 ? static_cast<double>(fifo.missed()) /
+                                     static_cast<double>(edf.missed())
+                               : static_cast<double>(fifo.missed()));
+
   if (json_path != nullptr) {
     // Array-of-runs layout (one run per invocation), matching
     // BENCH_host_hotpath.json so records can be appended across PRs.
@@ -602,6 +876,47 @@ int main(int argc, char** argv) {
                    static_cast<long long>(mind.indirect_batches));
       std::fprintf(f, "      \"speedup\": %.3f\n    }\n  },\n",
                    mixed_speedup);
+      std::fprintf(f, "  \"fleet\": {\n");
+      std::fprintf(f, "    \"capacity_rps\": %.1f,\n", ff.capacity_rps);
+      std::fprintf(f, "    \"offered_rps\": %.1f,\n", ff.offered_rps);
+      std::fprintf(f, "    \"fairness\": {\n");
+      for (int t = 0; t < 3; ++t) {
+        const FleetTenantResult& tr = ff.tenants[t];
+        std::fprintf(f,
+                     "      \"%s\": {\"weight\": %.0f, \"share\": %.4f, "
+                     "\"weight_share\": %.4f, \"rel_dev\": %.4f, "
+                     "\"window_completed\": %lld, \"p50_us\": %.1f, "
+                     "\"p99_us\": %.1f},\n",
+                     kFleetIds[t], kFleetWeights[t], tr.share,
+                     tr.weight_share, tr.rel_dev,
+                     static_cast<long long>(tr.window_completed), tr.p50_us,
+                     tr.p99_us);
+      }
+      std::fprintf(f, "      \"max_rel_dev\": %.4f\n    },\n",
+                   ff.max_rel_dev);
+      std::fprintf(f, "    \"deadline\": {\n");
+      std::fprintf(f, "      \"tight_ms\": %lld,\n",
+                   static_cast<long long>(fleet_duration.count() / 4));
+      const FleetDeadlineRun* runs[2] = {&fifo, &edf};
+      const char* run_names[2] = {"fifo", "edf"};
+      for (int i = 0; i < 2; ++i) {
+        const FleetDeadlineRun& d = *runs[i];
+        std::fprintf(f,
+                     "      \"%s\": {\"tight\": %lld, \"missed\": %lld, "
+                     "\"late\": %lld, \"expired\": %lld, \"shutdown\": %lld, "
+                     "\"miss_rate\": %.4f, \"deadline_missed_metric\": "
+                     "%lld},\n",
+                     run_names[i], static_cast<long long>(d.tight_total),
+                     static_cast<long long>(d.missed()),
+                     static_cast<long long>(d.tight_late),
+                     static_cast<long long>(d.tight_expired),
+                     static_cast<long long>(d.tight_shutdown), d.miss_rate(),
+                     static_cast<long long>(d.metric_missed));
+      }
+      std::fprintf(f, "      \"edf_miss_reduction\": %.3f\n    }\n  },\n",
+                   edf.missed() > 0 ? static_cast<double>(fifo.missed()) /
+                                          static_cast<double>(edf.missed())
+                                    : static_cast<double>(fifo.missed()));
       std::fprintf(f, "  \"open_loop\": [\n");
       for (std::size_t i = 0; i < open.size(); ++i) {
         const OpenLoopResult& o = open[i];
@@ -674,6 +989,31 @@ int main(int argc, char** argv) {
                 "cores)\n",
                 mixed_speedup, smoke ? "smoke mode" : "needs >= 4 cores",
                 cores);
+  }
+  // Fleet gates: accounting always; the scheduling-dynamics gates (share
+  // deviation, FIFO-vs-EDF miss ratio) are wall-clock outcomes and follow
+  // the same full-mode, >= 4 core rule as the other wall-clock gates.
+  if (!ff.all_resolved) {
+    std::printf("FAIL: fleet fairness run leaked unresolved requests\n");
+    fail = true;
+  }
+  if (!smoke && cores >= 4) {
+    if (ff.max_rel_dev > 0.15) {
+      std::printf("FAIL: fleet completion share deviates %.1f%% from weight "
+                  "share (bound 15%%)\n",
+                  100.0 * ff.max_rel_dev);
+      fail = true;
+    }
+    if (fifo.missed() < 2 * std::max<std::int64_t>(edf.missed(), 1)) {
+      std::printf("FAIL: FIFO deadline misses (%lld) not >= 2x EDF misses "
+                  "(%lld)\n",
+                  static_cast<long long>(fifo.missed()),
+                  static_cast<long long>(edf.missed()));
+      fail = true;
+    }
+  } else {
+    std::printf("note: fleet share/miss gates not enforced (%s, %u cores)\n",
+                smoke ? "smoke mode" : "needs >= 4 cores", cores);
   }
   std::printf(fail ? "FAIL\n" : "PASS\n");
   return fail ? 1 : 0;

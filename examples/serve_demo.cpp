@@ -21,9 +21,18 @@
 // coalesced shapes (at least one mixed-shape dispatch, serve.batch.mode.*
 // counters covering every batch).
 //
+// With --fleet the demo instead exercises the multi-tenant FleetScheduler
+// as the CI fleet smoke: three tenants at skewed weights (gold 4 / silver 2
+// / bronze 1) are kept backlogged while the weighted-fair scheduler serves
+// them from one worker pool, with two hot weight swaps of the gold tenant
+// mid-window. It exits nonzero if any future is left hanging, any request
+// is rejected or fails, the accounting doesn't balance, or any tenant's
+// completed-share deviates more than 20% (relative) from its weight share.
+//
 //   build/examples/serve_demo [--clients N] [--requests N] [--metrics path]
-//                             [--prom] [--mixed]
+//                             [--prom] [--mixed] [--fleet]
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,7 @@
 #include "common/trace.hpp"
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
+#include "nn/serialize.hpp"
 #include "serve/serve.hpp"
 
 namespace {
@@ -64,6 +74,198 @@ nn::Model make_model(unsigned seed) {
   return m;
 }
 
+/// Conv-only tenant model for the fleet smoke (accepts any H×W). Heavy
+/// enough that a batch costs real time — the share window must span many
+/// scheduling rounds, not drain in one.
+nn::Model make_fleet_model(unsigned seed) {
+  Rng rng(seed);
+  nn::Model m;
+  m.add(std::make_unique<nn::Conv2D>(3, 16, 3, 1, 1, nn::ConvEngine::kWinograd,
+                                     rng, "f1"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  m.add(std::make_unique<nn::Conv2D>(16, 16, 3, 1, 1,
+                                     nn::ConvEngine::kWinograd, rng, "f2"));
+  m.add(std::make_unique<nn::LeakyReLU>());
+  return m;
+}
+
+/// --fleet: the CI fleet smoke (see file comment). Returns the exit code.
+int run_fleet_demo() {
+  struct TenantSpec {
+    const char* id;
+    double weight;
+    unsigned seed;
+  };
+  constexpr TenantSpec kTenants[3] = {
+      {"gold", 4.0, 41}, {"silver", 2.0, 42}, {"bronze", 1.0, 43}};
+  constexpr int kPrefill = 1500;        // per tenant — deep enough that no
+                                        // queue empties inside the window
+  constexpr std::int64_t kWindow = 900;  // completions measured for shares
+
+  serve::FleetConfig fc;
+  fc.workers = 2;
+  // The default max_wait (2 ms) stays: it throttles dispatch while the
+  // queues are still shallow during prefill, so the share window starts
+  // from a genuine backlog.
+  fc.idle_wait = 5ms;
+  serve::FleetScheduler fleet(fc);
+  for (const TenantSpec& t : kTenants) {
+    serve::TenantConfig cfg;
+    cfg.id = t.id;
+    cfg.weight = t.weight;
+    cfg.image_h = 16;
+    cfg.image_w = 16;
+    cfg.channels = 3;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 4096;
+    fleet.add_tenant(make_fleet_model(t.seed), cfg);
+  }
+
+  // Weight files for the mid-window hot swaps of the gold tenant: same
+  // architecture, different seeds.
+  const std::string path_a = "serve_demo_fleet_a.iwgw";
+  const std::string path_b = "serve_demo_fleet_b.iwgw";
+  {
+    nn::Model donor_a = make_fleet_model(41);
+    nn::Model donor_b = make_fleet_model(51);
+    nn::save_weights(donor_a, path_a);
+    nn::save_weights(donor_b, path_b);
+  }
+
+  std::printf("serve_demo --fleet: 3 tenants (gold 4 / silver 2 / bronze 1), "
+              "%u workers, prefill %d each, window %lld completions\n",
+              fc.workers, kPrefill, static_cast<long long>(kWindow));
+
+  Rng rng(7);
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(3 * kPrefill);
+  for (int i = 0; i < kPrefill; ++i) {
+    for (const TenantSpec& t : kTenants) {
+      TensorF img({16, 16, 3});
+      img.fill_uniform(rng, -1.0f, 1.0f);
+      futs.push_back(fleet.submit(t.id, std::move(img)));
+    }
+  }
+
+  // Share window starts here: the ramp (during which only the first tenant
+  // had traffic) is excluded by the baseline.
+  std::int64_t base[3] = {0, 0, 0};
+  {
+    const serve::FleetScheduler::Stats s0 = fleet.stats();
+    for (int t = 0; t < 3; ++t) {
+      const auto it = s0.tenants.find(kTenants[t].id);
+      base[t] = it == s0.tenants.end() ? 0 : it->second.completed;
+    }
+  }
+  int swaps = 0;
+  std::uint64_t last_version = 0;
+  for (;;) {
+    const serve::FleetScheduler::Stats s = fleet.stats();
+    std::int64_t total = 0;
+    for (int t = 0; t < 3; ++t) total += s.tenants.at(kTenants[t].id).completed - base[t];
+    if (total >= kWindow) break;
+    // Two hot swaps of the gold tenant in the middle of the window — the
+    // zero-drop gate below proves no request was lost across them.
+    if (swaps == 0 && total >= kWindow / 4) {
+      last_version = fleet.swap_weights("gold", path_b);
+      ++swaps;
+    } else if (swaps == 1 && total >= kWindow / 2) {
+      const std::uint64_t v = fleet.swap_weights("gold", path_a);
+      const bool monotone = v > last_version;
+      last_version = v;
+      if (!monotone) {
+        std::printf("FAIL: swap did not advance Param::version\n");
+        return 1;
+      }
+      ++swaps;
+    }
+    std::this_thread::sleep_for(200us);
+  }
+  fleet.stop(/*drain=*/false);  // freeze the window; the backlog sheds
+
+  std::int64_t ok = 0, rejected = 0, expired = 0, shutdown = 0, unresolved = 0;
+  for (auto& f : futs) {
+    if (f.wait_for(30s) != std::future_status::ready) {
+      ++unresolved;
+      continue;
+    }
+    switch (f.get().status) {
+      case serve::Status::kOk: ++ok; break;
+      case serve::Status::kRejected: ++rejected; break;
+      case serve::Status::kExpired: ++expired; break;
+      case serve::Status::kShutdown: ++shutdown; break;
+    }
+  }
+
+  const serve::FleetScheduler::Stats s = fleet.stats();
+  bool fail = false;
+  std::int64_t window_total = 0;
+  std::int64_t window[3] = {0, 0, 0};
+  for (int t = 0; t < 3; ++t) {
+    window[t] = s.tenants.at(kTenants[t].id).completed - base[t];
+    window_total += window[t];
+  }
+  std::printf("resolved: ok %lld  rejected %lld  expired %lld  shutdown %lld "
+              " (of %zu)  swaps %d\n",
+              static_cast<long long>(ok), static_cast<long long>(rejected),
+              static_cast<long long>(expired),
+              static_cast<long long>(shutdown), futs.size(), swaps);
+  for (int t = 0; t < 3; ++t) {
+    const double share =
+        static_cast<double>(window[t]) / static_cast<double>(window_total);
+    const double expect = kTenants[t].weight / 7.0;
+    const double rel_dev = std::fabs(share - expect) / expect;
+    std::printf("tenant %-7s weight %.0f  completed %5lld  share %.3f  "
+                "weight-share %.3f  rel-dev %.1f%%\n",
+                kTenants[t].id, kTenants[t].weight,
+                static_cast<long long>(window[t]), share, expect,
+                100.0 * rel_dev);
+    if (rel_dev > 0.20) {
+      std::printf("FAIL: tenant %s completed-share deviates %.1f%% from its "
+                  "weight share (gate: 20%%)\n",
+                  kTenants[t].id, 100.0 * rel_dev);
+      fail = true;
+    }
+  }
+  if (unresolved != 0) {
+    std::printf("FAIL: %lld futures never resolved\n",
+                static_cast<long long>(unresolved));
+    fail = true;
+  }
+  if (ok + rejected + expired + shutdown !=
+      static_cast<std::int64_t>(futs.size())) {
+    std::printf("FAIL: response accounting does not cover every request\n");
+    fail = true;
+  }
+  if (rejected != 0 || expired != 0) {
+    // No deadlines and deep queues: a reject or expiry means admission or
+    // shedding misfired — and a dropped request across a hot swap would
+    // surface here.
+    std::printf("FAIL: zero-drop gate: rejected %lld expired %lld\n",
+                static_cast<long long>(rejected),
+                static_cast<long long>(expired));
+    fail = true;
+  }
+  if (swaps != 2) {
+    std::printf("FAIL: expected 2 hot swaps inside the window, did %d\n",
+                swaps);
+    fail = true;
+  }
+  if (!s.all_resolved()) {
+    std::printf("FAIL: fleet stats leak requests (accepted %lld != "
+                "completed %lld + expired %lld + shed %lld)\n",
+                static_cast<long long>(s.total.accepted),
+                static_cast<long long>(s.total.completed),
+                static_cast<long long>(s.total.expired),
+                static_cast<long long>(s.total.shed));
+    fail = true;
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  std::printf(fail ? "FAIL\n" : "PASS\n");
+  return fail ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +273,7 @@ int main(int argc, char** argv) {
   int requests_per_client = 64;
   bool prom = false;
   bool mixed = false;
+  bool fleet = false;
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
@@ -81,10 +284,12 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     if (std::strcmp(argv[i], "--prom") == 0) prom = true;
     if (std::strcmp(argv[i], "--mixed") == 0) mixed = true;
+    if (std::strcmp(argv[i], "--fleet") == 0) fleet = true;
   }
   if (!metrics_path.empty()) {
     trace::set_report_paths(/*trace_path=*/"", metrics_path);
   }
+  if (fleet) return run_fleet_demo();
 
   serve::SessionConfig cfg;
   cfg.image_h = kImage;

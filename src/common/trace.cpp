@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <locale>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.hpp"
 
@@ -658,44 +659,122 @@ std::string sanitize_metric_name(const std::string& name) {
   return out;
 }
 
+namespace {
+
+/// A registry name mapped onto the Prometheus data model: a sanitized
+/// family base plus an optional label set. The `serve.tenant.<id>.<rest>`
+/// convention becomes ONE family per <rest> with the tenant id as a proper
+/// label — serve_tenant_latency_us{tenant="gold"} — instead of a separate
+/// per-tenant metric name, so PromQL can aggregate and group across
+/// tenants. Tenant ids must not contain '.' (the first dot after the
+/// prefix ends the id; ModelRegistry enforces this at registration).
+struct PromName {
+  std::string base;    ///< sanitized family name
+  std::string labels;  ///< e.g. tenant="gold"; empty → no label set
+};
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+PromName exposition_name(const std::string& raw) {
+  static constexpr std::string_view kTenantPrefix = "serve.tenant.";
+  PromName n;
+  if (raw.compare(0, kTenantPrefix.size(), kTenantPrefix) == 0) {
+    const std::size_t id_begin = kTenantPrefix.size();
+    const std::size_t id_end = raw.find('.', id_begin);
+    if (id_end != std::string::npos && id_end + 1 < raw.size() &&
+        id_end > id_begin) {
+      n.base = sanitize_metric_name("serve.tenant." + raw.substr(id_end + 1));
+      n.labels =
+          "tenant=\"" + escape_label_value(raw.substr(id_begin, id_end - id_begin)) +
+          "\"";
+      return n;
+    }
+  }
+  n.base = sanitize_metric_name(raw);
+  return n;
+}
+
+/// Group one metric kind's snapshot rows into label-series per family base.
+/// The snapshot is sorted by raw name, which scatters one family's tenants
+/// (serve.tenant.bronze.completed / serve.tenant.gold.completed are not
+/// adjacent) — but Prometheus wants a single `# TYPE` line per family with
+/// every series under it, hence the regrouping map.
+template <typename V>
+std::map<std::string, std::vector<std::pair<std::string, V>>> prom_families(
+    const std::vector<std::pair<std::string, V>>& rows) {
+  std::map<std::string, std::vector<std::pair<std::string, V>>> fams;
+  for (const auto& [name, value] : rows) {
+    const PromName n = exposition_name(name);
+    fams[n.base].emplace_back(n.labels, value);
+  }
+  return fams;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::prometheus_text() const {
   const Snapshot snap = snapshot();
   std::ostringstream os;
   os.imbue(std::locale::classic());
   os << std::setprecision(9);
-  for (const auto& [name, value] : snap.counters) {
-    const std::string n = sanitize_metric_name(name);
-    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  for (const auto& [base, series] : prom_families(snap.counters)) {
+    os << "# TYPE " << base << " counter\n";
+    for (const auto& [labels, value] : series) {
+      os << base;
+      if (!labels.empty()) os << '{' << labels << '}';
+      os << ' ' << value << '\n';
+    }
   }
-  for (const auto& [name, s] : snap.distributions) {
+  for (const auto& [base, series] : prom_families(snap.distributions)) {
     // Reservoir distributions export as Prometheus summaries; quantiles are
     // approximate once the reservoir saturates (same caveat as the '~'
     // marker in the text report).
-    const std::string n = sanitize_metric_name(name);
-    os << "# TYPE " << n << " summary\n";
-    os << n << "{quantile=\"0.5\"} " << s.p50 << '\n';
-    os << n << "{quantile=\"0.99\"} " << s.p99 << '\n';
-    os << n << "_sum " << s.sum << '\n';
-    os << n << "_count " << s.count << '\n';
+    os << "# TYPE " << base << " summary\n";
+    for (const auto& [labels, s] : series) {
+      const std::string comma = labels.empty() ? "" : labels + ",";
+      const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+      os << base << '{' << comma << "quantile=\"0.5\"} " << s.p50 << '\n';
+      os << base << '{' << comma << "quantile=\"0.99\"} " << s.p99 << '\n';
+      os << base << "_sum" << plain << ' ' << s.sum << '\n';
+      os << base << "_count" << plain << ' ' << s.count << '\n';
+    }
   }
-  for (const auto& [name, h] : snap.histograms) {
-    const std::string n = sanitize_metric_name(name);
-    os << "# TYPE " << n << " histogram\n";
-    // Cumulative buckets; emitting only the occupied range (plus +Inf) is
-    // valid exposition and keeps the page compact for 64-bucket histograms.
-    std::int64_t cum = 0;
-    int last_used = -1;
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      if (h.buckets[static_cast<std::size_t>(i)] > 0) last_used = i;
+  for (const auto& [base, series] : prom_families(snap.histograms)) {
+    os << "# TYPE " << base << " histogram\n";
+    for (const auto& [labels, h] : series) {
+      const std::string comma = labels.empty() ? "" : labels + ",";
+      const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+      // Cumulative buckets; emitting only the occupied range (plus +Inf) is
+      // valid exposition and keeps the page compact for 64-bucket
+      // histograms.
+      std::int64_t cum = 0;
+      int last_used = -1;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (h.buckets[static_cast<std::size_t>(i)] > 0) last_used = i;
+      }
+      for (int i = 0; i <= last_used; ++i) {
+        cum += h.buckets[static_cast<std::size_t>(i)];
+        os << base << "_bucket{" << comma << "le=\""
+           << Histogram::bucket_hi(i) << "\"} " << cum << '\n';
+      }
+      os << base << "_bucket{" << comma << "le=\"+Inf\"} " << h.count << '\n';
+      os << base << "_sum" << plain << ' ' << h.sum << '\n';
+      os << base << "_count" << plain << ' ' << h.count << '\n';
     }
-    for (int i = 0; i <= last_used; ++i) {
-      cum += h.buckets[static_cast<std::size_t>(i)];
-      os << n << "_bucket{le=\"" << Histogram::bucket_hi(i) << "\"} " << cum
-         << '\n';
-    }
-    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
-    os << n << "_sum " << h.sum << '\n';
-    os << n << "_count " << h.count << '\n';
   }
   return os.str();
 }

@@ -332,7 +332,11 @@ class MetricsRegistry {
   /// Prometheus text exposition (version 0.0.4): counters as `counter`,
   /// histograms as `histogram` with cumulative `_bucket{le="..."}` lines
   /// plus `_sum`/`_count`, distributions as `summary` quantiles. Metric
-  /// names are sanitized to [a-zA-Z0-9_:] (dots become underscores). A
+  /// names are sanitized to [a-zA-Z0-9_:] (dots become underscores).
+  /// Registry names following the `serve.tenant.<id>.<rest>` convention
+  /// are exported as ONE family per <rest> with the tenant id as a proper
+  /// label — `serve_tenant_<rest>{tenant="<id>"} value` — grouped under a
+  /// single `# TYPE` line, so PromQL can sum/rate across tenants. A
   /// scraper pointed at the IWG_METRICS_PROM file — or a caller of
   /// ServingSession::stats_report() — gets standard scrape-able telemetry.
   std::string prometheus_text() const;

@@ -1,0 +1,68 @@
+// Shared micro-batch execution for the serving layer.
+//
+// ServingSession (one model, dedicated workers) and FleetScheduler (N
+// tenant models, fleet-level dispatch) assemble batches differently but
+// execute them identically: stage the requests' images, run ONE model
+// dispatch (dense batch tensor or ragged indirect), slice per-request
+// outputs back out, and resolve every promise kOk with queue/latency
+// accounting. run_model_batch is that common core, moved out of
+// ServingSession so the fleet does not duplicate the metrics contract —
+// both paths feed the same serve.* counters and histograms, and batches
+// tagged with a tenant id additionally feed the per-tenant family
+// (serve.tenant.<id>.*, exported with a {tenant="..."} label by
+// MetricsRegistry::prometheus_text()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "serve/request.hpp"
+
+namespace iwg::serve {
+
+/// Per-tenant serve metrics. Registered lazily on first use under
+/// `serve.tenant.<id>.{completed,rejected,expired,latency_us}` — names the
+/// Prometheus exposition rewrites into one metric family per suffix with
+/// the tenant id as a `{tenant="..."}` label. References are stable for the
+/// process lifetime (MetricsRegistry never removes entries), so callers may
+/// cache the returned reference.
+struct TenantMetrics {
+  trace::Counter& completed;
+  trace::Counter& rejected;
+  trace::Counter& expired;
+  trace::Histogram& latency_us;
+
+  static TenantMetrics& of(const std::string& tenant_id);
+};
+
+/// How run_model_batch executes one assembled micro-batch.
+struct DispatchSpec {
+  /// Mixed shapes: route through Model::infer_ragged (one indirect Γ
+  /// dispatch per conv layer). False: one dense batch tensor.
+  bool indirect = false;
+  /// Dense only: zero-pad the batch tensor up to this leading dimension so
+  /// dispatch geometry matches pre-tuned plans (0 → dispatch at true size).
+  std::int64_t pad_to = 0;
+  /// Distinct H×W×C shapes among the requests (trace/metrics annotation).
+  int shape_classes = 1;
+  /// When nonempty, also record serve.tenant.<id>.* for this batch.
+  std::string tenant;
+};
+
+struct DispatchResult {
+  std::int64_t completed = 0;     ///< requests resolved kOk (= batch size)
+  std::int64_t padded_slots = 0;  ///< zero slots added to the dense tensor
+  bool indirect = false;          ///< executed as a ragged dispatch
+};
+
+/// Execute one nonempty micro-batch through `model` and resolve every
+/// request's promise kOk. Thread-safe for concurrent calls on one model
+/// (Model::infer / infer_ragged are const and concurrent); the caller owns
+/// any weight-swap synchronization around the model reference.
+DispatchResult run_model_batch(const nn::Model& model,
+                               std::vector<Request>& batch,
+                               const DispatchSpec& spec);
+
+}  // namespace iwg::serve

@@ -1,90 +1,14 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "common/arena.hpp"
 #include "common/trace.hpp"
+#include "serve/dispatch.hpp"
 
 namespace iwg::serve {
 
 namespace {
-
-// Hot serve metrics are log2-bucket Histograms, not reservoir Distributions:
-// a loaded server records millions of latencies and the reservoir's
-// percentiles go silently approximate after 2^14 samples. Histogram counts
-// stay exact forever and the snapshots merge.
-trace::Histogram& batch_size_hist() {
-  static trace::Histogram& h =
-      trace::MetricsRegistry::global().histogram("serve.batch_size");
-  return h;
-}
-
-trace::Histogram& latency_hist() {
-  static trace::Histogram& h =
-      trace::MetricsRegistry::global().histogram("serve.latency_us");
-  return h;
-}
-
-trace::Histogram& queue_wait_hist() {
-  static trace::Histogram& h =
-      trace::MetricsRegistry::global().histogram("serve.queue_us");
-  return h;
-}
-
-trace::Histogram& ok_latency_hist() {
-  static trace::Histogram& h =
-      trace::MetricsRegistry::global().histogram("serve.latency_us.ok");
-  return h;
-}
-
-trace::Histogram& headroom_hist() {
-  static trace::Histogram& h = trace::MetricsRegistry::global().histogram(
-      "serve.deadline_headroom_us");
-  return h;
-}
-
-trace::Counter& deadline_missed_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.deadline_missed");
-  return c;
-}
-
-trace::Counter& completed_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.completed");
-  return c;
-}
-
-trace::Counter& batches_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.batches");
-  return c;
-}
-
-trace::Counter& padded_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.padded_slots");
-  return c;
-}
-
-trace::Counter& mode_dense_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.batch.mode.dense");
-  return c;
-}
-
-trace::Counter& mode_indirect_counter() {
-  static trace::Counter& c =
-      trace::MetricsRegistry::global().counter("serve.batch.mode.indirect");
-  return c;
-}
-
-trace::Histogram& shape_classes_hist() {
-  static trace::Histogram& h =
-      trace::MetricsRegistry::global().histogram("serve.batch.shape_classes");
-  return h;
-}
 
 std::int64_t steady_now_us() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -201,133 +125,23 @@ void ServingSession::maybe_flush() {
 }
 
 void ServingSession::run_batch(Batcher::Batch b) {
-  std::vector<Request>& batch = b.requests;
-  const std::size_t k = batch.size();
-  const bool indirect = b.mode == Batcher::Batch::Mode::kIndirect;
   // Zero-pad the tail up to max_batch so dispatch geometry always matches
   // the pre-tuned plans — legacy split policy only. The indirect policy
   // replaces materialized pad slots with zero-row indirection entries
   // (which simply don't exist for absent images), so its dense batches
   // dispatch at their true size and padded_slots stays 0.
+  DispatchSpec spec;
+  spec.indirect = b.mode == Batcher::Batch::Mode::kIndirect;
+  spec.shape_classes = b.shape_classes;
   const bool pad =
       cfg_.pad_tail_batches && cfg_.batch.mixed == MixedMode::kSplit;
-  const std::int64_t n =
-      !indirect && pad
-          ? static_cast<std::int64_t>(std::max(cfg_.batch.max_batch, k))
-          : static_cast<std::int64_t>(k);
-  const std::int64_t padded = indirect ? 0 : n - static_cast<std::int64_t>(k);
-
-  // The batch span (and everything nested under it — the model's conv
-  // spans included) inherits the batch leader's context, so the leader's
-  // flow chain reaches into the actual compute in the trace view.
-  trace::ContextScope lead_scope(batch.front().ctx);
-  IWG_TRACE_SPAN(span, "serve.batch", "serve");
-  span.arg("batch_size", static_cast<std::int64_t>(k))
-      .arg("padded_slots", padded)
-      .arg("mode", indirect ? "indirect" : "dense")
-      .arg("shape_classes", static_cast<std::int64_t>(b.shape_classes));
-
-  // Per-request outputs, each with leading dim 1.
-  std::vector<TensorF> outs(k);
-  Clock::time_point dispatch;
-  Clock::time_point done;
-  if (indirect) {
-    // Mixed shapes: stage each image as its own N = 1 tensor and run the
-    // whole set through ONE ragged dispatch per layer. Outputs come back
-    // per image already, bit-identical to batch-1 inference.
-    std::vector<TensorF> xs(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      trace::ContextScope req_scope(batch[i].ctx);
-      IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
-      dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
-          .arg("slot", static_cast<std::int64_t>(i));
-      const TensorF& img = batch[i].input;
-      xs[i].reset({1, img.dim(0), img.dim(1), img.dim(2)});
-      std::memcpy(xs[i].data(), img.data(),
-                  static_cast<std::size_t>(img.size()) * sizeof(float));
-    }
-    dispatch = Clock::now();
-    outs = model_.infer_ragged(xs);
-    IWG_CHECK(outs.size() == k);
-    done = Clock::now();
-  } else {
-    const TensorF& first = batch.front().input;
-    const std::int64_t h = first.dim(0);
-    const std::int64_t w = first.dim(1);
-    const std::int64_t c = first.dim(2);
-    TensorF xb({n, h, w, c});  // zero-initialized
-    const std::int64_t image_elems = h * w * c;
-    for (std::size_t i = 0; i < k; ++i) {
-      // Per-request dispatch span: marks this request joining the
-      // micro-batch on the worker thread (covers staging its image into
-      // the batch tensor).
-      trace::ContextScope req_scope(batch[i].ctx);
-      IWG_TRACE_SPAN(dispatch_span, "serve.dispatch", "serve");
-      dispatch_span.arg("batch_size", static_cast<std::int64_t>(k))
-          .arg("slot", static_cast<std::int64_t>(i));
-      std::memcpy(xb.data() + static_cast<std::int64_t>(i) * image_elems,
-                  batch[i].input.data(),
-                  static_cast<std::size_t>(image_elems) * sizeof(float));
-    }
-    dispatch = Clock::now();
-    TensorF y = model_.infer(xb);
-    IWG_CHECK(y.dim(0) == n);
-    done = Clock::now();
-
-    // Slice each request's output row back out (leading dim 1).
-    std::vector<std::int64_t> out_dims;
-    out_dims.push_back(1);
-    for (int d = 1; d < y.rank(); ++d) out_dims.push_back(y.dim(d));
-    const std::int64_t per = y.size() / n;
-    for (std::size_t i = 0; i < k; ++i) {
-      outs[i].reset(out_dims);
-      std::memcpy(outs[i].data(),
-                  y.data() + static_cast<std::int64_t>(i) * per,
-                  static_cast<std::size_t>(per) * sizeof(float));
-    }
-  }
-
-  for (std::size_t i = 0; i < k; ++i) {
-    trace::ContextScope req_scope(batch[i].ctx);
-    IWG_TRACE_SPAN(complete_span, "serve.complete", "serve");
-    Response resp;
-    resp.status = Status::kOk;
-    resp.batch_size = static_cast<std::int64_t>(k);
-    resp.queue_us = std::chrono::duration<double, std::micro>(
-                        dispatch - batch[i].enqueue_time)
-                        .count();
-    resp.latency_us = std::chrono::duration<double, std::micro>(
-                          done - batch[i].enqueue_time)
-                          .count();
-    complete_span.arg("latency_us", resp.latency_us)
-        .arg("queue_us", resp.queue_us);
-    resp.output = std::move(outs[i]);
-    queue_wait_hist().record(resp.queue_us);
-    latency_hist().record(resp.latency_us);
-    ok_latency_hist().record(resp.latency_us);
-    if (batch[i].deadline.has_deadline()) {
-      // Headroom left at completion — the SLO margin. A served-but-late
-      // request records zero headroom and bumps the missed counter (it was
-      // dispatched in time but finished past its budget).
-      const double headroom_us = std::chrono::duration<double, std::micro>(
-                                     batch[i].deadline.at() - done)
-                                     .count();
-      headroom_hist().record(std::max(0.0, headroom_us));
-      if (headroom_us < 0.0) deadline_missed_counter().add();
-    }
-    batch[i].promise.set_value(std::move(resp));
-  }
-
-  batch_size_hist().record(static_cast<double>(k));
-  batches_counter().add();
-  (indirect ? mode_indirect_counter() : mode_dense_counter()).add();
-  shape_classes_hist().record(static_cast<double>(b.shape_classes));
-  padded_counter().add(padded);
-  completed_counter().add(static_cast<std::int64_t>(k));
-  completed_.fetch_add(static_cast<std::int64_t>(k),
-                       std::memory_order_relaxed);
+  spec.pad_to =
+      !spec.indirect && pad ? static_cast<std::int64_t>(cfg_.batch.max_batch)
+                            : 0;
+  const DispatchResult res = run_model_batch(model_, b.requests, spec);
+  completed_.fetch_add(res.completed, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  if (indirect) indirect_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (res.indirect) indirect_batches_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServingSession::stop(bool drain) {

@@ -774,6 +774,68 @@ TEST(Metrics, PrometheusTextExposition) {
   EXPECT_EQ(prev, 3);  // the +Inf bucket agrees with _count
 }
 
+TEST(Metrics, PrometheusTenantLabelExposition) {
+  auto& reg = MetricsRegistry::global();
+  // The serve.tenant.<id>.<rest> convention must export as ONE family per
+  // <rest> with the tenant id as a label, not as per-tenant metric names.
+  reg.counter("serve.tenant.promgold.completed").add(7);
+  reg.counter("serve.tenant.prombronze.completed").add(3);
+  Histogram& h = reg.histogram("serve.tenant.promgold.latency_us");
+  h.reset();
+  h.record(10.0);
+  h.record(20.0);
+
+  const std::string page = reg.prometheus_text();
+  const auto npos = std::string::npos;
+  EXPECT_NE(page.find("serve_tenant_completed{tenant=\"promgold\"} 7\n"),
+            npos);
+  EXPECT_NE(page.find("serve_tenant_completed{tenant=\"prombronze\"} 3\n"),
+            npos);
+  // The raw per-tenant name must NOT leak into the exposition.
+  EXPECT_EQ(page.find("serve_tenant_promgold_completed"), npos);
+
+  // One # TYPE line per family, even though the sorted snapshot scatters
+  // the tenants (prombronze sorts before promgold).
+  const std::string type_line = "# TYPE serve_tenant_completed counter";
+  const std::size_t first = page.find(type_line);
+  ASSERT_NE(first, npos);
+  EXPECT_EQ(page.find(type_line, first + type_line.size()), npos);
+
+  // Histogram series carry the tenant label on every line, with le last.
+  EXPECT_NE(
+      page.find("serve_tenant_latency_us_bucket{tenant=\"promgold\",le="),
+      npos);
+  EXPECT_NE(page.find("serve_tenant_latency_us_bucket{tenant=\"promgold\","
+                      "le=\"+Inf\"} 2\n"),
+            npos);
+  EXPECT_NE(page.find("serve_tenant_latency_us_sum{tenant=\"promgold\"} 30\n"),
+            npos);
+  EXPECT_NE(
+      page.find("serve_tenant_latency_us_count{tenant=\"promgold\"} 2\n"),
+      npos);
+}
+
+TEST(Metrics, PrometheusTenantLabelValueIsEscaped) {
+  auto& reg = MetricsRegistry::global();
+  // Tenant ids reaching the registry through TenantMetrics are dot-free,
+  // but label VALUES may hold any UTF-8 — quotes and backslashes must be
+  // escaped per the exposition format.
+  reg.counter("serve.tenant.we\"ird\\x.completed").add(1);
+  const std::string page = reg.prometheus_text();
+  EXPECT_NE(
+      page.find("serve_tenant_completed{tenant=\"we\\\"ird\\\\x\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(Metrics, PrometheusTenantPrefixWithoutSuffixStaysPlain) {
+  auto& reg = MetricsRegistry::global();
+  // A name that starts with the prefix but has no <rest> component cannot
+  // be split into (id, family) — it must fall back to the plain mapping.
+  reg.counter("serve.tenant.loners").add(2);
+  const std::string page = reg.prometheus_text();
+  EXPECT_NE(page.find("serve_tenant_loners 2\n"), std::string::npos);
+}
+
 TEST(Metrics, FlushReportWritesPrometheusFileOnDemand) {
   const std::string path = testing::TempDir() + "iwg_flush_report_test.prom";
   std::remove(path.c_str());
