@@ -17,6 +17,7 @@
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "core/conv_api.hpp"
+#include "obs/watchdog.hpp"
 
 int main() {
   using namespace iwg;
@@ -90,6 +91,35 @@ int main() {
   const double hist_overhead =
       static_cast<double>(recs_per_request) * rec_s / conv_s;
 
+  // Watchdog heartbeat cost — one steady-clock read + one relaxed store,
+  // once per worker loop iteration. A serving iteration runs at least one
+  // batch (≥ one conv), so one beat per conv is the conservative rate.
+  obs::Watchdog watchdog;
+  const obs::Watchdog::HeartbeatPtr hb = watchdog.watch("bench");
+  const std::int64_t beat_reps = 4'000'000;
+  Timer beat_timer;
+  for (std::int64_t i = 0; i < beat_reps; ++i) hb->beat();
+  const double beat_s = beat_timer.seconds() / static_cast<double>(beat_reps);
+  const double beat_overhead = beat_s / conv_s;
+
+  // Windowed-snapshot publication cost: what one SloMonitor tick pays per
+  // tenant — snapshot() the cumulative histogram and delta() it against the
+  // previous one. This runs on the poller/admin thread, not a worker, but
+  // gate it under the same 1% discipline at a worst-case 1-tick-per-conv
+  // rate so a misconfigured poller still cannot dent serving throughput.
+  const std::int64_t snap_reps = 100'000;
+  trace::Histogram::Snapshot prev = hist.snapshot();
+  double sink = 0.0;
+  Timer snap_timer;
+  for (std::int64_t i = 0; i < snap_reps; ++i) {
+    hist.record(static_cast<double>(i & 1023));  // keep the stream moving
+    const trace::Histogram::Snapshot cur = hist.snapshot();
+    sink += cur.delta(prev).sum;
+    prev = cur;
+  }
+  const double snap_s = snap_timer.seconds() / static_cast<double>(snap_reps);
+  const double snap_overhead = snap_s / conv_s;
+
   const double overhead =
       static_cast<double>(spans_per_conv) * span_s / conv_s;
   std::printf("conv2d (%s): %.3f ms/run, %lld spans/run\n",
@@ -97,12 +127,21 @@ int main() {
               static_cast<long long>(spans_per_conv));
   std::printf("disabled span: %.2f ns each\n", span_s * 1e9);
   std::printf("histogram record: %.2f ns each\n", rec_s * 1e9);
+  std::printf("watchdog beat: %.2f ns each\n", beat_s * 1e9);
+  std::printf("windowed snapshot+delta: %.2f ns each (sink %.0f)\n",
+              snap_s * 1e9, sink);
   std::printf("disabled-tracing overhead: %.4f%% of conv2d (bound: 1%%)\n",
               overhead * 100.0);
   std::printf("histogram overhead: %.4f%% of conv2d at %lld records/request "
               "(bound: 1%%)\n",
               hist_overhead * 100.0,
               static_cast<long long>(recs_per_request));
+  std::printf("heartbeat overhead: %.4f%% of conv2d at 1 beat/conv "
+              "(bound: 1%%)\n",
+              beat_overhead * 100.0);
+  std::printf("windowed-snapshot overhead: %.4f%% of conv2d at 1 tick/conv "
+              "(bound: 1%%)\n",
+              snap_overhead * 100.0);
   std::printf("enabled-tracing slowdown: %.2f%% (informational)\n",
               (enabled_s / conv_s - 1.0) * 100.0);
 
@@ -115,7 +154,15 @@ int main() {
     std::printf("FAIL: histogram overhead above 1%%\n");
     fail = true;
   }
-  if (hist.snapshot().count != rec_reps) {  // sanity: no record was lost
+  if (beat_overhead >= 0.01) {
+    std::printf("FAIL: heartbeat overhead above 1%%\n");
+    fail = true;
+  }
+  if (snap_overhead >= 0.01) {
+    std::printf("FAIL: windowed-snapshot overhead above 1%%\n");
+    fail = true;
+  }
+  if (hist.snapshot().count != rec_reps + snap_reps) {  // no record lost
     std::printf("FAIL: histogram lost records\n");
     fail = true;
   }

@@ -29,8 +29,24 @@
 // is rejected or fails, the accounting doesn't balance, or any tenant's
 // completed-share deviates more than 20% (relative) from its weight share.
 //
+// With --admin <port> (or IWG_ADMIN_PORT; port 0 picks an ephemeral one)
+// the demo additionally runs the live observability plane for the duration:
+// an obs::AdminServer serving /metrics, /healthz, /readyz, /statusz,
+// /alertz, and /tracez, a Watchdog every worker heartbeats into, and an
+// SloMonitor poller ticking the per-tenant burn-rate windows. In fleet mode
+// the demo scrapes its own /metrics over HTTP at drain and exits nonzero if
+// any tenant's serve_tenant_completed{tenant="..."} series disagrees with
+// FleetScheduler::stats() — the exposed page must match the scheduler's
+// exact accounting.
+//
 //   build/examples/serve_demo [--clients N] [--requests N] [--metrics path]
-//                             [--prom] [--mixed] [--fleet]
+//                             [--prom] [--mixed] [--fleet] [--admin port]
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -47,6 +63,9 @@
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
 #include "nn/serialize.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/slo_monitor.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/serve.hpp"
 
 namespace {
@@ -89,8 +108,100 @@ nn::Model make_fleet_model(unsigned seed) {
   return m;
 }
 
+/// The live observability plane, shared by both demo modes: admin HTTP
+/// endpoint + worker watchdog + SLO poller thread (100 ms tick, fast enough
+/// that CI-length runs accumulate real windows).
+struct AdminPlane {
+  obs::Watchdog watchdog{std::chrono::seconds(10)};
+  obs::SloMonitor slo;
+  obs::AdminServer server;
+  std::atomic<bool> stop_flag{false};
+  std::thread poller;
+
+  explicit AdminPlane(std::uint16_t port)
+      : server([port] {
+          obs::AdminServer::Config c;
+          c.port = port;
+          return c;
+        }()) {
+    server.wire(&watchdog, &slo);
+  }
+
+  void start(std::vector<std::string> tenants) {
+    server.start();
+    std::printf("admin: http://127.0.0.1:%u  (/metrics /healthz /readyz "
+                "/statusz /alertz /tracez)\n",
+                static_cast<unsigned>(server.port()));
+    poller = std::thread([this, tenants = std::move(tenants)] {
+      while (!stop_flag.load(std::memory_order_acquire)) {
+        slo.poll_registry(tenants);
+        std::this_thread::sleep_for(100ms);
+      }
+    });
+  }
+
+  ~AdminPlane() {
+    stop_flag.store(true, std::memory_order_release);
+    if (poller.joinable()) poller.join();
+    server.stop();
+  }
+};
+
+/// Minimal loopback HTTP GET (the at-drain self-scrape). Returns the
+/// response body, or an empty string on any failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 5000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // Connection: close terminates the body
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos || resp.compare(0, 12, "HTTP/1.1 200") != 0) {
+    return {};
+  }
+  return resp.substr(split + 4);
+}
+
+/// Value of `family{labels} v` in a Prometheus page; -1 when absent.
+std::int64_t prom_series_value(const std::string& page,
+                               const std::string& series) {
+  const std::string needle = series + " ";
+  std::size_t pos = 0;
+  while ((pos = page.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || page[pos - 1] == '\n') {
+      return std::atoll(page.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return -1;
+}
+
 /// --fleet: the CI fleet smoke (see file comment). Returns the exit code.
-int run_fleet_demo() {
+/// admin_port >= 0 also runs the observability plane and the at-drain
+/// scrape-vs-stats cross-check.
+int run_fleet_demo(int admin_port) {
   struct TenantSpec {
     const char* id;
     double weight;
@@ -102,13 +213,24 @@ int run_fleet_demo() {
                                         // queue empties inside the window
   constexpr std::int64_t kWindow = 900;  // completions measured for shares
 
+  std::unique_ptr<AdminPlane> plane;
+  if (admin_port >= 0) {
+    plane = std::make_unique<AdminPlane>(static_cast<std::uint16_t>(admin_port));
+  }
+
   serve::FleetConfig fc;
   fc.workers = 2;
   // The default max_wait (2 ms) stays: it throttles dispatch while the
   // queues are still shallow during prefill, so the share window starts
   // from a genuine backlog.
   fc.idle_wait = 5ms;
+  if (plane != nullptr) fc.watchdog = &plane->watchdog;
   serve::FleetScheduler fleet(fc);
+  if (plane != nullptr) {
+    plane->server.set_readyz([&fleet] { return fleet.ready(); });
+    plane->server.set_statusz([&fleet] { return fleet.statusz_json(); });
+    plane->start({"gold", "silver", "bronze"});
+  }
   for (const TenantSpec& t : kTenants) {
     serve::TenantConfig cfg;
     cfg.id = t.id;
@@ -260,6 +382,46 @@ int run_fleet_demo() {
                 static_cast<long long>(s.total.shed));
     fail = true;
   }
+  if (plane != nullptr) {
+    // The acceptance gate: the live /metrics page, fetched over real HTTP
+    // at drain, must agree exactly with the scheduler's own accounting.
+    const std::string page = http_get(plane->server.port(), "/metrics");
+    if (page.empty()) {
+      std::printf("FAIL: /metrics scrape returned no 200 body\n");
+      fail = true;
+    }
+    for (const TenantSpec& t : kTenants) {
+      const std::int64_t scraped = prom_series_value(
+          page, std::string("serve_tenant_completed{tenant=\"") + t.id + "\"}");
+      const std::int64_t exact = s.tenants.at(t.id).completed;
+      if (scraped != exact) {
+        std::printf("FAIL: scraped serve_tenant_completed{tenant=\"%s\"} "
+                    "%lld != scheduler accounting %lld\n",
+                    t.id, static_cast<long long>(scraped),
+                    static_cast<long long>(exact));
+        fail = true;
+      }
+    }
+    if (page.find("iwg_build_info{") == std::string::npos) {
+      std::printf("FAIL: /metrics page lacks iwg_build_info\n");
+      fail = true;
+    }
+    if (http_get(plane->server.port(), "/healthz").empty()) {
+      std::printf("FAIL: /healthz is not 200 at drain\n");
+      fail = true;
+    }
+    const std::string alertz = http_get(plane->server.port(), "/alertz");
+    if (alertz.find("\"tenants\"") == std::string::npos) {
+      std::printf("FAIL: /alertz JSON lacks a tenants object\n");
+      fail = true;
+    }
+    if (!fail) {
+      std::printf("scrape:  /metrics matches scheduler accounting for all "
+                  "3 tenants\n");
+    }
+  }
+  // Tear the plane down while the fleet it references is still alive.
+  plane.reset();
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
   std::printf(fail ? "FAIL\n" : "PASS\n");
@@ -274,7 +436,12 @@ int main(int argc, char** argv) {
   bool prom = false;
   bool mixed = false;
   bool fleet = false;
+  int admin_port = -1;  // < 0: no admin endpoint
   std::string metrics_path;
+  if (const char* env = std::getenv("IWG_ADMIN_PORT");
+      env != nullptr && *env != '\0') {
+    admin_port = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
       clients = std::atoi(argv[++i]);
@@ -282,6 +449,8 @@ int main(int argc, char** argv) {
       requests_per_client = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
       metrics_path = argv[++i];
+    if (std::strcmp(argv[i], "--admin") == 0 && i + 1 < argc)
+      admin_port = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--prom") == 0) prom = true;
     if (std::strcmp(argv[i], "--mixed") == 0) mixed = true;
     if (std::strcmp(argv[i], "--fleet") == 0) fleet = true;
@@ -289,7 +458,12 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty()) {
     trace::set_report_paths(/*trace_path=*/"", metrics_path);
   }
-  if (fleet) return run_fleet_demo();
+  if (fleet) return run_fleet_demo(admin_port);
+
+  std::unique_ptr<AdminPlane> plane;
+  if (admin_port >= 0) {
+    plane = std::make_unique<AdminPlane>(static_cast<std::uint16_t>(admin_port));
+  }
 
   serve::SessionConfig cfg;
   cfg.image_h = kImage;
@@ -300,7 +474,15 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = 128;
   cfg.workers = 2;
   cfg.flush_period = metrics_path.empty() ? 0us : 200000us;  // periodic flush
+  if (plane != nullptr) cfg.watchdog = &plane->watchdog;
   serve::ServingSession session(make_model(/*seed=*/42), cfg);
+  if (plane != nullptr) {
+    // The session warms in its constructor, so reaching this line IS
+    // readiness; the single-model session has no tenant table to consult.
+    plane->server.set_readyz([] { return true; });
+    plane->server.set_statusz([&session] { return session.statusz_json(); });
+    plane->start({});  // no per-tenant SLO families in session mode
+  }
 
   std::printf("serve_demo: %d clients x %d requests%s, batch cap %zu, "
               "%u workers, queue %zu\n",
@@ -444,6 +626,19 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() && !trace::flush_report()) {
     std::printf("FAIL: metrics flush to %s failed\n", metrics_path.c_str());
     fail = true;
+  }
+  if (plane != nullptr) {
+    // Smoke the live endpoints before teardown: the scrape must be a 200
+    // with the synthesized identity gauge on it.
+    const std::string page = http_get(plane->server.port(), "/metrics");
+    if (page.find("iwg_build_info{") == std::string::npos ||
+        http_get(plane->server.port(), "/healthz").empty() ||
+        http_get(plane->server.port(), "/readyz").empty()) {
+      std::printf("FAIL: admin endpoint smoke (metrics/healthz/readyz)\n");
+      fail = true;
+    }
+    // Tear the plane down while the session it references is still alive.
+    plane.reset();
   }
   std::printf(fail ? "FAIL\n" : "PASS\n");
   return fail ? 1 : 0;

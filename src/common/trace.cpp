@@ -553,6 +553,41 @@ double Histogram::Snapshot::quantile(double q) const {
   return max;
 }
 
+Histogram::Snapshot Histogram::Snapshot::delta(const Snapshot& prev) const {
+  Snapshot d;
+  d.count = count - prev.count;
+  d.sum = sum - prev.sum;
+  if (d.count <= 0) return Snapshot{};  // quiesced (or torn) window: empty
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    d.buckets[idx] = buckets[idx] - prev.buckets[idx];
+    if (d.buckets[idx] < 0) d.buckets[idx] = 0;  // torn concurrent snapshot
+    if (d.buckets[idx] > 0) {
+      if (first < 0) first = i;
+      last = i;
+    }
+  }
+  if (d.sum < 0.0) d.sum = 0.0;  // torn count/sum pair
+  if (first < 0) {
+    // Torn snapshot: the count advanced but no bucket increment is visible
+    // yet. Keep the count (interval accounting must tile the stream
+    // exactly — a windowed monitor sums deltas) and fall back to the
+    // cumulative extremes as the only available bounds.
+    d.min = min;
+    d.max = max;
+    return d;
+  }
+  // Tightest provable bounds on the window extremes: the occupied delta
+  // buckets' edges, clamped into the cumulative [min, max] (a superset of
+  // the window, so its extremes bound the window's from outside).
+  d.min = std::max(bucket_lo(first), min);
+  d.max = std::min(bucket_hi(last), max);
+  if (d.min > d.max) d.min = d.max;
+  return d;
+}
+
 void Histogram::Snapshot::merge(const Snapshot& o) {
   if (o.count == 0) return;
   if (count == 0) {
@@ -726,12 +761,71 @@ std::map<std::string, std::vector<std::pair<std::string, V>>> prom_families(
 
 }  // namespace
 
+void MetricsRegistry::set_help(const std::string& name,
+                               const std::string& help) {
+  std::lock_guard lock(mu_);
+  help_[exposition_name(name).base] = help;
+}
+
+void MetricsRegistry::set_build_label(const std::string& key,
+                                      const std::string& value) {
+  std::lock_guard lock(mu_);
+  build_info_[key] = value;
+}
+
+namespace {
+
+/// Process-start anchor for iwg_process_uptime_seconds (static init of this
+/// TU — early enough that "uptime" means what an operator expects).
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
 std::string MetricsRegistry::prometheus_text() const {
   const Snapshot snap = snapshot();
+  std::map<std::string, std::string> help;
+  std::map<std::string, std::string> build_info;
+  {
+    std::lock_guard lock(mu_);
+    help = help_;
+    build_info = build_info_;
+  }
+  const auto help_line = [&](std::ostream& out, const std::string& base) {
+    const auto it = help.find(base);
+    out << "# HELP " << base << ' '
+        << (it != help.end() ? it->second : "iwg metric " + base) << '\n';
+  };
   std::ostringstream os;
   os.imbue(std::locale::classic());
   os << std::setprecision(9);
+  // Synthesized identity gauges, first on the page: which build produced
+  // these numbers, and for how long the process has been alive. Labels
+  // published via set_build_label (e.g. isa) join the compile-time tracing
+  // mode.
+  os << "# HELP iwg_build_info Build/runtime identity of this process "
+        "(constant 1).\n# TYPE iwg_build_info gauge\niwg_build_info{";
+  if (build_info.find("isa") == build_info.end()) {
+    os << "isa=\"unresolved\",";  // host-kernel table not yet dispatched
+  }
+  for (const auto& [k, v] : build_info) {
+    os << sanitize_metric_name(k) << "=\"" << escape_label_value(v) << "\",";
+  }
+#ifdef IWG_TRACE_DISABLE
+  os << "trace=\"off\"";
+#else
+  os << "trace=\"on\"";
+#endif
+  os << "} 1\n";
+  os << "# HELP iwg_process_uptime_seconds Seconds since process start "
+        "(steady clock).\n# TYPE iwg_process_uptime_seconds gauge\n"
+        "iwg_process_uptime_seconds "
+     << std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      g_process_start)
+            .count()
+     << '\n';
   for (const auto& [base, series] : prom_families(snap.counters)) {
+    help_line(os, base);
     os << "# TYPE " << base << " counter\n";
     for (const auto& [labels, value] : series) {
       os << base;
@@ -743,6 +837,7 @@ std::string MetricsRegistry::prometheus_text() const {
     // Reservoir distributions export as Prometheus summaries; quantiles are
     // approximate once the reservoir saturates (same caveat as the '~'
     // marker in the text report).
+    help_line(os, base);
     os << "# TYPE " << base << " summary\n";
     for (const auto& [labels, s] : series) {
       const std::string comma = labels.empty() ? "" : labels + ",";
@@ -754,6 +849,7 @@ std::string MetricsRegistry::prometheus_text() const {
     }
   }
   for (const auto& [base, series] : prom_families(snap.histograms)) {
+    help_line(os, base);
     os << "# TYPE " << base << " histogram\n";
     for (const auto& [labels, h] : series) {
       const std::string comma = labels.empty() ? "" : labels + ",";

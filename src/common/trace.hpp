@@ -296,6 +296,15 @@ class Histogram {
     double quantile(double q) const;
     /// Bucket-wise merge (counts add; min/max/sum combine).
     void merge(const Snapshot& o);
+    /// Bucket-wise difference: the values recorded between `prev` (an
+    /// earlier snapshot of the SAME histogram) and this one. This is the
+    /// windowed-metrics primitive — a monitor that snapshots on an
+    /// interval gets an exact per-interval histogram by delta, and merges
+    /// consecutive deltas back into rolling windows. The window's true
+    /// min/max are not recoverable from cumulative extremes, so delta()
+    /// reports the tightest provable bounds: the occupied delta buckets'
+    /// edges, clamped to the cumulative [min, max].
+    Snapshot delta(const Snapshot& prev) const;
   };
   Snapshot snapshot() const;
   void reset();
@@ -336,10 +345,24 @@ class MetricsRegistry {
   /// Registry names following the `serve.tenant.<id>.<rest>` convention
   /// are exported as ONE family per <rest> with the tenant id as a proper
   /// label — `serve_tenant_<rest>{tenant="<id>"} value` — grouped under a
-  /// single `# TYPE` line, so PromQL can sum/rate across tenants. A
-  /// scraper pointed at the IWG_METRICS_PROM file — or a caller of
-  /// ServingSession::stats_report() — gets standard scrape-able telemetry.
+  /// single `# TYPE` line, so PromQL can sum/rate across tenants. Every
+  /// family gets a `# HELP` line (set_help text when registered, a generic
+  /// one otherwise), and the page leads with two synthesized gauges:
+  /// `iwg_build_info{isa="...",trace="on|off"} 1` (labels from
+  /// set_build_label plus the compile-time tracing mode) and
+  /// `iwg_process_uptime_seconds`. A scraper pointed at the
+  /// IWG_METRICS_PROM file — or at obs::AdminServer's /metrics endpoint —
+  /// gets standard scrape-able telemetry.
   std::string prometheus_text() const;
+
+  /// Attach `# HELP` text to the metric family `name` maps into (the raw
+  /// registry name and its per-tenant variants map to one family). Families
+  /// without registered help get a generic line.
+  void set_help(const std::string& name, const std::string& help);
+
+  /// Publish one label on the iwg_build_info gauge (e.g. the host-kernel
+  /// dispatcher publishes isa="avx2" when it resolves the table).
+  void set_build_label(const std::string& key, const std::string& value);
 
   /// Zero every metric. Registered objects survive (references stay valid).
   void reset();
@@ -349,6 +372,21 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Distribution>> distributions_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;         ///< family base → text
+  std::map<std::string, std::string> build_info_;  ///< label key → value
+};
+
+/// Scoped exact-value isolation for tests: zeroes every registry metric on
+/// construction AND on destruction, so a test case that asserts exact
+/// counter values neither inherits counts from earlier cases in the same
+/// binary nor leaks its own into later ones. Registered objects (and cached
+/// references) survive — only values are cleared.
+class ResetGuard {
+ public:
+  ResetGuard() { MetricsRegistry::global().reset(); }
+  ~ResetGuard() { MetricsRegistry::global().reset(); }
+  ResetGuard(const ResetGuard&) = delete;
+  ResetGuard& operator=(const ResetGuard&) = delete;
 };
 
 /// Maps a metric name onto the Prometheus charset [a-zA-Z0-9_:] (anything

@@ -18,8 +18,11 @@ FilterCacheRef cache_ref(const ConvOptions& opts) {
   return fc;
 }
 
-/// Common span args for one boundary-plan segment.
-void tag_segment(trace::ScopedSpan& span, const Segment& seg) {
+/// Common span args for one boundary-plan segment. Templated over the span
+/// type so the call sites also compile against trace::NullSpan under
+/// -DIWG_TRACE_DISABLE.
+template <typename SpanT>
+void tag_segment(SpanT& span, const Segment& seg) {
   if (!span.active()) return;
   span.arg("ow_start", seg.ow_start).arg("ow_len", seg.ow_len);
   if (!seg.is_gemm) {
@@ -35,7 +38,8 @@ void tag_segment(trace::ScopedSpan& span, const Segment& seg) {
 /// plus process-level metrics, so the paper's §5.2 bank-conflict and NHWC
 /// coalescing claims are continuously measured numbers rather than one-off
 /// bench output.
-void export_sim_stats(trace::ScopedSpan& span, const sim::LaunchStats& st) {
+template <typename SpanT>
+void export_sim_stats(SpanT& span, const sim::LaunchStats& st) {
   span.arg("sim.blocks", st.blocks)
       .arg("sim.fma", st.fma)
       .arg("sim.gld_sectors", st.gld_sectors)

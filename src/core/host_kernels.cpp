@@ -22,6 +22,9 @@ void note_selection(const HostKernels* t) {
   trace::MetricsRegistry::global()
       .counter(std::string("host.kernels.isa.") + t->name)
       .add();
+  // The resolved table also labels the iwg_build_info gauge, so a scrape
+  // alone answers "which engine produced these numbers".
+  trace::MetricsRegistry::global().set_build_label("isa", t->name);
 }
 
 const HostKernels* best_supported() {

@@ -1,0 +1,261 @@
+#include "obs/admin_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/trace.hpp"
+#include "obs/slo_monitor.hpp"
+#include "obs/watchdog.hpp"
+
+namespace iwg::obs {
+
+namespace {
+
+trace::Counter& requests_counter() {
+  static trace::Counter& c = [] () -> trace::Counter& {
+    auto& reg = trace::MetricsRegistry::global();
+    reg.set_help("obs.admin.requests",
+                 "HTTP requests served by the embedded admin endpoint.");
+    return reg.counter("obs.admin.requests");
+  }();
+  return c;
+}
+
+trace::Counter& errors_counter() {
+  static trace::Counter& c = [] () -> trace::Counter& {
+    auto& reg = trace::MetricsRegistry::global();
+    reg.set_help("obs.admin.http_errors",
+                 "Admin requests answered with a non-200 status.");
+    return reg.counter("obs.admin.http_errors");
+  }();
+  return c;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Blocking-with-patience send of the whole buffer.
+bool send_all(int fd, const char* data, std::size_t len, int timeout_ms) {
+  std::size_t off = 0;
+  while (off < len) {
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AdminServer::AdminServer() : AdminServer(Config{}) {}
+
+AdminServer::AdminServer(Config cfg) : cfg_(cfg) {
+  handle("/metrics", [] {
+    Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = trace::MetricsRegistry::global().prometheus_text();
+    return r;
+  });
+  handle("/tracez", [] {
+    Response r;
+    r.content_type = "application/json";
+    r.body = trace::Tracer::global().chrome_json();
+    return r;
+  });
+  handle("/", [] {
+    Response r;
+    r.body =
+        "iwg admin endpoints:\n"
+        "  /metrics  Prometheus exposition\n"
+        "  /healthz  liveness (watchdog)\n"
+        "  /readyz   readiness (tenants warmed)\n"
+        "  /statusz  scheduler status JSON\n"
+        "  /alertz   SLO burn-rate alert state JSON\n"
+        "  /tracez   recent spans (Chrome trace JSON)\n";
+    return r;
+  });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::handle(const std::string& path, Handler h) {
+  std::lock_guard lock(mu_);
+  handlers_[path] = std::move(h);
+}
+
+void AdminServer::set_healthz(std::function<bool()> healthy) {
+  std::lock_guard lock(mu_);
+  healthy_ = std::move(healthy);
+}
+
+void AdminServer::set_readyz(std::function<bool()> ready) {
+  std::lock_guard lock(mu_);
+  ready_ = std::move(ready);
+}
+
+void AdminServer::set_statusz(std::function<std::string()> statusz_json) {
+  handle("/statusz", [fn = std::move(statusz_json)] {
+    Response r;
+    r.content_type = "application/json";
+    r.body = fn();
+    return r;
+  });
+}
+
+void AdminServer::wire(Watchdog* wd, SloMonitor* slo) {
+  if (wd != nullptr) {
+    set_healthz([wd] { return wd->check().healthy; });
+  }
+  if (slo != nullptr) {
+    handle("/alertz", [slo] {
+      Response r;
+      r.content_type = "application/json";
+      r.body = slo->alertz_json();
+      return r;
+    });
+  }
+}
+
+void AdminServer::start() {
+  if (running()) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  IWG_CHECK_MSG(fd >= 0, "admin server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    IWG_CHECK_MSG(false, "admin server: cannot bind 127.0.0.1:" +
+                             std::to_string(cfg_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, cfg_.backlog) != 0) {
+    ::close(fd);
+    IWG_CHECK_MSG(false, "admin server: listen() failed");
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void AdminServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::serve_loop() {
+  while (running()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    // Short poll so stop() is honored promptly; no busy-wait while idle.
+    const int rc = ::poll(&p, 1, 100);
+    if (rc <= 0 || (p.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_connection(client);
+    ::close(client);
+  }
+}
+
+AdminServer::Response AdminServer::dispatch(const std::string& method,
+                                            const std::string& path) {
+  if (method != "GET") {
+    Response r;
+    r.status = 405;
+    r.body = "method not allowed (GET only)\n";
+    return r;
+  }
+  Handler h;
+  std::function<bool()> probe;
+  {
+    std::lock_guard lock(mu_);
+    if (path == "/healthz") {
+      probe = healthy_;
+    } else if (path == "/readyz") {
+      probe = ready_;
+    } else {
+      const auto it = handlers_.find(path);
+      if (it != handlers_.end()) h = it->second;
+    }
+  }
+  if (path == "/healthz" || path == "/readyz") {
+    Response r;
+    const bool pass = !probe || probe();
+    r.status = pass ? 200 : 503;
+    r.body = pass ? "ok\n"
+                  : (path == "/healthz" ? "stalled\n" : "not ready\n");
+    return r;
+  }
+  if (!h) {
+    Response r;
+    r.status = 404;
+    r.body = "not found\n";
+    return r;
+  }
+  return h();
+}
+
+void AdminServer::serve_connection(int client_fd) {
+  const int timeout_ms = static_cast<int>(cfg_.io_timeout.count());
+  std::string req;
+  req.reserve(512);
+  // Read until the end of the request head (we ignore bodies — GET only).
+  while (req.size() < cfg_.max_request_bytes &&
+         req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    pollfd p{client_fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return;
+    char buf[1024];
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  std::istringstream head(req);
+  std::string method;
+  std::string target;
+  head >> method >> target;
+  if (method.empty() || target.empty()) return;
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) target.resize(q);  // ignore query strings
+
+  const Response resp = dispatch(method, target);
+  requests_counter().add();
+  if (resp.status != 200) errors_counter().add();
+  IWG_TRACE_SPAN(span, "obs.admin.request", "obs");
+  span.arg("path", target).arg("status", resp.status);
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << ' ' << status_text(resp.status)
+      << "\r\nContent-Type: " << resp.content_type
+      << "\r\nContent-Length: " << resp.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << resp.body;
+  const std::string wire = out.str();
+  send_all(client_fd, wire.data(), wire.size(), timeout_ms);
+}
+
+}  // namespace iwg::obs

@@ -1,0 +1,113 @@
+// AdminServer: an embedded, dependency-free HTTP/1.1 scrape endpoint.
+//
+// Everything the process knows about itself — the live Prometheus page, the
+// recent-span ring, per-tenant scheduler state, SLO alert state, liveness —
+// becomes pull-based: point curl or a Prometheus scraper at the port and
+// read the running process instead of waiting for an at-exit report.
+//
+//   GET /metrics   MetricsRegistry::prometheus_text()  (text/plain 0.0.4)
+//   GET /healthz   200 "ok" while live; 503 when the Watchdog sees a
+//                  stalled worker heartbeat
+//   GET /readyz    200 once the registered readiness probe passes (e.g.
+//                  all fleet tenants warmed and routable); 503 before
+//   GET /statusz   application JSON status (fleet: per-tenant queue depth,
+//                  token-bucket fill, WFQ virtual time, weight epoch, plus
+//                  plan-cache stats, arena high-water, host ISA)
+//   GET /alertz    SloMonitor::alertz_json()
+//   GET /tracez    the recent-span ring as Chrome trace JSON
+//   GET /          plain-text index of the endpoints above
+//
+// Deliberately small: GET-only (anything else is 405), one dedicated server
+// thread that accepts and serves connections sequentially (the listen
+// backlog bounds concurrent clients; scrape rendering runs on this thread,
+// never on a serving worker), loopback-bound by default, bounded request
+// size, and poll()-based timeouts so a stuck client cannot wedge the
+// endpoint. No third-party HTTP stack — plain POSIX sockets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace iwg::obs {
+
+class Watchdog;
+class SloMonitor;
+
+class AdminServer {
+ public:
+  struct Config {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+    /// port() — tests and the demo's --admin 0 use this).
+    std::uint16_t port = 0;
+    /// Pending-connection bound passed to listen(); connections beyond it
+    /// are refused by the kernel, which is the admissions policy.
+    int backlog = 16;
+    /// Per-connection read/write patience before the connection is dropped.
+    std::chrono::milliseconds io_timeout{2000};
+    std::size_t max_request_bytes = 8192;
+  };
+
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  using Handler = std::function<Response()>;
+
+  /// Registers the built-in /metrics, /tracez, and / index handlers.
+  /// /healthz and /readyz default to 200 until probes are wired.
+  AdminServer();
+  explicit AdminServer(Config cfg);
+  ~AdminServer();  ///< stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Register (or replace) the handler for an exact path. Thread-safe;
+  /// takes effect for the next request.
+  void handle(const std::string& path, Handler h);
+
+  /// /healthz gates on this (nullptr → always healthy). A Watchdog's
+  /// check().healthy is the intended probe.
+  void set_healthz(std::function<bool()> healthy);
+  /// /readyz gates on this (nullptr → always ready).
+  void set_readyz(std::function<bool()> ready);
+  /// /statusz body (application JSON).
+  void set_statusz(std::function<std::string()> statusz_json);
+
+  /// Wire /healthz to `wd` and /alertz to `slo` (either may be null).
+  void wire(Watchdog* wd, SloMonitor* slo);
+
+  /// Bind 127.0.0.1:port, start the server thread. Throws iwg::Error when
+  /// the port cannot be bound. Idempotent once running.
+  void start();
+  /// Stop accepting, join the thread, close the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after start(); meaningful with cfg.port == 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void serve_connection(int client_fd);
+  Response dispatch(const std::string& method, const std::string& path);
+
+  Config cfg_;
+  std::mutex mu_;  ///< guards handlers_ and the probe callbacks
+  std::map<std::string, Handler> handlers_;
+  std::function<bool()> healthy_;
+  std::function<bool()> ready_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace iwg::obs

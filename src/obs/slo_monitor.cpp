@@ -1,0 +1,252 @@
+#include "obs/slo_monitor.hpp"
+
+#include <algorithm>
+#include <locale>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace iwg::obs {
+
+namespace {
+
+trace::Counter& transition_counter(AlertState to, bool escalation) {
+  auto& reg = trace::MetricsRegistry::global();
+  static trace::Counter& warn = [&]() -> trace::Counter& {
+    reg.set_help("obs.slo.transitions.warn",
+                 "Tenant SLO alert escalations into the warn state.");
+    return reg.counter("obs.slo.transitions.warn");
+  }();
+  static trace::Counter& page = [&]() -> trace::Counter& {
+    reg.set_help("obs.slo.transitions.page",
+                 "Tenant SLO alert escalations into the page state.");
+    return reg.counter("obs.slo.transitions.page");
+  }();
+  static trace::Counter& clear = [&]() -> trace::Counter& {
+    reg.set_help("obs.slo.transitions.clear",
+                 "Tenant SLO alert de-escalations (toward ok).");
+    return reg.counter("obs.slo.transitions.clear");
+  }();
+  if (!escalation) return clear;
+  return to == AlertState::kPage ? page : warn;
+}
+
+void json_escape_into(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';  // tenant ids are validated names; control chars blanked
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+const char* alert_state_name(AlertState s) {
+  switch (s) {
+    case AlertState::kOk: return "ok";
+    case AlertState::kWarn: return "warn";
+    case AlertState::kPage: return "page";
+  }
+  return "ok";
+}
+
+SloMonitor::SloMonitor(SloConfig cfg) : cfg_(cfg) {
+  IWG_CHECK(cfg_.miss_budget > 0.0);
+  IWG_CHECK(cfg_.fast_intervals >= 1);
+  IWG_CHECK(cfg_.slow_intervals >= cfg_.fast_intervals);
+  IWG_CHECK(cfg_.escalate_after >= 1);
+  IWG_CHECK(cfg_.clear_after >= 1);
+}
+
+SloMonitor::Window SloMonitor::window(const TenantState& st, int k) const {
+  Window w;
+  trace::Histogram::Snapshot merged;
+  const int n = static_cast<int>(st.ring.size());
+  for (int i = std::max(0, n - k); i < n; ++i) {
+    const Interval& iv = st.ring[static_cast<std::size_t>(i)];
+    w.events += iv.events;
+    w.missed += iv.missed;
+    merged.merge(iv.latency);
+  }
+  if (w.events > 0) {
+    w.burn = (static_cast<double>(w.missed) / static_cast<double>(w.events)) /
+             cfg_.miss_budget;
+  }
+  if (merged.count > 0) {
+    w.p50_us = merged.quantile(0.50);
+    w.p99_us = merged.quantile(0.99);
+  }
+  return w;
+}
+
+void SloMonitor::transition(const std::string& tenant, TenantState& st,
+                            AlertState to, const Window& fast,
+                            const Window& slow) {
+  const AlertState from = st.state;
+  if (to == from) return;
+  const bool escalation = static_cast<int>(to) > static_cast<int>(from);
+  st.state = to;
+  if (escalation) {
+    (to == AlertState::kPage ? st.page_transitions : st.warn_transitions) += 1;
+  } else {
+    st.clear_transitions += 1;
+  }
+  transition_counter(to, escalation).add();
+  IWG_TRACE_SPAN(span, "obs.slo.transition", "obs");
+  span.arg("tenant", tenant)
+      .arg("from", alert_state_name(from))
+      .arg("to", alert_state_name(to))
+      .arg("burn_fast", fast.burn)
+      .arg("burn_slow", slow.burn);
+}
+
+AlertState SloMonitor::observe(const std::string& tenant,
+                               const Totals& cumulative) {
+  std::lock_guard lock(mu_);
+  TenantState& st = tenants_[tenant];
+  if (!st.baselined) {
+    // First sighting: establish the diff baseline; no interval yet.
+    st.last = cumulative;
+    st.baselined = true;
+    return st.state;
+  }
+  Interval iv;
+  // Cumulative counters are monotone; clamp defensively so a registry
+  // reset mid-flight (tests) yields an empty interval, not a negative one.
+  iv.events = std::max<std::int64_t>(0, cumulative.events - st.last.events);
+  iv.missed = std::max<std::int64_t>(0, cumulative.missed - st.last.missed);
+  iv.missed = std::min(iv.missed, iv.events);
+  iv.latency = cumulative.latency.delta(st.last.latency);
+  st.last = cumulative;
+  st.ring.push_back(std::move(iv));
+  while (static_cast<int>(st.ring.size()) > cfg_.slow_intervals) {
+    st.ring.pop_front();  // window rotation: the slow window bounds the ring
+  }
+  st.intervals += 1;
+
+  const Window fast = window(st, cfg_.fast_intervals);
+  const Window slow = window(st, cfg_.slow_intervals);
+
+  // Instantaneous level for this tick. Paging needs both windows: the fast
+  // one to react, the slow one to prove the burn is sustained.
+  AlertState level = AlertState::kOk;
+  if (fast.burn >= cfg_.page_burn && slow.burn >= cfg_.warn_burn) {
+    level = AlertState::kPage;
+  } else if (fast.burn >= cfg_.warn_burn) {
+    level = AlertState::kWarn;
+  }
+
+  if (static_cast<int>(level) > static_cast<int>(st.state)) {
+    // Escalation streak carries the LOWEST level sustained across it, so a
+    // warn/page/warn run escalates to warn, not page.
+    st.pending = st.breach_streak == 0
+                     ? level
+                     : std::min(st.pending, level,
+                                [](AlertState a, AlertState b) {
+                                  return static_cast<int>(a) <
+                                         static_cast<int>(b);
+                                });
+    st.breach_streak += 1;
+    st.clear_streak = 0;
+    if (st.breach_streak >= cfg_.escalate_after) {
+      transition(tenant, st, st.pending, fast, slow);
+      st.breach_streak = 0;
+    }
+  } else if (static_cast<int>(level) < static_cast<int>(st.state)) {
+    st.clear_streak += 1;
+    st.breach_streak = 0;
+    if (st.clear_streak >= cfg_.clear_after) {
+      transition(tenant, st, level, fast, slow);
+      st.clear_streak = 0;
+    }
+  } else {
+    st.breach_streak = 0;
+    st.clear_streak = 0;
+  }
+  return st.state;
+}
+
+AlertState SloMonitor::observe_from_registry(const std::string& tenant) {
+  auto& reg = trace::MetricsRegistry::global();
+  const std::string p = "serve.tenant." + tenant + ".";
+  Totals t;
+  const std::int64_t completed = reg.counter(p + "completed").value();
+  const std::int64_t expired = reg.counter(p + "expired").value();
+  const std::int64_t late = reg.counter(p + "deadline_missed").value();
+  t.events = completed + expired;
+  t.missed = late + expired;
+  t.latency = reg.histogram(p + "latency_us").snapshot();
+  return observe(tenant, t);
+}
+
+void SloMonitor::poll_registry(const std::vector<std::string>& tenants) {
+  for (const std::string& t : tenants) observe_from_registry(t);
+}
+
+SloMonitor::TenantStatus SloMonitor::status_locked(
+    const TenantState& st) const {
+  TenantStatus s;
+  s.state = st.state;
+  s.fast = window(st, cfg_.fast_intervals);
+  s.slow = window(st, cfg_.slow_intervals);
+  s.intervals = st.intervals;
+  s.warn_transitions = st.warn_transitions;
+  s.page_transitions = st.page_transitions;
+  s.clear_transitions = st.clear_transitions;
+  return s;
+}
+
+SloMonitor::TenantStatus SloMonitor::status(const std::string& tenant) const {
+  std::lock_guard lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantStatus{} : status_locked(it->second);
+}
+
+std::vector<std::string> SloMonitor::tenants() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, st] : tenants_) out.push_back(id);
+  return out;
+}
+
+std::string SloMonitor::alertz_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(9);
+  const auto window_json = [&](const Window& w) {
+    os << "{\"events\":" << w.events << ",\"missed\":" << w.missed
+       << ",\"burn\":" << w.burn << ",\"p50_us\":" << w.p50_us
+       << ",\"p99_us\":" << w.p99_us << '}';
+  };
+  os << "{\"config\":{\"miss_budget\":" << cfg_.miss_budget
+     << ",\"fast_intervals\":" << cfg_.fast_intervals
+     << ",\"slow_intervals\":" << cfg_.slow_intervals
+     << ",\"warn_burn\":" << cfg_.warn_burn
+     << ",\"page_burn\":" << cfg_.page_burn << "},\"tenants\":{";
+  bool first = true;
+  for (const auto& [id, st] : tenants_) {
+    if (!first) os << ',';
+    first = false;
+    const TenantStatus s = status_locked(st);
+    os << '"';
+    json_escape_into(os, id);
+    os << "\":{\"state\":\"" << alert_state_name(s.state)
+       << "\",\"intervals\":" << s.intervals << ",\"fast\":";
+    window_json(s.fast);
+    os << ",\"slow\":";
+    window_json(s.slow);
+    os << ",\"transitions\":{\"warn\":" << s.warn_transitions
+       << ",\"page\":" << s.page_transitions
+       << ",\"clear\":" << s.clear_transitions << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace iwg::obs

@@ -1,0 +1,146 @@
+// SloMonitor: windowed SLO burn-rate monitoring over the per-tenant serve
+// metrics.
+//
+// The metrics registry is cumulative-since-start; an operator asking "is
+// tenant gold burning its error budget NOW" needs windows. The monitor is
+// ticked once per interval (by a poller thread, or directly by a test) with
+// each tenant's cumulative totals — SLO-eligible events, SLO misses, and
+// the latency Histogram snapshot. Each tick is diffed against the previous
+// one into an exact per-interval delta (Histogram::Snapshot::delta) and
+// pushed into a bounded ring, from which the monitor derives:
+//
+//   * rolling-window latency quantiles — merge the last k interval deltas
+//     (lossless: log2-bucket snapshots merge by addition) and interpolate;
+//   * multi-window error-budget burn rates — over a fast window (default
+//     30 intervals ≙ 30 s at a 1 s cadence) and a slow window (default 300
+//     ≙ 5 min): burn = (missed / events) / miss_budget, i.e. 1.0 means
+//     exactly spending budget, 2.0 means burning it twice as fast;
+//   * alert state, ok → warn → page with hysteresis: a level must hold for
+//     escalate_after consecutive intervals to escalate and clear_after to
+//     de-escalate, so one bad interval never pages and one good interval
+//     never clears a page. Pages additionally require the slow window to
+//     confirm (fast ≥ page_burn AND slow ≥ warn_burn) — the classic
+//     multi-window rule that ignores short spikes a long window absorbs.
+//
+// Transitions are exported three ways: obs.slo.transitions.{warn,page,clear}
+// counters, an obs.slo.transition span (tenant/from/to/burn args), and the
+// /alertz JSON the AdminServer serves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+
+namespace iwg::obs {
+
+enum class AlertState : int { kOk = 0, kWarn = 1, kPage = 2 };
+const char* alert_state_name(AlertState s);
+
+struct SloConfig {
+  /// Error budget: the allowed miss fraction (0.01 → 1% of requests may
+  /// miss their deadline before the SLO is spent).
+  double miss_budget = 0.01;
+  /// Window lengths in ticks. At the canonical 1 s observe cadence these
+  /// are the issue's 30 s fast / 5 min slow windows.
+  int fast_intervals = 30;
+  int slow_intervals = 300;
+  /// Burn-rate thresholds on the fast window. warn at >= warn_burn; page
+  /// at >= page_burn with the slow window confirming (>= warn_burn).
+  double warn_burn = 1.0;
+  double page_burn = 2.0;
+  /// Hysteresis: consecutive intervals a level must hold to escalate /
+  /// de-escalate. >= 2 means a single bad interval can never flap state.
+  int escalate_after = 2;
+  int clear_after = 3;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig cfg = {});
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// Cumulative-since-start totals for one tenant, sampled at a tick.
+  struct Totals {
+    std::int64_t events = 0;  ///< SLO-eligible outcomes (completed+expired)
+    std::int64_t missed = 0;  ///< SLO misses (served late + expired)
+    trace::Histogram::Snapshot latency;  ///< cumulative latency histogram
+  };
+
+  /// One interval tick for `tenant`: diff against the previous totals,
+  /// rotate the window ring, recompute burn rates, advance the alert state
+  /// machine. Returns the (possibly new) state. The first observe of a
+  /// tenant establishes its baseline and always reports kOk.
+  AlertState observe(const std::string& tenant, const Totals& cumulative);
+
+  /// observe() with totals read from the per-tenant serve metrics:
+  /// events = serve.tenant.<id>.completed + .expired, missed =
+  /// .deadline_missed + .expired, latency = .latency_us.
+  AlertState observe_from_registry(const std::string& tenant);
+
+  /// observe_from_registry for each tenant — one poller-thread tick.
+  void poll_registry(const std::vector<std::string>& tenants);
+
+  struct Window {
+    std::int64_t events = 0;
+    std::int64_t missed = 0;
+    double burn = 0.0;  ///< (missed/events)/miss_budget; 0 when no events
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+  };
+  struct TenantStatus {
+    AlertState state = AlertState::kOk;
+    Window fast;
+    Window slow;
+    std::int64_t intervals = 0;  ///< ticks ingested (after the baseline)
+    std::int64_t warn_transitions = 0;
+    std::int64_t page_transitions = 0;
+    std::int64_t clear_transitions = 0;
+  };
+  /// Zero-value status for unknown tenants.
+  TenantStatus status(const std::string& tenant) const;
+  std::vector<std::string> tenants() const;
+
+  /// The /alertz page: per-tenant state, both windows' burn/quantiles, and
+  /// transition counts, as one JSON object.
+  std::string alertz_json() const;
+
+  const SloConfig& config() const { return cfg_; }
+
+ private:
+  struct Interval {
+    std::int64_t events = 0;
+    std::int64_t missed = 0;
+    trace::Histogram::Snapshot latency;
+  };
+  struct TenantState {
+    Totals last;
+    bool baselined = false;
+    std::deque<Interval> ring;  ///< most recent at the back
+    AlertState state = AlertState::kOk;
+    AlertState pending = AlertState::kOk;  ///< sustained escalation level
+    int breach_streak = 0;
+    int clear_streak = 0;
+    std::int64_t intervals = 0;
+    std::int64_t warn_transitions = 0;
+    std::int64_t page_transitions = 0;
+    std::int64_t clear_transitions = 0;
+  };
+
+  Window window(const TenantState& st, int k) const;
+  void transition(const std::string& tenant, TenantState& st, AlertState to,
+                  const Window& fast, const Window& slow);
+  TenantStatus status_locked(const TenantState& st) const;
+
+  const SloConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace iwg::obs

@@ -1,0 +1,76 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+
+#include "common/trace.hpp"
+
+namespace iwg::obs {
+
+namespace {
+
+trace::Counter& stalls_counter() {
+  static trace::Counter& c = [] () -> trace::Counter& {
+    auto& reg = trace::MetricsRegistry::global();
+    reg.set_help("obs.watchdog.stalls",
+                 "Worker heartbeats that crossed the stall timeout "
+                 "(fresh-to-stalled transitions).");
+    return reg.counter("obs.watchdog.stalls");
+  }();
+  return c;
+}
+
+}  // namespace
+
+std::int64_t Watchdog::Heartbeat::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Watchdog::Watchdog(std::chrono::microseconds stall_timeout)
+    : stall_timeout_(stall_timeout) {}
+
+Watchdog::HeartbeatPtr Watchdog::watch(std::string name) {
+  auto hb = std::make_shared<Heartbeat>(std::move(name));
+  std::lock_guard lock(mu_);
+  beats_.push_back(hb);
+  return hb;
+}
+
+Watchdog::Status Watchdog::check() {
+  const std::int64_t now = Heartbeat::now_us();
+  Status st;
+  std::lock_guard lock(mu_);
+  // Prune heartbeats whose owning thread exited (dropped its handle).
+  beats_.erase(std::remove_if(beats_.begin(), beats_.end(),
+                              [](const std::weak_ptr<Heartbeat>& w) {
+                                return w.expired();
+                              }),
+               beats_.end());
+  for (const auto& w : beats_) {
+    const HeartbeatPtr hb = w.lock();
+    if (hb == nullptr) continue;
+    ++st.watched;
+    const std::int64_t age_us = now - hb->last_beat_us();
+    if (age_us > stall_timeout_.count()) {
+      st.healthy = false;
+      st.stalled.push_back(
+          Stall{hb->name(), static_cast<double>(age_us) * 1e-6});
+      // Count the transition, not the condition: a thread stuck for a
+      // minute is one stall, not one per scrape.
+      if (!hb->stalled_.exchange(true, std::memory_order_relaxed)) {
+        ++stalls_total_;
+        stalls_counter().add();
+        IWG_TRACE_SPAN(span, "obs.watchdog.stall", "obs");
+        span.arg("thread", hb->name())
+            .arg("age_s", static_cast<double>(age_us) * 1e-6);
+      }
+    } else {
+      hb->stalled_.store(false, std::memory_order_relaxed);
+    }
+  }
+  st.stalls_total = stalls_total_;
+  return st;
+}
+
+}  // namespace iwg::obs

@@ -1,6 +1,7 @@
 #include "serve/dispatch.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -106,10 +107,21 @@ TenantMetrics& TenantMetrics::of(const std::string& tenant_id) {
                          reg.counter(p + "completed"),
                          reg.counter(p + "rejected"),
                          reg.counter(p + "expired"),
+                         reg.counter(p + "deadline_missed"),
                          reg.histogram(p + "latency_us")}))
              .first;
   }
   return *it->second;
+}
+
+std::chrono::microseconds resolve_flush_period(
+    std::chrono::microseconds configured) {
+  const char* env = std::getenv("IWG_REPORT_FLUSH_MS");
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  const long ms = std::strtol(env, &end, 10);
+  if (end == env || ms < 0) return configured;  // unparsable: keep config
+  return std::chrono::microseconds(static_cast<std::int64_t>(ms) * 1000);
 }
 
 DispatchResult run_model_batch(const nn::Model& model,
@@ -224,7 +236,10 @@ DispatchResult run_model_batch(const nn::Model& model,
                                      batch[i].deadline.at() - done)
                                      .count();
       headroom_hist().record(std::max(0.0, headroom_us));
-      if (headroom_us < 0.0) deadline_missed_counter().add();
+      if (headroom_us < 0.0) {
+        deadline_missed_counter().add();
+        if (tm != nullptr) tm->deadline_missed.add();
+      }
     }
     batch[i].promise.set_value(std::move(resp));
   }

@@ -13,6 +13,7 @@
 // MetricsRegistry::prometheus_text()).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -23,19 +24,29 @@
 namespace iwg::serve {
 
 /// Per-tenant serve metrics. Registered lazily on first use under
-/// `serve.tenant.<id>.{completed,rejected,expired,latency_us}` — names the
-/// Prometheus exposition rewrites into one metric family per suffix with
-/// the tenant id as a `{tenant="..."}` label. References are stable for the
-/// process lifetime (MetricsRegistry never removes entries), so callers may
-/// cache the returned reference.
+/// `serve.tenant.<id>.{completed,rejected,expired,deadline_missed,
+/// latency_us}` — names the Prometheus exposition rewrites into one metric
+/// family per suffix with the tenant id as a `{tenant="..."}` label.
+/// References are stable for the process lifetime (MetricsRegistry never
+/// removes entries), so callers may cache the returned reference. This
+/// family is also what obs::SloMonitor windows: completed+expired are the
+/// SLO-eligible events, deadline_missed+expired the SLO misses.
 struct TenantMetrics {
   trace::Counter& completed;
   trace::Counter& rejected;
   trace::Counter& expired;
+  trace::Counter& deadline_missed;  ///< served, but past the deadline
   trace::Histogram& latency_us;
 
   static TenantMetrics& of(const std::string& tenant_id);
 };
+
+/// The serving loops' report-flush period: `configured` unless
+/// IWG_REPORT_FLUSH_MS is set, which overrides it (0 disables). Both
+/// ServingSession and FleetScheduler resolve their flush_period through
+/// this, so a deployed binary's flush cadence is tunable without a rebuild.
+std::chrono::microseconds resolve_flush_period(
+    std::chrono::microseconds configured);
 
 /// How run_model_batch executes one assembled micro-batch.
 struct DispatchSpec {

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <locale>
+#include <sstream>
 
 #include "common/arena.hpp"
 #include "common/trace.hpp"
+#include "core/host_kernels.hpp"
+#include "core/plan_cache.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/dispatch.hpp"
 
 namespace iwg::serve {
@@ -77,9 +82,10 @@ int count_shape_classes(const std::vector<Request>& reqs) {
 
 FleetScheduler::FleetScheduler(FleetConfig cfg) : cfg_(cfg) {
   IWG_CHECK(cfg_.workers >= 1);
+  cfg_.flush_period = resolve_flush_period(cfg_.flush_period);
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -290,9 +296,18 @@ void FleetScheduler::run_batch(WorkItem& item) {
   }
 }
 
-void FleetScheduler::worker_loop() {
+void FleetScheduler::worker_loop(unsigned worker_idx) {
+  // Liveness signal: one beat per loop iteration. next_batch parks at most
+  // idle_wait, so a healthy worker beats well inside any sane stall
+  // timeout; the handle dropping at return deregisters us from the scan.
+  obs::Watchdog::HeartbeatPtr hb;
+  if (cfg_.watchdog != nullptr) {
+    hb = cfg_.watchdog->watch("fleet.worker." + std::to_string(worker_idx));
+  }
   for (;;) {
+    if (hb != nullptr) hb->beat();
     WorkItem item = next_batch();
+    if (hb != nullptr) hb->beat();
     if (item.exit) return;
     if (item.st == nullptr) {
       // Idle housekeeping, as in ServingSession: return scratch peaks to
@@ -418,6 +433,55 @@ FleetScheduler::Stats FleetScheduler::stats() const {
 
 std::string FleetScheduler::stats_report() const {
   return trace::MetricsRegistry::global().prometheus_text();
+}
+
+bool FleetScheduler::ready() const {
+  std::lock_guard lock(mu_);
+  return !stopping_ && !states_.empty();
+}
+
+std::string FleetScheduler::statusz_json() const {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(9);
+  const core::CacheStats pc = core::PlanCache::global().stats();
+  os << "{\"workers\":" << cfg_.workers
+     << ",\"host_isa\":\"" << core::host_isa_name(core::host_isa()) << '"'
+     << ",\"arena_high_water_bytes\":" << ScratchArena::max_high_water()
+     << ",\"plan_cache\":{\"lookups\":" << pc.lookups
+     << ",\"hits\":" << pc.hits << ",\"misses\":" << pc.misses
+     << ",\"evictions\":" << pc.evictions << ",\"entries\":" << pc.entries
+     << ",\"tuning_time_s\":" << pc.tuning_time_s << "},\"tenants\":{";
+  std::lock_guard lock(mu_);
+  bool first = true;
+  const Clock::time_point now = Clock::now();
+  for (const auto& [id, sp] : states_) {
+    if (!first) os << ',';
+    first = false;
+    // Tenant ids are registry-validated (no dots; safe unescaped modulo
+    // quotes, which register_model rejects implicitly via the metric-name
+    // convention) — but escape defensively anyway.
+    os << '"';
+    for (char c : id) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\":{\"queue_depth\":" << sp->q.size()
+       << ",\"closed\":" << (sp->closed ? "true" : "false")
+       << ",\"vtime\":" << sp->vtime
+       << ",\"weight\":" << sp->tenant->cfg.weight
+       << ",\"weight_epoch\":"
+       << sp->tenant->weight_epoch.load(std::memory_order_relaxed)
+       << ",\"bucket_tokens\":" << sp->bucket.available(now)
+       << ",\"accepted\":" << sp->accepted.load(std::memory_order_relaxed)
+       << ",\"completed\":" << sp->completed.load(std::memory_order_relaxed)
+       << ",\"rejected\":" << sp->rejected.load(std::memory_order_relaxed)
+       << ",\"expired\":" << sp->expired.load(std::memory_order_relaxed)
+       << '}';
+  }
+  os << "},\"global_vtime\":" << global_vtime_
+     << ",\"stopping\":" << (stopping_ ? "true" : "false") << '}';
+  return os.str();
 }
 
 std::size_t FleetScheduler::tenant_count() const {

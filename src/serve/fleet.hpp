@@ -59,6 +59,10 @@
 
 #include "serve/registry.hpp"
 
+namespace iwg::obs {
+class Watchdog;
+}
+
 namespace iwg::serve {
 
 /// Intra-tenant queue ordering.
@@ -82,8 +86,13 @@ struct FleetConfig {
   /// negative → never trim.
   std::int64_t idle_trim_bytes = 64 * 1024;
   /// Period for trace/metrics report flushes from the serving loop;
-  /// zero → no periodic flush.
+  /// zero → no periodic flush. IWG_REPORT_FLUSH_MS overrides at
+  /// construction (see serve::resolve_flush_period).
   std::chrono::microseconds flush_period{0};
+  /// When set, each fleet worker registers a named heartbeat here and beats
+  /// it once per dispatch-loop iteration — what obs::AdminServer's /healthz
+  /// watches. Must outlive the scheduler.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 class FleetScheduler {
@@ -143,6 +152,16 @@ class FleetScheduler {
   /// serve.tenant.* families with {tenant="..."} labels.
   std::string stats_report() const;
 
+  /// Readiness, what obs::AdminServer's /readyz gates on: at least one
+  /// tenant is registered and the fleet is accepting. Registration warms a
+  /// tenant BEFORE it becomes routable, so a listed tenant is a warm one.
+  bool ready() const;
+
+  /// The /statusz page: per-tenant queue depth, token-bucket fill, WFQ
+  /// virtual time, and weight epoch, plus process-wide plan-cache stats,
+  /// scratch-arena high-water, and the resolved host ISA — one JSON object.
+  std::string statusz_json() const;
+
   ModelRegistry& registry() { return registry_; }
   const FleetConfig& config() const { return cfg_; }
   std::size_t tenant_count() const;
@@ -182,7 +201,7 @@ class FleetScheduler {
 
   std::future<Response> submit_impl(const std::string& tenant, TensorF image,
                                     std::optional<Deadline> deadline);
-  void worker_loop();
+  void worker_loop(unsigned worker_idx);
   WorkItem next_batch();
   void run_batch(WorkItem& item);
   /// Resolve kExpired for every queued request past its deadline (holding

@@ -27,6 +27,19 @@ bool TokenBucket::try_acquire(Clock::time_point now) {
   return true;
 }
 
+double TokenBucket::available(Clock::time_point now) {
+  if (cfg_.rate_per_sec <= 0.0) return -1.0;
+  std::lock_guard lock(mu_);
+  const double cap = std::max(cfg_.burst, 1.0);
+  const double elapsed_s =
+      std::chrono::duration<double>(now - last_).count();
+  if (elapsed_s > 0.0) {
+    tokens_ = std::min(cap, tokens_ + elapsed_s * cfg_.rate_per_sec);
+    last_ = now;
+  }
+  return tokens_;
+}
+
 std::uint64_t ModelRegistry::Tenant::min_param_version() {
   std::shared_lock lock(swap_mu);
   std::uint64_t v = std::numeric_limits<std::uint64_t>::max();

@@ -63,6 +63,11 @@ class TokenBucket {
   /// Consume one token if available (always true when unlimited).
   bool try_acquire(Clock::time_point now = Clock::now());
 
+  /// Current fill after accrual, without spending (observability — the
+  /// /statusz page reports each tenant's admission headroom). Returns -1
+  /// when the bucket is unlimited (rate_per_sec <= 0).
+  double available(Clock::time_point now = Clock::now());
+
  private:
   const TokenBucketConfig cfg_;
   std::mutex mu_;

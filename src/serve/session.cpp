@@ -1,9 +1,14 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <locale>
+#include <sstream>
 
 #include "common/arena.hpp"
 #include "common/trace.hpp"
+#include "core/host_kernels.hpp"
+#include "core/plan_cache.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/dispatch.hpp"
 
 namespace iwg::serve {
@@ -25,6 +30,7 @@ ServingSession::ServingSession(nn::Model model, SessionConfig cfg)
       batcher_(queue_, cfg.batch) {
   IWG_CHECK(cfg_.batch.max_batch >= 1);
   IWG_CHECK(cfg_.workers >= 1);
+  cfg_.flush_period = resolve_flush_period(cfg_.flush_period);
   if (cfg_.pretune_plans) {
     IWG_CHECK_MSG(cfg_.device != nullptr, "pretune_plans needs a device");
     IWG_CHECK_MSG(cfg_.image_h == cfg_.image_w,
@@ -89,9 +95,17 @@ std::future<Response> ServingSession::submit(TensorF image, Deadline deadline) {
 }
 
 void ServingSession::worker_loop(unsigned worker_idx) {
-  (void)worker_idx;
+  // Liveness signal: one beat per loop iteration (the Batcher parks at most
+  // its idle period, so a healthy worker beats well inside any sane stall
+  // timeout). The handle dropping at return deregisters us from the scan.
+  obs::Watchdog::HeartbeatPtr hb;
+  if (cfg_.watchdog != nullptr) {
+    hb = cfg_.watchdog->watch("session.worker." + std::to_string(worker_idx));
+  }
   for (;;) {
+    if (hb != nullptr) hb->beat();
     Batcher::Batch b = batcher_.next_batch();
+    if (hb != nullptr) hb->beat();
     expired_.fetch_add(b.expired, std::memory_order_relaxed);
     if (b.closed) return;
     if (b.idle()) {
@@ -162,6 +176,27 @@ void ServingSession::stop(bool drain) {
 
 std::string ServingSession::stats_report() const {
   return trace::MetricsRegistry::global().prometheus_text();
+}
+
+std::string ServingSession::statusz_json() const {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(9);
+  const Stats s = stats();
+  const core::CacheStats pc = core::PlanCache::global().stats();
+  os << "{\"workers\":" << cfg_.workers
+     << ",\"host_isa\":\"" << core::host_isa_name(core::host_isa()) << '"'
+     << ",\"arena_high_water_bytes\":" << ScratchArena::max_high_water()
+     << ",\"queue_depth\":" << queue_.size()
+     << ",\"accepted\":" << s.accepted << ",\"completed\":" << s.completed
+     << ",\"rejected\":" << s.rejected << ",\"expired\":" << s.expired
+     << ",\"batches\":" << s.batches
+     << ",\"indirect_batches\":" << s.indirect_batches
+     << ",\"plan_cache\":{\"lookups\":" << pc.lookups
+     << ",\"hits\":" << pc.hits << ",\"misses\":" << pc.misses
+     << ",\"evictions\":" << pc.evictions << ",\"entries\":" << pc.entries
+     << ",\"tuning_time_s\":" << pc.tuning_time_s << "}}";
+  return os.str();
 }
 
 ServingSession::Stats ServingSession::stats() const {

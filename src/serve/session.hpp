@@ -52,6 +52,10 @@ namespace iwg::sim {
 struct DeviceProfile;
 }
 
+namespace iwg::obs {
+class Watchdog;
+}
+
 namespace iwg::serve {
 
 struct SessionConfig {
@@ -92,8 +96,14 @@ struct SessionConfig {
   std::int64_t idle_trim_bytes = 64 * 1024;
 
   /// Period for trace/metrics report flushes from the serving loop
-  /// (trace::flush_report); zero → no periodic flush.
+  /// (trace::flush_period); zero → no periodic flush. IWG_REPORT_FLUSH_MS
+  /// overrides at construction (see serve::resolve_flush_period).
   std::chrono::microseconds flush_period{0};
+
+  /// When set, each worker registers a named heartbeat here and beats it
+  /// once per loop iteration — what obs::AdminServer's /healthz watches.
+  /// Must outlive the session.
+  obs::Watchdog* watchdog = nullptr;
 };
 
 class ServingSession {
@@ -135,6 +145,11 @@ class ServingSession {
   /// counters/histograms plus whatever the conv engine recorded). A
   /// scrape-by-file or embedding server can serve this page directly.
   std::string stats_report() const;
+
+  /// The /statusz page for the single-model session: queue depth, session
+  /// counters, plan-cache stats, arena high-water, host ISA — one JSON
+  /// object (the fleet's richer per-tenant variant lives on FleetScheduler).
+  std::string statusz_json() const;
 
   const nn::Model& model() const { return model_; }
   const SessionConfig& config() const { return cfg_; }

@@ -19,6 +19,7 @@
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
 #include "nn/serialize.hpp"
+#include "obs/slo_monitor.hpp"
 #include "serve/serve.hpp"
 
 namespace iwg::serve {
@@ -594,6 +595,91 @@ TEST(FleetScheduler, StopWithoutDrainResolvesEveryFuture) {
   // Submits after stop resolve synchronously.
   const Response late = fleet.submit("a", random_image(rng)).get();
   EXPECT_EQ(late.status, Status::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic SLO burn-rate replay: a scripted traffic trace is written
+// into the per-tenant serve metrics (the exact families a FleetScheduler
+// maintains) and the SloMonitor is ticked through the registry-read path.
+// One tenant's injected deadline misses must trip warn then page, in that
+// order, on deterministic ticks; the clean tenants must never leave ok.
+TEST(FleetScheduler, BurnRateReplayTripsWarnThenPageForOneTenant) {
+  trace::ResetGuard metrics_guard;
+  auto& reg = trace::MetricsRegistry::global();
+
+  obs::SloConfig cfg;
+  cfg.miss_budget = 0.05;  // 5% error budget
+  cfg.fast_intervals = 3;
+  cfg.slow_intervals = 6;
+  cfg.warn_burn = 1.0;
+  cfg.page_burn = 2.0;
+  cfg.escalate_after = 2;
+  cfg.clear_after = 2;
+  obs::SloMonitor mon(cfg);
+
+  const std::vector<std::string> tenants = {"replay.gold", "replay.silver",
+                                            "replay.bronze"};
+  // One replay interval: `completed` outcomes at `lat_us` each, `missed` of
+  // them past deadline — written exactly as FleetScheduler::run_model_batch
+  // accounts them.
+  const auto emit = [&reg](const std::string& id, int completed, int missed,
+                           double lat_us) {
+    const std::string p = "serve.tenant." + id + ".";
+    reg.counter(p + "completed").add(completed);
+    reg.counter(p + "deadline_missed").add(missed);
+    auto& lat = reg.histogram(p + "latency_us");
+    for (int i = 0; i < completed; ++i) lat.record(lat_us);
+  };
+
+  mon.poll_registry(tenants);  // baseline tick at zero
+
+  // Scripted trace, 8 intervals of 100 requests per tenant. Bronze misses
+  // 20% in intervals 4–5 and 100% from interval 6 on; gold/silver stay
+  // clean. Expected bronze states (fast window = 3 intervals):
+  //   t4: fast 20/300 → burn 1.33 → warn level, streak 1      → still ok
+  //   t5: fast 40/300 → burn 2.67 ≥ page, slow confirms, but the streak
+  //       carries the lowest sustained level                   → WARN
+  //   t6: fast 140/300 → burn 9.3, page level, streak 1        → still warn
+  //   t7: fast 220/300 → burn 14.7, page sustained             → PAGE
+  const std::vector<int> bronze_misses = {0, 0, 0, 20, 20, 100, 100, 100};
+  const std::vector<obs::AlertState> expect_bronze = {
+      obs::AlertState::kOk,   obs::AlertState::kOk,
+      obs::AlertState::kOk,   obs::AlertState::kOk,
+      obs::AlertState::kWarn, obs::AlertState::kWarn,
+      obs::AlertState::kPage, obs::AlertState::kPage};
+  for (std::size_t t = 0; t < bronze_misses.size(); ++t) {
+    emit("replay.gold", 100, 0, 800.0);
+    emit("replay.silver", 100, 0, 900.0);
+    emit("replay.bronze", 100, bronze_misses[t], 2500.0);
+    EXPECT_EQ(mon.observe_from_registry("replay.gold"), obs::AlertState::kOk)
+        << "tick " << t;
+    EXPECT_EQ(mon.observe_from_registry("replay.silver"), obs::AlertState::kOk)
+        << "tick " << t;
+    EXPECT_EQ(mon.observe_from_registry("replay.bronze"), expect_bronze[t])
+        << "tick " << t;
+  }
+
+  // The transitions were counted once each, exported as counters, and the
+  // clean tenants never transitioned at all.
+  const obs::SloMonitor::TenantStatus bronze = mon.status("replay.bronze");
+  EXPECT_EQ(bronze.state, obs::AlertState::kPage);
+  EXPECT_EQ(bronze.warn_transitions, 1);
+  EXPECT_EQ(bronze.page_transitions, 1);
+  EXPECT_EQ(bronze.clear_transitions, 0);
+  EXPECT_GT(bronze.fast.p99_us, 2000.0);  // windowed quantiles track bronze
+  for (const char* clean : {"replay.gold", "replay.silver"}) {
+    const obs::SloMonitor::TenantStatus s = mon.status(clean);
+    EXPECT_EQ(s.state, obs::AlertState::kOk) << clean;
+    EXPECT_EQ(s.warn_transitions + s.page_transitions, 0) << clean;
+  }
+  EXPECT_EQ(reg.counter("obs.slo.transitions.warn").value(), 1);
+  EXPECT_EQ(reg.counter("obs.slo.transitions.page").value(), 1);
+
+  // The alert surface agrees with the replay outcome.
+  const std::string json = mon.alertz_json();
+  EXPECT_NE(json.find("\"replay.bronze\":{\"state\":\"page\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"replay.gold\":{\"state\":\"ok\""), std::string::npos);
 }
 
 }  // namespace

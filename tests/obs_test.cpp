@@ -1,0 +1,379 @@
+// Observability-plane tests: SloMonitor window rotation and burn-rate
+// hysteresis, Watchdog stall/recover edge counting, and the AdminServer's
+// HTTP surface — including a scrape-while-serving race the TSan leg runs.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "obs/admin_server.hpp"
+#include "obs/slo_monitor.hpp"
+#include "obs/watchdog.hpp"
+
+namespace iwg::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Minimal loopback HTTP GET returning "<status> <body>"-style results.
+
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+
+HttpResult http_get(std::uint16_t port, const std::string& request_line) {
+  HttpResult res;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return res;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return res;
+  }
+  const std::string req = request_line + "\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 5000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (resp.rfind("HTTP/1.1 ", 0) == 0) {
+    res.status = std::atoi(resp.c_str() + 9);
+  }
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split != std::string::npos) res.body = resp.substr(split + 4);
+  return res;
+}
+
+HttpResult get_path(const AdminServer& server, const std::string& path) {
+  return http_get(server.port(), "GET " + path + " HTTP/1.1");
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor
+
+SloConfig tight_config() {
+  SloConfig cfg;
+  cfg.miss_budget = 0.10;  // 10% budget: burn 1.0 at 10% misses
+  cfg.fast_intervals = 2;
+  cfg.slow_intervals = 4;
+  cfg.warn_burn = 1.0;
+  cfg.page_burn = 2.0;
+  cfg.escalate_after = 2;
+  cfg.clear_after = 2;
+  return cfg;
+}
+
+/// Tick `mon` once for `tenant` with `events` more events, `missed` of them
+/// missing, latency `lat_us` each — driving the cumulative Totals the way a
+/// registry poller would.
+struct TotalsFeeder {
+  SloMonitor::Totals acc;
+  trace::Histogram hist;
+
+  AlertState tick(SloMonitor& mon, const std::string& tenant,
+                  std::int64_t events, std::int64_t missed, double lat_us) {
+    for (std::int64_t i = 0; i < events; ++i) hist.record(lat_us);
+    acc.events += events;
+    acc.missed += missed;
+    acc.latency = hist.snapshot();
+    return mon.observe(tenant, acc);
+  }
+};
+
+TEST(SloMonitor, WindowsRotateAtBoundaries) {
+  SloMonitor mon(tight_config());
+  TotalsFeeder f;
+  f.tick(mon, "t", 0, 0, 0.0);  // baseline
+  // Four intervals with distinct event counts: 10, 20, 30, 40.
+  for (int i = 1; i <= 4; ++i) f.tick(mon, "t", 10 * i, 0, 100.0);
+  SloMonitor::TenantStatus s = mon.status("t");
+  EXPECT_EQ(s.intervals, 4);
+  EXPECT_EQ(s.fast.events, 30 + 40);             // last 2 intervals
+  EXPECT_EQ(s.slow.events, 10 + 20 + 30 + 40);   // all 4 (ring is full)
+  // A fifth interval must evict the first from the slow window.
+  f.tick(mon, "t", 50, 0, 100.0);
+  s = mon.status("t");
+  EXPECT_EQ(s.fast.events, 40 + 50);
+  EXPECT_EQ(s.slow.events, 20 + 30 + 40 + 50);
+  EXPECT_EQ(s.state, AlertState::kOk);
+  EXPECT_DOUBLE_EQ(s.fast.burn, 0.0);
+  // Rolling quantiles come from the merged interval deltas.
+  EXPECT_GT(s.fast.p50_us, 0.0);
+  EXPECT_LE(s.fast.p50_us, 200.0);
+}
+
+TEST(SloMonitor, SingleBadIntervalNeverFlapsState) {
+  SloConfig cfg = tight_config();  // escalate_after = 2
+  cfg.fast_intervals = 1;  // the bad interval leaves the fast window at once
+  SloMonitor mon(cfg);
+  TotalsFeeder f;
+  f.tick(mon, "t", 0, 0, 0.0);  // baseline
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.tick(mon, "t", 100, 0, 50.0), AlertState::kOk);
+  }
+  // One interval at 100% miss — its fast burn is way past page, but
+  // hysteresis holds: level must be sustained escalate_after = 2 intervals,
+  // so a single bad interval must not move the state.
+  EXPECT_EQ(f.tick(mon, "t", 100, 100, 50.0), AlertState::kOk);
+  // Back to clean: the breach streak resets, still ok, no transitions ever.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.tick(mon, "t", 100, 0, 50.0), AlertState::kOk);
+  }
+  const SloMonitor::TenantStatus s = mon.status("t");
+  EXPECT_EQ(s.warn_transitions, 0);
+  EXPECT_EQ(s.page_transitions, 0);
+}
+
+TEST(SloMonitor, SustainedBurnEscalatesWarnThenPageThenClears) {
+  SloMonitor mon(tight_config());
+  TotalsFeeder f;
+  f.tick(mon, "t", 0, 0, 0.0);  // baseline
+  for (int i = 0; i < 4; ++i) f.tick(mon, "t", 100, 0, 50.0);
+
+  // Sustained 25% misses. First bad tick: fast = clean+bad = 25/200 → burn
+  // 1.25 (warn level, streak 1). Second: fast = 50/200 → burn 2.5 ≥ page,
+  // but the escalation streak carries the LOWEST sustained level — the
+  // warn/page run escalates to warn, not page.
+  AlertState st = AlertState::kOk;
+  for (int i = 0; i < 2; ++i) st = f.tick(mon, "t", 100, 25, 50.0);
+  EXPECT_EQ(st, AlertState::kWarn);
+
+  // Two more bad ticks: fast stays at burn 2.5 ≥ page and the slow window
+  // (now 75/400 then 100/400 → burn ≥ warn) confirms → page after the
+  // escalate_after = 2 streak at page level.
+  for (int i = 0; i < 2; ++i) st = f.tick(mon, "t", 100, 25, 50.0);
+  EXPECT_EQ(st, AlertState::kPage);
+
+  // One clean interval must NOT clear a page (clear_after = 2)...
+  st = f.tick(mon, "t", 100, 0, 50.0);
+  EXPECT_EQ(st, AlertState::kPage);
+  // ...but sustained clean intervals de-escalate (page → ok directly).
+  st = f.tick(mon, "t", 100, 0, 50.0);
+  EXPECT_EQ(st, AlertState::kOk);
+
+  const SloMonitor::TenantStatus s = mon.status("t");
+  EXPECT_EQ(s.warn_transitions, 1);
+  EXPECT_EQ(s.page_transitions, 1);
+  EXPECT_EQ(s.clear_transitions, 1);
+
+  const std::string json = mon.alertz_json();
+  EXPECT_NE(json.find("\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"page\":1"), std::string::npos);
+}
+
+TEST(SloMonitor, PageNeedsSlowWindowConfirmation) {
+  SloConfig cfg = tight_config();
+  cfg.fast_intervals = 1;
+  cfg.slow_intervals = 10;
+  cfg.escalate_after = 1;  // isolate the multi-window rule from hysteresis
+  SloMonitor mon(cfg);
+  TotalsFeeder f;
+  f.tick(mon, "t", 0, 0, 0.0);  // baseline
+  // Long clean history dilutes the slow window.
+  for (int i = 0; i < 9; ++i) f.tick(mon, "t", 100, 0, 50.0);
+  // One interval at 100% miss: fast (that interval alone) burns 10 ≥
+  // page_burn, but the slow window sees 10 missed / 910 events = 1.1% →
+  // burn 0.11 < warn_burn, so the multi-window rule blocks the page and
+  // the fast breach alone warrants only warn.
+  EXPECT_EQ(f.tick(mon, "t", 10, 10, 50.0), AlertState::kWarn);
+}
+
+TEST(SloMonitor, ObserveFromRegistryReadsTenantFamilies) {
+  trace::ResetGuard guard;
+  auto& reg = trace::MetricsRegistry::global();
+  SloConfig cfg = tight_config();
+  cfg.escalate_after = 1;
+  SloMonitor mon(cfg);
+  (void)mon.observe_from_registry("slotest");  // baseline at zero
+
+  reg.counter("serve.tenant.slotest.completed").add(90);
+  reg.counter("serve.tenant.slotest.deadline_missed").add(40);
+  reg.counter("serve.tenant.slotest.expired").add(10);
+  reg.histogram("serve.tenant.slotest.latency_us").record(1000.0);
+
+  // events = 90 + 10 = 100; missed = 40 + 10 = 50 → burn 5.0 ≥ page, and
+  // the slow window is the same single interval → immediate page at
+  // escalate_after = 1.
+  EXPECT_EQ(mon.observe_from_registry("slotest"), AlertState::kPage);
+  const SloMonitor::TenantStatus s = mon.status("slotest");
+  EXPECT_EQ(s.fast.events, 100);
+  EXPECT_EQ(s.fast.missed, 50);
+  // The transition surfaced as metrics too.
+  EXPECT_EQ(reg.counter("obs.slo.transitions.page").value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+TEST(Watchdog, StallFlipsHealthAndCountsTransitionsOnce) {
+  trace::ResetGuard guard;
+  Watchdog wd(/*stall_timeout=*/5ms);
+  const Watchdog::HeartbeatPtr hb = wd.watch("worker.0");
+  EXPECT_TRUE(wd.check().healthy);
+
+  std::this_thread::sleep_for(20ms);
+  Watchdog::Status st = wd.check();
+  EXPECT_FALSE(st.healthy);
+  ASSERT_EQ(st.stalled.size(), 1u);
+  EXPECT_EQ(st.stalled[0].name, "worker.0");
+  EXPECT_GT(st.stalled[0].age_s, 0.0);
+  EXPECT_EQ(st.stalls_total, 1);
+
+  // Still stalled: the condition persists but the transition counted once.
+  std::this_thread::sleep_for(10ms);
+  st = wd.check();
+  EXPECT_FALSE(st.healthy);
+  EXPECT_EQ(st.stalls_total, 1);
+  EXPECT_EQ(
+      trace::MetricsRegistry::global().counter("obs.watchdog.stalls").value(),
+      1);
+
+  // Recovery re-arms the edge detector; a second stall counts again.
+  hb->beat();
+  EXPECT_TRUE(wd.check().healthy);
+  std::this_thread::sleep_for(20ms);
+  st = wd.check();
+  EXPECT_FALSE(st.healthy);
+  EXPECT_EQ(st.stalls_total, 2);
+}
+
+TEST(Watchdog, DroppedHeartbeatIsPrunedNotStalled) {
+  Watchdog wd(/*stall_timeout=*/1ms);
+  Watchdog::HeartbeatPtr hb = wd.watch("transient");
+  EXPECT_EQ(wd.check().watched, 1u);
+  hb.reset();  // the owning thread exited cleanly
+  std::this_thread::sleep_for(5ms);
+  const Watchdog::Status st = wd.check();
+  EXPECT_TRUE(st.healthy);  // a dropped handle is not a stall
+  EXPECT_EQ(st.watched, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AdminServer
+
+TEST(AdminServer, ServesBuiltinAndCustomEndpoints) {
+  AdminServer server;  // port 0 → ephemeral
+  server.set_statusz([] { return std::string("{\"answer\":42}"); });
+  server.handle("/custom", [] {
+    AdminServer::Response r;
+    r.body = "hello";
+    return r;
+  });
+  server.start();
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  trace::MetricsRegistry::global().counter("obs.admin_test.visible").add(1);
+  const HttpResult metrics = get_path(server, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("iwg_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.body.find("obs_admin_test_visible"), std::string::npos);
+
+  EXPECT_EQ(get_path(server, "/healthz").status, 200);
+  EXPECT_EQ(get_path(server, "/readyz").status, 200);
+  EXPECT_EQ(get_path(server, "/statusz").body, "{\"answer\":42}");
+  EXPECT_EQ(get_path(server, "/custom").body, "hello");
+  EXPECT_NE(get_path(server, "/").body.find("/metrics"), std::string::npos);
+  EXPECT_EQ(get_path(server, "/metrics?foo=bar").status, 200);  // query cut
+
+  EXPECT_EQ(get_path(server, "/no_such").status, 404);
+  EXPECT_EQ(http_get(server.port(), "POST /metrics HTTP/1.1").status, 405);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(AdminServer, HealthzAndReadyzGateOnProbes) {
+  Watchdog wd(/*stall_timeout=*/5ms);
+  SloMonitor slo;
+  AdminServer server;
+  server.wire(&wd, &slo);
+  std::atomic<bool> ready{false};
+  server.set_readyz([&ready] { return ready.load(); });
+  server.start();
+
+  const Watchdog::HeartbeatPtr hb = wd.watch("gated");
+  EXPECT_EQ(get_path(server, "/healthz").status, 200);
+  EXPECT_EQ(get_path(server, "/readyz").status, 503);  // not ready yet
+  ready.store(true);
+  EXPECT_EQ(get_path(server, "/readyz").status, 200);
+
+  std::this_thread::sleep_for(20ms);  // heartbeat goes stale
+  EXPECT_EQ(get_path(server, "/healthz").status, 503);
+  hb->beat();
+  EXPECT_EQ(get_path(server, "/healthz").status, 200);
+
+  const HttpResult alertz = get_path(server, "/alertz");
+  EXPECT_EQ(alertz.status, 200);
+  EXPECT_NE(alertz.body.find("\"tenants\""), std::string::npos);
+  server.stop();
+}
+
+TEST(AdminServer, ScrapeWhileServingIsRaceFree) {
+  // The TSan-leg race test: worker threads hammer the registry (counters +
+  // histogram records + heartbeats, the serving hot path's write set) while
+  // a client scrapes /metrics over real HTTP. Nothing to assert beyond
+  // well-formedness — the value is TSan observing the interleaving.
+  Watchdog wd;
+  AdminServer server;
+  server.wire(&wd, nullptr);
+  server.start();
+
+  auto& reg = trace::MetricsRegistry::global();
+  trace::Counter& c = reg.counter("obs.scrape_race.completed");
+  trace::Histogram& h = reg.histogram("obs.scrape_race.latency_us");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      const Watchdog::HeartbeatPtr hb =
+          wd.watch("race.worker." + std::to_string(w));
+      std::int64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        hb->beat();
+        c.add();
+        h.record(static_cast<double>(i % 4096));
+        ++i;
+      }
+    });
+  }
+
+  for (int scrape = 0; scrape < 10; ++scrape) {
+    const HttpResult r = get_path(server, "/metrics");
+    ASSERT_EQ(r.status, 200);
+    EXPECT_NE(r.body.find("obs_scrape_race_completed"), std::string::npos);
+    EXPECT_EQ(get_path(server, "/healthz").status, 200);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  server.stop();
+
+  // Post-drain consistency: the histogram tracked the counter exactly.
+  EXPECT_EQ(h.snapshot().count, c.value());
+}
+
+}  // namespace
+}  // namespace iwg::obs

@@ -317,9 +317,13 @@ TEST(ServingSession, MixedShapesCoalesceIntoIndirectBatches) {
   cfg.batch.max_batch = 8;
   cfg.batch.max_wait = 50ms;
   ASSERT_EQ(cfg.batch.mixed, MixedMode::kIndirect);  // the default
+  // Scoped isolation instead of the before/after delta dance: the guard
+  // zeroes the registry on entry and exit, so the padded-slots assertion
+  // below reads an absolute value regardless of what ran earlier in this
+  // binary.
+  trace::ResetGuard metrics_guard;
   auto& padded =
       trace::MetricsRegistry::global().counter("serve.padded_slots");
-  const std::int64_t padded_before = padded.value();
   ServingSession session(make_tiny_fcn(), cfg);
 
   Rng rng(5);
@@ -348,7 +352,7 @@ TEST(ServingSession, MixedShapesCoalesceIntoIndirectBatches) {
   EXPECT_LE(stats.batches, 4);
   EXPECT_GE(stats.indirect_batches, 1);
   // Satellite: the indirect policy never materializes pad slots.
-  EXPECT_EQ(padded.value() - padded_before, 0);
+  EXPECT_EQ(padded.value(), 0);
 }
 
 TEST(ServingSession, ShapeIdenticalRunStillShipsDenseUnderIndirectPolicy) {

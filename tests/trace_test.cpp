@@ -735,6 +735,7 @@ TEST(Metrics, SanitizeMetricNameMapsToPrometheusCharset) {
 }
 
 TEST(Metrics, PrometheusTextExposition) {
+  ResetGuard guard;  // exact-value assertions: isolate from run order
   auto& reg = MetricsRegistry::global();
   reg.counter("test.prom/counter").add(7);
   Histogram& h = reg.histogram("test.prom_hist");
@@ -775,6 +776,7 @@ TEST(Metrics, PrometheusTextExposition) {
 }
 
 TEST(Metrics, PrometheusTenantLabelExposition) {
+  ResetGuard guard;  // exact-value assertions: isolate from run order
   auto& reg = MetricsRegistry::global();
   // The serve.tenant.<id>.<rest> convention must export as ONE family per
   // <rest> with the tenant id as a label, not as per-tenant metric names.
@@ -816,6 +818,7 @@ TEST(Metrics, PrometheusTenantLabelExposition) {
 }
 
 TEST(Metrics, PrometheusTenantLabelValueIsEscaped) {
+  ResetGuard guard;
   auto& reg = MetricsRegistry::global();
   // Tenant ids reaching the registry through TenantMetrics are dot-free,
   // but label VALUES may hold any UTF-8 — quotes and backslashes must be
@@ -828,6 +831,7 @@ TEST(Metrics, PrometheusTenantLabelValueIsEscaped) {
 }
 
 TEST(Metrics, PrometheusTenantPrefixWithoutSuffixStaysPlain) {
+  ResetGuard guard;
   auto& reg = MetricsRegistry::global();
   // A name that starts with the prefix but has no <rest> component cannot
   // be split into (id, family) — it must fall back to the plain mapping.
@@ -854,6 +858,137 @@ TEST(Metrics, FlushReportWritesPrometheusFileOnDemand) {
   set_report_paths("", "", "");  // unconfigure for later tests
   EXPECT_FALSE(flush_report());
   std::remove(path.c_str());
+}
+
+TEST(Metrics, HistogramSnapshotDeltaIsExactPerInterval) {
+  Histogram h;
+  h.record(2.0);
+  h.record(8.0);
+  const Histogram::Snapshot t0 = h.snapshot();
+  h.record(4.0);
+  h.record(4.0);
+  h.record(64.0);
+  const Histogram::Snapshot t1 = h.snapshot();
+
+  const Histogram::Snapshot d = t1.delta(t0);
+  EXPECT_EQ(d.count, 3);
+  EXPECT_DOUBLE_EQ(d.sum, 72.0);
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(4.0)], 2);
+  EXPECT_EQ(d.buckets[Histogram::bucket_index(64.0)], 1);
+  // min/max are the tightest provable bounds: occupied delta buckets'
+  // edges, clamped to the cumulative extremes.
+  EXPECT_LE(d.min, 4.0);
+  EXPECT_GE(d.max, 64.0);
+  EXPECT_GE(d.min, t1.min);
+  EXPECT_LE(d.max, t1.max);
+
+  // Consecutive deltas merge back into the cumulative interval.
+  h.record(16.0);
+  const Histogram::Snapshot t2 = h.snapshot();
+  Histogram::Snapshot merged = t1.delta(t0);
+  merged.merge(t2.delta(t1));
+  EXPECT_EQ(merged.count, 4);
+  EXPECT_DOUBLE_EQ(merged.sum, 88.0);
+
+  // Empty interval → empty snapshot, not garbage.
+  const Histogram::Snapshot none = t2.delta(t2);
+  EXPECT_EQ(none.count, 0);
+  EXPECT_DOUBLE_EQ(none.sum, 0.0);
+}
+
+TEST(Metrics, HistogramSnapshotDeltaUnderConcurrentRecord) {
+  // A monitor snapshots on an interval while workers keep recording. Torn
+  // snapshots are allowed (count/sum/buckets race benignly), but every
+  // delta must be sane — no negative bucket counts — and the interval
+  // counts must cover every record once the stream quiesces.
+  Histogram h;
+  constexpr int kWriters = 4;
+  constexpr std::int64_t kPerWriter = 50000;
+  // Baseline before any writer starts, so every record falls inside some
+  // monitored interval and the deltas must account for all of them.
+  Histogram::Snapshot prev = h.snapshot();
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&h, w] {
+      for (std::int64_t i = 0; i < kPerWriter; ++i) {
+        h.record(static_cast<double>((i + w) % 1024 + 1));
+      }
+    });
+  }
+  std::int64_t delta_total = 0;
+  while (prev.count < kWriters * kPerWriter) {
+    const Histogram::Snapshot cur = h.snapshot();
+    const Histogram::Snapshot d = cur.delta(prev);
+    EXPECT_GE(d.count, 0);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      ASSERT_GE(d.buckets[b], 0) << "negative bucket delta at " << b;
+    }
+    delta_total += d.count;
+    prev = cur;
+  }
+  for (auto& t : writers) t.join();
+  const Histogram::Snapshot fin = h.snapshot();
+  delta_total += fin.delta(prev).count;
+  EXPECT_EQ(fin.count, kWriters * kPerWriter);
+  EXPECT_EQ(delta_total, fin.count);  // intervals tile the stream exactly
+}
+
+TEST(Metrics, PrometheusPageCarriesHelpBuildInfoAndUptime) {
+  ResetGuard guard;
+  auto& reg = MetricsRegistry::global();
+  reg.set_help("test.helped_counter", "A counter with registered help.");
+  reg.counter("test.helped_counter").add(1);
+  reg.counter("test.unhelped_counter").add(1);
+  reg.set_build_label("flavor", "unit-test");
+
+  const std::string page = reg.prometheus_text();
+  const auto npos = std::string::npos;
+  // Registered help verbatim; unregistered families get a generic line.
+  EXPECT_NE(
+      page.find("# HELP test_helped_counter A counter with registered help."),
+      npos);
+  EXPECT_NE(page.find("# HELP test_unhelped_counter "), npos);
+  // Every # TYPE is preceded by a # HELP for the same family.
+  std::istringstream in(page);
+  std::string line;
+  std::string prev_line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string family = line.substr(7, line.find(' ', 7) - 7);
+      ASSERT_EQ(prev_line.rfind("# HELP " + family + " ", 0), 0u)
+          << "# TYPE without adjacent # HELP: " << line;
+    }
+    prev_line = line;
+  }
+  // Synthesized identity gauges lead the page.
+  EXPECT_NE(page.find("# TYPE iwg_build_info gauge"), npos);
+  EXPECT_NE(page.find("flavor=\"unit-test\""), npos);
+  const std::size_t bi = page.find("iwg_build_info{");
+  ASSERT_NE(bi, npos);
+  EXPECT_NE(page.find("} 1\n", bi), npos);
+#ifdef IWG_TRACE_DISABLE
+  EXPECT_NE(page.find("trace=\"off\""), npos);
+#else
+  EXPECT_NE(page.find("trace=\"on\""), npos);
+#endif
+  EXPECT_NE(page.find("# TYPE iwg_process_uptime_seconds gauge"), npos);
+  EXPECT_NE(page.find("iwg_process_uptime_seconds "), npos);
+}
+
+TEST(Metrics, ResetGuardScopesExactValues) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test.reset_guard_counter");
+  c.add(41);
+  {
+    ResetGuard guard;
+    // Entry reset: the scope starts from zero no matter what ran before.
+    EXPECT_EQ(c.value(), 0);
+    c.add(7);
+    EXPECT_EQ(c.value(), 7);
+  }
+  // Exit reset: nothing leaks into whatever runs after the scope.
+  EXPECT_EQ(c.value(), 0);
 }
 
 }  // namespace
